@@ -1,0 +1,37 @@
+"""Figure 1: headline comparison on the knowledge graph embeddings task.
+
+The paper's Figure 1 shows model quality (filtered MRR) over run time for a
+single node, a classic PS, a replication PS (Petuum), a relocation PS (Lapse)
+and NuPS on 8 nodes: the existing PSs fall behind the single node while NuPS
+improves on it by a large factor. This benchmark regenerates that series on
+the scaled-down synthetic KGE workload.
+"""
+
+from common import print_header, run_once, run_systems
+from repro.analysis.speedup import raw_speedup_from_results
+from repro.runner.reporting import quality_over_time_table, summary_table
+
+SYSTEMS = ["single-node", "classic", "essp", "lapse", "nups"]
+
+
+def _run():
+    return run_systems("kge", SYSTEMS, seed=1)
+
+
+def test_fig01_headline_kge(benchmark):
+    results = run_once(benchmark, _run)
+    print_header("Figure 1 — KGE: model quality over (simulated) run time, 8 nodes")
+    print(quality_over_time_table(results))
+    print()
+    print(summary_table(results))
+    print()
+    print("Raw speedup over the single node (epoch time):")
+    for system, speedup in raw_speedup_from_results(results).items():
+        print(f"  {system:12s} {speedup:6.2f}x")
+
+    # Shape assertions mirroring the paper's qualitative claims.
+    by_name = {r.system: r for r in results}
+    assert by_name["nups"].mean_epoch_time() < by_name["single-node"].mean_epoch_time()
+    assert by_name["classic"].mean_epoch_time() > by_name["single-node"].mean_epoch_time()
+    assert by_name["nups"].mean_epoch_time() < by_name["lapse"].mean_epoch_time()
+    assert by_name["nups"].mean_epoch_time() < by_name["essp"].mean_epoch_time()

@@ -1,0 +1,65 @@
+"""Figure 3: number of accesses per parameter (skew), direct vs. sampling.
+
+The paper plots per-parameter access counts over one epoch, sorted by
+decreasing total count, separately for direct and sampling access, for the
+KGE and WV tasks, and reports headline skew statistics ("18% of reads go to
+0.02% of parameters"). This benchmark regenerates the curves (as percentile
+tables) and the statistics from the synthetic workloads' dataset statistics.
+"""
+
+import numpy as np
+
+from common import print_header, run_once
+from repro.analysis.skew import access_frequency_curve, skew_report, task_access_profile
+from repro.runner.reporting import format_table
+from repro.runner.workloads import kge_task, word_vectors_task
+
+
+PERCENTILES = [0.0001, 0.001, 0.01, 0.1, 0.25, 0.5, 0.9]
+
+
+def _curve_rows(counts: np.ndarray):
+    curve = access_frequency_curve(counts)
+    total = curve.sum()
+    rows = []
+    for percentile in PERCENTILES:
+        index = max(0, int(percentile * len(curve)) - 1)
+        top_share = curve[: index + 1].sum() / total if total else 0.0
+        rows.append([f"top {percentile:.2%} of keys", curve[index], top_share])
+    return rows
+
+
+def _report(task, label):
+    profile = task_access_profile(task)
+    print_header(f"Figure 3 — {label}: accesses per parameter over one epoch")
+    for kind in ("total", "direct", "sampling"):
+        counts = profile[kind]
+        if counts.sum() == 0:
+            continue
+        print(f"\n[{kind} access] sorted access-count curve:")
+        print(format_table(
+            ["rank position", "accesses at rank", "cumulative share of accesses"],
+            _curve_rows(counts),
+        ))
+    report = skew_report(task, top_fraction=0.001)
+    print("\nHeadline skew statistics:")
+    print(format_table(
+        ["keys", "share of accesses to top 0.1% keys", "direct share", "sampling share"],
+        [[int(report["num_keys"]), report["top_share"],
+          report["direct_share"], report["sampling_share"]]],
+    ))
+    return report
+
+
+def test_fig03a_kge_skew(benchmark):
+    report = run_once(benchmark, lambda: _report(kge_task("bench"), "KGE"))
+    # Access is heavily skewed: the top 0.1% of keys get far more than 0.1%
+    # of the accesses, and both access kinds are present.
+    assert report["top_share"] > 0.02
+    assert 0 < report["sampling_share"] < 1
+
+
+def test_fig03b_word_vectors_skew(benchmark):
+    report = run_once(benchmark, lambda: _report(word_vectors_task("bench"), "WV"))
+    assert report["top_share"] > 0.02
+    assert report["sampling_share"] > 0.2

@@ -1,0 +1,48 @@
+"""Figure 8: raw scalability (speedup in epoch run time over the single node).
+
+The paper runs Lapse, Petuum SSP/ESSP and NuPS for one epoch on 1, 2, 4, 8
+and 16 nodes and reports the epoch-time speedup over the shared-memory single
+node. NuPS scales up to near-linearly; Lapse and Petuum do not outperform the
+single node even at 16 nodes.
+"""
+
+import pytest
+
+from common import FAST, print_header, run_once, run_system
+from repro.analysis.speedup import raw_speedup
+from repro.runner.reporting import format_table
+
+NODE_COUNTS = [1, 2, 4, 8] if FAST else [1, 2, 4, 8, 16]
+SYSTEMS = ["lapse", "essp", "nups"]
+TASK = "kge"
+
+
+def _run():
+    single = run_system(TASK, "single-node", epochs=1, seed=3)
+    baseline = single.mean_epoch_time()
+    speedups = {}
+    rows = []
+    for system in SYSTEMS:
+        for nodes in NODE_COUNTS:
+            result = run_system(TASK, system, num_nodes=nodes, epochs=1, seed=3)
+            speedup = raw_speedup(baseline, result.mean_epoch_time())
+            speedups[(system, nodes)] = speedup
+            rows.append([system, nodes, result.mean_epoch_time(), speedup])
+    print_header("Figure 8 — raw scalability on KGE (speedup vs. single node, 1 epoch)")
+    print(f"single-node epoch time: {baseline:.4f} simulated seconds")
+    print(format_table(["system", "nodes", "epoch_time_s", "raw speedup"], rows))
+    return speedups
+
+
+def test_fig08_raw_scalability(benchmark):
+    speedups = run_once(benchmark, _run)
+    largest = max(NODE_COUNTS)
+    # NuPS scales: more nodes help, and at the largest node count it clearly
+    # outperforms the single node and every other PS.
+    assert speedups[("nups", largest)] > speedups[("nups", 1)]
+    assert speedups[("nups", largest)] > 2.0
+    assert speedups[("nups", largest)] > speedups[("lapse", largest)]
+    assert speedups[("nups", largest)] > speedups[("essp", largest)]
+    # The other PSs do not meaningfully outperform the single node.
+    assert speedups[("lapse", largest)] < 1.5
+    assert speedups[("essp", largest)] < 1.5

@@ -1,0 +1,48 @@
+"""Figure 9: effective scalability (speedup to reach 90% of single-node quality).
+
+The paper reports, for the systems that reach the 90% quality threshold, the
+speedup in the time needed to reach 90% of the best single-node model quality
+when scaling from 1 to 16 nodes. Only NuPS (untuned and tuned) reaches the
+threshold on all tasks; this benchmark reproduces the NuPS curve on the KGE
+workload.
+"""
+
+from common import FAST, print_header, run_once, run_system
+from repro.analysis.speedup import effective_quality_threshold, effective_speedup
+from repro.runner.reporting import format_table
+
+NODE_COUNTS = [2, 8] if FAST else [2, 4, 8]
+EPOCHS = 3
+TASK = "kge"
+
+
+def _run():
+    single = run_system(TASK, "single-node", epochs=EPOCHS, seed=4)
+    threshold = effective_quality_threshold(single)
+    rows = []
+    speedups = {}
+    for nodes in NODE_COUNTS:
+        result = run_system(TASK, "nups", num_nodes=nodes, epochs=EPOCHS, seed=4)
+        speedup = effective_speedup(single, result)
+        speedups[nodes] = speedup
+        time_to = result.time_to_quality(threshold)
+        rows.append([
+            "nups", nodes,
+            time_to if time_to is not None else "not reached",
+            speedup if speedup is not None else "-",
+        ])
+    print_header("Figure 9 — effective scalability on KGE (time to 90% of single-node quality)")
+    print(f"quality threshold (90% of best single-node MRR): {threshold:.4f}")
+    print(f"single-node time to threshold: {single.time_to_quality(threshold)}")
+    print(format_table(["system", "nodes", "time_to_threshold_s", "effective speedup"], rows))
+    return speedups
+
+
+def test_fig09_effective_scalability(benchmark):
+    speedups = run_once(benchmark, _run)
+    largest = max(NODE_COUNTS)
+    # NuPS reaches the threshold at the largest node count and does so faster
+    # than the single node (smaller node counts may need more epochs than the
+    # budget allows to cross the 90% threshold — see EXPERIMENTS.md).
+    assert speedups[largest] is not None
+    assert speedups[largest] > 1.0

@@ -1,0 +1,63 @@
+"""Figure 10: effect of the sampling schemes on run time and model quality.
+
+The paper runs the KGE and WV tasks with independent sampling (CONFORM),
+sample reuse with use frequencies 16 and 64 (BOUNDED), and local sampling
+(NON-CONFORM): both sample reuse and local sampling speed up epochs
+substantially over independent sampling, with small effects on per-epoch
+quality. It additionally shows that local sampling with a *static* allocation
+deteriorates quality drastically (Figure 10c).
+"""
+
+import pytest
+
+from common import NUPS_BENCH_OVERRIDES, print_header, run_once, run_system
+from repro.runner.reporting import summary_table
+
+VARIANTS = [
+    ("independent (CONFORM)", {"scheme_override": "independent"}),
+    ("sample reuse U=16 (BOUNDED)", {"scheme_override": "sample_reuse",
+                                     "use_frequency": 16}),
+    ("sample reuse U=64 (BOUNDED)", {"scheme_override": "sample_reuse",
+                                     "use_frequency": 64}),
+    ("reuse + postponing (LONG-TERM)", {"scheme_override": "sample_reuse_postponing",
+                                        "use_frequency": 16}),
+    ("local sampling (NON-CONFORM)", {"scheme_override": "local"}),
+]
+
+
+EPOCHS = 2
+
+
+def _run(task_name):
+    single = run_system(task_name, "single-node", epochs=EPOCHS, seed=5)
+    results = [single]
+    by_label = {"single-node": single}
+    for label, overrides in VARIANTS:
+        merged = dict(NUPS_BENCH_OVERRIDES)
+        merged.update(overrides)
+        result = run_system(task_name, "nups", epochs=EPOCHS, seed=5,
+                            system_overrides=merged)
+        result.system = label
+        results.append(result)
+        by_label[label] = result
+    print_header(f"Figure 10 — sampling schemes on {task_name}: epoch time and quality")
+    print(summary_table(results))
+    return by_label
+
+
+@pytest.mark.parametrize("task_name", ["kge", "word_vectors"])
+def test_fig10_sampling_schemes(benchmark, task_name):
+    by_label = run_once(benchmark, lambda: _run(task_name))
+    independent = by_label["independent (CONFORM)"]
+    reuse16 = by_label["sample reuse U=16 (BOUNDED)"]
+    reuse64 = by_label["sample reuse U=64 (BOUNDED)"]
+    local = by_label["local sampling (NON-CONFORM)"]
+    # Sample reuse and local sampling reduce epoch time versus independent
+    # sampling (Section 5.5), with higher use frequencies reducing it further.
+    assert reuse16.mean_epoch_time() < independent.mean_epoch_time()
+    assert local.mean_epoch_time() < independent.mean_epoch_time()
+    assert reuse64.mean_epoch_time() <= reuse16.mean_epoch_time() * 1.05
+    # Every variant still trains the model.
+    for label, result in by_label.items():
+        initial = result.initial_quality[result.quality_metric]
+        assert result.best_quality() > initial, label

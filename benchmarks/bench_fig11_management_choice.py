@@ -1,0 +1,104 @@
+"""Table 3 and Figure 11: choosing the management technique per key.
+
+The paper varies how many keys NuPS replicates — from none, over the untuned
+heuristic (1x), to 256x the heuristic's key count — and reports, per setting:
+the share of replicated keys, the size of the replicated values, the share of
+accesses that go to replicas (Table 3), and the resulting epoch run time and
+model quality (Figure 11). Replicating "enough" keys (the hot spots) improves
+run time; replicating far too many keys makes replica synchronization fall
+behind (lower achieved sync frequency) and deteriorates quality.
+"""
+
+import pytest
+
+from common import (
+    FAST,
+    NUPS_BENCH_OVERRIDES,
+    experiment_config,
+    heuristic_key_count,
+    print_header,
+    run_once,
+    TASK_FACTORIES,
+)
+from repro.core.management import ManagementPlan
+from repro.runner.experiment import run_experiment
+from repro.runner.reporting import format_table
+from repro.runner.systems import make_ps_factory
+
+FACTORS = [0, 1, 16, 256] if FAST else [0, 0.25, 1, 16, 256]
+TASKS = ["kge", "matrix_factorization"] if FAST else \
+    ["kge", "word_vectors", "matrix_factorization"]
+
+
+def _replica_access_share(metrics: dict) -> float:
+    replica = sum(value for name, value in metrics.items()
+                  if name.startswith("access.") and ".replica" in name)
+    total = metrics.get("access.total", 0.0)
+    return replica / total if total else 0.0
+
+
+def _run(task_name):
+    factory = TASK_FACTORIES[task_name]
+    reference_task = factory("bench")
+    counts = reference_task.access_counts()
+    heuristic_keys = heuristic_key_count(reference_task)
+    rows = []
+    outcomes = {}
+    for factor in FACTORS:
+        k = int(round(heuristic_keys * factor)) if factor else 0
+        plan = ManagementPlan.top_k_by_count(counts, k)
+        task = factory("bench")
+        overrides = dict(NUPS_BENCH_OVERRIDES)
+        overrides["plan"] = plan
+        result = run_experiment(
+            task, make_ps_factory("nups", **overrides),
+            experiment_config(epochs=1, seed=6),
+            system_name=f"nups[{factor}x]",
+        )
+        sync_frequency = result.metrics.get("replica.syncs", 0.0) / max(result.total_time, 1e-12)
+        outcomes[factor] = result
+        rows.append([
+            f"{factor}x",
+            plan.num_replicated,
+            f"{plan.replicated_share:.4%}",
+            round(plan.replicated_value_bytes(task.value_length()) / 1e6, 3),
+            f"{_replica_access_share(result.metrics):.0%}",
+            result.mean_epoch_time(),
+            result.final_quality(),
+            round(sync_frequency, 1),
+        ])
+    print_header(
+        f"Table 3 / Figure 11 — replication extent on {task_name} "
+        f"(heuristic replicates {heuristic_keys} keys)"
+    )
+    print(format_table(
+        ["factor", "replicated keys", "share of keys", "replica size (MB)",
+         "accesses to replicas", "epoch_time_s", "quality", "achieved syncs/s"],
+        rows,
+    ))
+    return outcomes
+
+
+@pytest.mark.parametrize("task_name", TASKS)
+def test_fig11_management_choice(benchmark, task_name):
+    outcomes = run_once(benchmark, lambda: _run(task_name))
+    no_replication = outcomes[0]
+    heuristic = outcomes[1]
+    largest = outcomes[max(FACTORS)]
+    # Replicating the hot spots does not hurt epoch time materially
+    # (Section 5.6). At this scale the WV hot-spot set carries a smaller
+    # traffic share than in the paper, so a slightly larger tolerance is used.
+    assert heuristic.mean_epoch_time() <= no_replication.mean_epoch_time() * 1.25
+    # The share of accesses served by replicas grows with the extent.
+    assert _replica_access_share(largest.metrics) > _replica_access_share(heuristic.metrics)
+    # Note: the paper additionally observes that *over*-replication slows
+    # KGE/MF down and deteriorates quality because replica synchronization
+    # cannot keep up with hundreds of MB of replicated values. The scaled-down
+    # models here are a few MB at most, so that part of the effect does not
+    # materialize (see EXPERIMENTS.md); we only require that the largest
+    # extent still trains the model.
+    initial = largest.initial_quality[largest.quality_metric]
+    if largest.higher_is_better:
+        assert largest.best_quality() >= initial
+    else:
+        assert largest.best_quality() <= initial

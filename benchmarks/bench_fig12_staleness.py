@@ -1,0 +1,89 @@
+"""Figure 12: effect of replica staleness (synchronization frequency).
+
+The paper varies how often NuPS synchronizes its replicas — 125, 25, 5, 1,
+0.2 times per second, and not at all — and reports epoch run time and model
+quality after one epoch. Frequent synchronization keeps quality close to the
+no-replication baseline; very infrequent (or no) synchronization deteriorates
+quality for KGE and WV but matters little for MF.
+
+The scaled-down workloads have epochs of tens to hundreds of milliseconds
+instead of tens of minutes, so the sweep is expressed in *synchronizations
+per epoch* and converted to an interval from a calibration run.
+"""
+
+import pytest
+
+from common import (
+    FAST,
+    NUPS_BENCH_OVERRIDES,
+    TASK_FACTORIES,
+    heuristic_key_count,
+    print_header,
+    run_once,
+    run_system,
+)
+from repro.core.management import ManagementPlan
+from repro.runner.reporting import format_table
+
+#: Target synchronizations per epoch (the paper's 125 ... 0.2 syncs/second
+#: against ~20-minute epochs, rescaled).
+SYNCS_PER_EPOCH = [200, 50, 10, 2, 0] if FAST else [200, 50, 10, 2, 0]
+TASKS = ["kge", "matrix_factorization"] if FAST else \
+    ["kge", "word_vectors", "matrix_factorization"]
+
+
+def _run(task_name):
+    # Ensure a non-empty hot-spot set so that the staleness sweep actually
+    # exercises replication (see heuristic_key_count for the MF fallback).
+    reference_task = TASK_FACTORIES[task_name]("bench")
+    plan = ManagementPlan.top_k_by_count(
+        reference_task.access_counts(), heuristic_key_count(reference_task)
+    )
+
+    # Calibration: epoch length with the default configuration.
+    calibration = run_system(task_name, "nups", epochs=1, seed=7,
+                             system_overrides={"plan": plan})
+    epoch_length = calibration.mean_epoch_time()
+
+    rows = []
+    outcomes = {}
+    for target in SYNCS_PER_EPOCH:
+        overrides = dict(NUPS_BENCH_OVERRIDES)
+        overrides["plan"] = plan
+        overrides["sync_interval"] = (epoch_length / target) if target else None
+        result = run_system(task_name, "nups", epochs=1, seed=7,
+                            system_overrides=overrides)
+        achieved = result.metrics.get("replica.syncs", 0.0)
+        outcomes[target] = result
+        rows.append([
+            target if target else "none",
+            int(achieved),
+            result.mean_epoch_time(),
+            result.final_quality(),
+        ])
+    print_header(
+        f"Figure 12 — replica staleness on {task_name} "
+        f"(epoch length ~{epoch_length:.3f} simulated seconds)"
+    )
+    print(format_table(
+        ["target syncs/epoch", "achieved syncs", "epoch_time_s", "quality after 1 epoch"],
+        rows,
+    ))
+    return outcomes
+
+
+@pytest.mark.parametrize("task_name", TASKS)
+def test_fig12_replica_staleness(benchmark, task_name):
+    outcomes = run_once(benchmark, lambda: _run(task_name))
+    frequent = outcomes[max(SYNCS_PER_EPOCH)]
+    never = outcomes[0]
+    # Synchronizing frequently does not blow up the epoch time (the sparse
+    # all-reduce payload of a few hot keys is small).
+    assert frequent.mean_epoch_time() < never.mean_epoch_time() * 1.5
+    # With no synchronization at all the replicas only merge at the epoch
+    # boundary (the single forced sync before evaluation).
+    assert never.metrics.get("replica.syncs", 0.0) <= 1
+    if task_name != "matrix_factorization":
+        # Frequent synchronization gives at least as good quality as never
+        # synchronizing (Section 5.7); for MF staleness hardly matters.
+        assert frequent.final_quality() >= never.final_quality() * 0.9

@@ -1,0 +1,46 @@
+"""Table 2: the evaluation workloads and their access characteristics.
+
+The paper's Table 2 lists, per task, the model (keys, values, size), the
+dataset (data points, size) and the split of parameter accesses into direct
+and sampling access. This benchmark prints the same table for the scaled-down
+synthetic workloads.
+"""
+
+from common import print_header, run_once
+from repro.analysis.skew import skew_report
+from repro.runner.reporting import format_table
+from repro.runner.workloads import TASK_FACTORIES
+
+
+def _run():
+    rows = []
+    reports = {}
+    for name, factory in TASK_FACTORIES.items():
+        task = factory("bench")
+        report = skew_report(task)
+        reports[name] = report
+        model_mb = task.num_keys() * task.value_length() * 4 / 1e6
+        rows.append([
+            task.name,
+            task.num_keys(),
+            task.num_keys() * task.value_length(),
+            round(model_mb, 2),
+            task.num_data_points(),
+            f"{report['direct_share']:.0%}",
+            f"{report['sampling_share']:.0%}",
+        ])
+    print_header("Table 2 — ML tasks, models, datasets, and share of direct/sampling access")
+    print(format_table(
+        ["task", "keys", "values", "model size (MB)", "data points",
+         "direct access", "sampling access"],
+        rows,
+    ))
+    return reports
+
+
+def test_table2_workload_characteristics(benchmark):
+    reports = run_once(benchmark, _run)
+    # KGE and WV have substantial sampling access; MF has none (Table 2).
+    assert reports["kge"]["sampling_share"] > 0.2
+    assert reports["word_vectors"]["sampling_share"] > 0.2
+    assert reports["matrix_factorization"]["sampling_share"] == 0.0

@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+# Make `import common` work regardless of how pytest sets up sys.path.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

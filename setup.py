@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``. This shim
+exists so that the package can be installed in environments without the
+``wheel`` package (PEP 660 editable installs require it), e.g. via
+``python setup.py develop`` on an offline machine.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro: reproduction of NuPS (SIGMOD 2022).
+
+NuPS is a parameter server for machine learning tasks with non-uniform
+parameter access. This package reproduces the system and its evaluation on a
+simulated cluster:
+
+* :mod:`repro.core` — NuPS itself: multi-technique parameter management
+  (replication for hot spots, relocation for the long tail) and integrated
+  sampling with conformity levels.
+* :mod:`repro.ps` — the parameter-server substrate and the baselines the
+  paper compares against (classic, SSP/ESSP replication, Lapse-style
+  relocation, single node).
+* :mod:`repro.simulation` — the simulated cluster (clocks, network cost
+  model, metrics).
+* :mod:`repro.ml` — the evaluation workloads: knowledge-graph embeddings,
+  word vectors, matrix factorization.
+* :mod:`repro.data` — synthetic skewed dataset generators.
+* :mod:`repro.runner` — the experiment harness used by examples and
+  benchmarks.
+* :mod:`repro.analysis` — skew and speedup analysis utilities.
+"""
+
+from repro.core import (
+    ConformityLevel,
+    ManagementPlan,
+    NuPS,
+    SamplingConfig,
+    SchemeConfig,
+)
+from repro.ps import (
+    ClassicPS,
+    ParameterServer,
+    ParameterStore,
+    RelocationPS,
+    ReplicationPS,
+    ReplicationProtocol,
+    SingleNodePS,
+)
+from repro.simulation import Cluster, ClusterConfig, NetworkModel
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "NuPS",
+    "ManagementPlan",
+    "ConformityLevel",
+    "SamplingConfig",
+    "SchemeConfig",
+    "ParameterServer",
+    "ParameterStore",
+    "ClassicPS",
+    "ReplicationPS",
+    "ReplicationProtocol",
+    "RelocationPS",
+    "SingleNodePS",
+    "Cluster",
+    "ClusterConfig",
+    "NetworkModel",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""Access-skew analysis (reproduces Figure 3 and the Section 2.1 statistics).
+
+The paper plots the number of accesses per parameter over one epoch, sorted
+by decreasing total access count, separately for direct and sampling access.
+These functions compute those curves from a task's dataset statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.data.zipf import empirical_skew_summary
+from repro.ml.task import TrainingTask
+
+
+def access_frequency_curve(counts: np.ndarray) -> np.ndarray:
+    """Access counts sorted in decreasing order (the Figure 3 y-series)."""
+    counts = np.asarray(counts, dtype=np.float64)
+    return np.sort(counts)[::-1]
+
+
+def task_access_profile(task: TrainingTask) -> Dict[str, np.ndarray]:
+    """Direct, sampling and total per-key access counts for one epoch."""
+    direct = np.asarray(task.access_counts(), dtype=np.float64)
+    sampling = np.asarray(task.sampling_access_counts(), dtype=np.float64)
+    return {
+        "direct": direct,
+        "sampling": sampling,
+        "total": direct + sampling,
+    }
+
+
+def skew_report(task: TrainingTask, top_fraction: float = 0.001) -> Dict[str, float]:
+    """Summary statistics in the style of Section 2.1.
+
+    Reports the share of accesses that go to the ``top_fraction`` hottest
+    keys, plus the split between direct and sampling accesses (Table 2's
+    rightmost columns).
+    """
+    profile = task_access_profile(task)
+    total = profile["total"]
+    summary = empirical_skew_summary(total, top_fraction=top_fraction)
+    direct_total = float(profile["direct"].sum())
+    sampling_total = float(profile["sampling"].sum())
+    overall = direct_total + sampling_total
+    return {
+        "num_keys": float(len(total)),
+        "top_fraction": summary["top_fraction"],
+        "top_share": summary["top_share"],
+        "direct_share": direct_total / overall if overall else 0.0,
+        "sampling_share": sampling_total / overall if overall else 0.0,
+        "total_accesses": overall,
+    }

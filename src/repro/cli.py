@@ -1,0 +1,155 @@
+"""Command-line interface for running reproduction experiments.
+
+The CLI wraps the experiment harness so that the standard comparisons can be
+run without writing Python::
+
+    python -m repro run      --task kge --system nups --nodes 8 --epochs 2
+    python -m repro compare  --task matrix_factorization --systems single-node lapse nups
+    python -m repro skew     --task word_vectors
+    python -m repro systems                     # list available systems
+    python -m repro tasks                       # list available workloads
+
+All experiments run on the simulated cluster; times are simulated seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.skew import skew_report
+from repro.analysis.speedup import (
+    effective_speedup_from_results,
+    raw_speedup_from_results,
+)
+from repro.runner.config import ExperimentConfig
+from repro.runner.experiment import ExperimentResult, run_experiment
+from repro.runner.reporting import format_table, quality_over_time_table, summary_table
+from repro.runner.systems import SYSTEM_NAMES, make_ps_factory
+from repro.runner.workloads import NUPS_BENCH_OVERRIDES, TASK_FACTORIES, make_task
+from repro.simulation.cluster import ClusterConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NuPS reproduction: run simulated parameter-server experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_experiment_arguments(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument("--task", choices=sorted(TASK_FACTORIES), default="kge",
+                               help="workload to train (default: kge)")
+        subparser.add_argument("--scale", choices=["test", "bench"], default="test",
+                               help="workload size preset (default: test)")
+        subparser.add_argument("--nodes", type=int, default=8,
+                               help="number of simulated nodes (default: 8)")
+        subparser.add_argument("--workers", type=int, default=8,
+                               help="worker threads per node (default: 8)")
+        subparser.add_argument("--epochs", type=int, default=2,
+                               help="training epochs (default: 2)")
+        subparser.add_argument("--seed", type=int, default=0)
+
+    run_parser = subparsers.add_parser("run", help="train one task on one system")
+    add_experiment_arguments(run_parser)
+    run_parser.add_argument("--system", choices=SYSTEM_NAMES, default="nups")
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="train one task on several systems and compare"
+    )
+    add_experiment_arguments(compare_parser)
+    compare_parser.add_argument(
+        "--systems", nargs="+", choices=SYSTEM_NAMES,
+        default=["single-node", "classic", "lapse", "nups"],
+    )
+
+    skew_parser = subparsers.add_parser(
+        "skew", help="print the access-skew profile of a workload (Figure 3)"
+    )
+    skew_parser.add_argument("--task", choices=sorted(TASK_FACTORIES), default="kge")
+    skew_parser.add_argument("--scale", choices=["test", "bench"], default="test")
+
+    subparsers.add_parser("systems", help="list available parameter-server systems")
+    subparsers.add_parser("tasks", help="list available workloads")
+    return parser
+
+
+def _run_one(task_name: str, scale: str, system: str, nodes: int, workers: int,
+             epochs: int, seed: int) -> ExperimentResult:
+    task = make_task(task_name, scale=scale)
+    num_nodes = 1 if system == "single-node" else nodes
+    overrides = dict(NUPS_BENCH_OVERRIDES) if system.startswith(("nups", "relocation")) else {}
+    config = ExperimentConfig(
+        cluster=ClusterConfig(num_nodes=num_nodes, workers_per_node=workers),
+        epochs=epochs, chunk_size=8, seed=seed,
+    )
+    return run_experiment(task, make_ps_factory(system, **overrides), config,
+                          system_name=system)
+
+
+def command_run(args: argparse.Namespace) -> int:
+    result = _run_one(args.task, args.scale, args.system, args.nodes,
+                      args.workers, args.epochs, args.seed)
+    print(quality_over_time_table([result]))
+    print()
+    print(summary_table([result]))
+    return 0
+
+
+def command_compare(args: argparse.Namespace) -> int:
+    results: List[ExperimentResult] = []
+    for system in args.systems:
+        print(f"running {args.task} on {system} ...", file=sys.stderr)
+        results.append(_run_one(args.task, args.scale, system, args.nodes,
+                                args.workers, args.epochs, args.seed))
+    print(summary_table(results))
+    if any(r.system == "single-node" for r in results) and len(results) > 1:
+        print()
+        rows = []
+        raw = raw_speedup_from_results(results)
+        effective = effective_speedup_from_results(results)
+        for system in raw:
+            rows.append([system, raw[system], effective.get(system)])
+        print(format_table(["system", "raw speedup", "effective speedup"], rows))
+    return 0
+
+
+def command_skew(args: argparse.Namespace) -> int:
+    task = make_task(args.task, scale=args.scale)
+    report = skew_report(task)
+    rows = [[key, value] for key, value in report.items()]
+    print(format_table(["statistic", "value"], rows))
+    return 0
+
+
+def command_systems(_: argparse.Namespace) -> int:
+    for name in SYSTEM_NAMES:
+        print(name)
+    return 0
+
+
+def command_tasks(_: argparse.Namespace) -> int:
+    for name in sorted(TASK_FACTORIES):
+        print(name)
+    return 0
+
+
+COMMANDS = {
+    "run": command_run,
+    "compare": command_compare,
+    "skew": command_skew,
+    "systems": command_systems,
+    "tasks": command_tasks,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,155 @@
+"""Multi-technique parameter management: choosing a technique per key.
+
+NuPS integrates two management techniques (Section 3.2): eager replication
+for hot-spot parameters and relocation for the long tail. The *management
+plan* records which technique manages which key. The paper's untuned
+configuration derives the plan from dataset frequency statistics with a
+simple heuristic: replicate a key if its access frequency exceeds 100 times
+the mean access frequency (Section 5.1); the tuned configurations replicate a
+fixed number of the most frequently accessed keys instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+
+#: Default hot-spot threshold: replicate keys accessed more than this factor
+#: times the mean access frequency (Section 5.1, untuned configuration).
+DEFAULT_HOT_SPOT_FACTOR = 100.0
+
+
+class ManagementTechnique(enum.Enum):
+    """The technique managing a parameter key in NuPS."""
+
+    REPLICATE = "replicate"
+    RELOCATE = "relocate"
+
+
+class ManagementPlan:
+    """Per-key assignment of management techniques.
+
+    The plan is immutable after construction: the paper fixes the technique
+    per key before training starts (fine-grained dynamic switching is listed
+    as future work).
+    """
+
+    def __init__(self, num_keys: int, replicated_keys: Sequence[int] | np.ndarray) -> None:
+        if num_keys <= 0:
+            raise ValueError("num_keys must be positive")
+        self.num_keys = int(num_keys)
+        replicated = np.unique(np.asarray(replicated_keys, dtype=np.int64))
+        if len(replicated) and (replicated.min() < 0 or replicated.max() >= num_keys):
+            raise KeyError(
+                f"replicated keys out of range [0, {num_keys}): "
+                f"min={replicated.min()}, max={replicated.max()}"
+            )
+        self.replicated_keys = replicated
+        self._replicated_mask = np.zeros(num_keys, dtype=bool)
+        self._replicated_mask[replicated] = True
+
+    # --------------------------------------------------------------- factories
+    @classmethod
+    def relocate_all(cls, num_keys: int) -> "ManagementPlan":
+        """A plan that relocates every key (single-technique, Lapse-like)."""
+        return cls(num_keys, np.empty(0, dtype=np.int64))
+
+    @classmethod
+    def replicate_all(cls, num_keys: int) -> "ManagementPlan":
+        """A plan that replicates every key (single-technique, ESSP-like)."""
+        return cls(num_keys, np.arange(num_keys, dtype=np.int64))
+
+    @classmethod
+    def from_access_counts(
+        cls,
+        access_counts: Sequence[float] | np.ndarray,
+        hot_spot_factor: float = DEFAULT_HOT_SPOT_FACTOR,
+    ) -> "ManagementPlan":
+        """The untuned heuristic: replicate keys above ``factor`` × mean count.
+
+        ``access_counts`` are per-key access frequencies computed from dataset
+        statistics (e.g. entity/word frequencies), not from a profiling run.
+        """
+        counts = np.asarray(access_counts, dtype=np.float64)
+        if counts.ndim != 1:
+            raise ValueError("access_counts must be one-dimensional")
+        if np.any(counts < 0):
+            raise ValueError("access_counts must be non-negative")
+        if hot_spot_factor <= 0:
+            raise ValueError("hot_spot_factor must be positive")
+        mean = counts.mean() if len(counts) else 0.0
+        threshold = hot_spot_factor * mean
+        hot = np.flatnonzero(counts > threshold)
+        return cls(len(counts), hot)
+
+    @classmethod
+    def top_k_by_count(
+        cls, access_counts: Sequence[float] | np.ndarray, k: int
+    ) -> "ManagementPlan":
+        """Replicate the ``k`` most frequently accessed keys (tuned configs).
+
+        Used by Section 5.6's sweep: the untuned key count is scaled by
+        factors 1/64 … 256 and the top-k keys by access count are replicated.
+        """
+        counts = np.asarray(access_counts, dtype=np.float64)
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        k = min(int(k), len(counts))
+        if k == 0:
+            return cls.relocate_all(len(counts))
+        hot = np.argsort(counts)[::-1][:k]
+        return cls(len(counts), hot)
+
+    # ------------------------------------------------------------------ queries
+    def technique(self, key: int) -> ManagementTechnique:
+        """Technique managing ``key``."""
+        if not 0 <= key < self.num_keys:
+            raise KeyError(f"key {key} out of range [0, {self.num_keys})")
+        if self._replicated_mask[key]:
+            return ManagementTechnique.REPLICATE
+        return ManagementTechnique.RELOCATE
+
+    def is_replicated(self, key: int) -> bool:
+        if not 0 <= key < self.num_keys:
+            raise KeyError(f"key {key} out of range [0, {self.num_keys})")
+        return bool(self._replicated_mask[key])
+
+    def replicated_mask(self, keys: np.ndarray | None = None) -> np.ndarray:
+        """Boolean mask of replication for ``keys`` (or for all keys)."""
+        if keys is None:
+            return self._replicated_mask.copy()
+        keys = np.asarray(keys, dtype=np.int64)
+        return self._replicated_mask[keys]
+
+    @property
+    def num_replicated(self) -> int:
+        return int(len(self.replicated_keys))
+
+    @property
+    def num_relocated(self) -> int:
+        return self.num_keys - self.num_replicated
+
+    @property
+    def replicated_share(self) -> float:
+        """Fraction of keys managed by replication (Table 3, left columns)."""
+        return self.num_replicated / self.num_keys
+
+    def replicated_value_bytes(self, value_length: int) -> int:
+        """Size in bytes of one full copy of the replicated values (Table 3)."""
+        return self.num_replicated * value_length * 4
+
+    def describe(self) -> dict:
+        return {
+            "num_keys": self.num_keys,
+            "num_replicated": self.num_replicated,
+            "replicated_share": self.replicated_share,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ManagementPlan(num_keys={self.num_keys}, "
+            f"replicated={self.num_replicated})"
+        )

@@ -1,0 +1,266 @@
+"""NuPS: the non-uniform parameter server (the paper's contribution).
+
+NuPS combines two ideas on top of the PS substrate in :mod:`repro.ps`:
+
+1. **Multi-technique parameter management** (Section 3.2). A
+   :class:`~repro.core.management.ManagementPlan` assigns every key either to
+   eager replication (hot spots) or to relocation (long tail). Replicated
+   keys are always accessed through the node's replica (shared memory);
+   relocated keys follow the Lapse protocol inherited from
+   :class:`~repro.ps.relocation.RelocationPS`. The choice is transparent to
+   the application: the same ``pull``/``push`` calls work for every key.
+
+2. **Integrated sampling** (Section 4). NuPS implements the proposed sampling
+   API (``register_distribution`` / ``prepare_sample`` / ``pull_sample``) via
+   a :class:`~repro.core.sampling.manager.SamplingManager` that picks a
+   sampling scheme per registered distribution according to the requested
+   conformity level.
+
+Replica staleness is time-based: a background thread synchronizes replicas
+every ``sync_interval`` simulated seconds (default 40 ms) with a sparse
+all-reduce. ``advance_clock`` is therefore a no-op — applications do not need
+clock operations with NuPS.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.management import DEFAULT_HOT_SPOT_FACTOR, ManagementPlan
+from repro.core.replica_manager import DEFAULT_SYNC_INTERVAL, ReplicaManager
+from repro.core.sampling.conformity import ConformityLevel
+from repro.core.sampling.distributions import SamplingDistribution
+from repro.core.sampling.manager import SamplingConfig, SamplingManager
+from repro.core.sampling.schemes import SamplingHost
+from repro.ps.base import PullResult, SampleHandle
+from repro.ps.partition import Partitioner
+from repro.ps.relocation import RelocationPS
+from repro.ps.storage import ParameterStore
+from repro.simulation.cluster import Cluster, WorkerContext
+
+
+class NuPS(RelocationPS, SamplingHost):
+    """Non-uniform parameter server: replication + relocation + sampling."""
+
+    name = "nups"
+
+    def __init__(
+        self,
+        store: ParameterStore,
+        cluster: Cluster,
+        plan: Optional[ManagementPlan] = None,
+        sampling_config: Optional[SamplingConfig] = None,
+        sync_interval: Optional[float] = DEFAULT_SYNC_INTERVAL,
+        integrate_sampling: bool = True,
+        partitioner: Optional[Partitioner] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(store, cluster, partitioner, relocation_enabled=True, seed=seed)
+        self.plan = plan or ManagementPlan.relocate_all(store.num_keys)
+        self.replica_manager = ReplicaManager(
+            store, cluster, self.plan, sync_interval=sync_interval
+        )
+        #: When False, the sampling API falls back to the application-side
+        #: behaviour of existing PSs (independent samples via direct access).
+        #: Used by the ablation study (Section 5.3, "Relocation + Replication").
+        self.integrate_sampling = bool(integrate_sampling)
+        self.sampling_manager = SamplingManager(self, sampling_config)
+        self._node_rngs: Dict[int, np.random.Generator] = {
+            node_id: np.random.default_rng(seed * 7919 + node_id + 1)
+            for node_id in range(cluster.num_nodes)
+        }
+        self._recent_direct: Dict[int, Deque[int]] = {
+            node_id: deque(maxlen=self.sampling_manager.config.scheme_config.repurpose_buffer_size)
+            for node_id in range(cluster.num_nodes)
+        }
+
+    # ----------------------------------------------------------------- factory
+    @classmethod
+    def from_access_counts(
+        cls,
+        store: ParameterStore,
+        cluster: Cluster,
+        access_counts: Sequence[float] | np.ndarray,
+        hot_spot_factor: float = DEFAULT_HOT_SPOT_FACTOR,
+        **kwargs,
+    ) -> "NuPS":
+        """Build NuPS with the untuned hot-spot heuristic (Section 5.1)."""
+        plan = ManagementPlan.from_access_counts(access_counts, hot_spot_factor)
+        return cls(store, cluster, plan=plan, **kwargs)
+
+    # -------------------------------------------------------------- direct API
+    def localize(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray) -> None:
+        """Relocate the non-replicated subset of ``keys`` to the worker's node."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if len(keys) == 0:
+            return
+        relocated = keys[~self.plan.replicated_mask(keys)]
+        super().localize(worker, relocated)
+
+    def pull(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray) -> np.ndarray:
+        return self._pull(worker, np.asarray(keys, dtype=np.int64), sampling=False)
+
+    def push(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray,
+             deltas: np.ndarray) -> None:
+        keys, deltas = self._validate_push(keys, deltas)
+        self._push(worker, keys, deltas, sampling=False)
+
+    def housekeeping(self, now: float) -> None:
+        """Run due replica synchronizations and sampling-scheme maintenance."""
+        self.replica_manager.maybe_sync(now)
+        if self.integrate_sampling:
+            for node_id in range(self.cluster.num_nodes):
+                self.sampling_manager.housekeeping(node_id, now)
+
+    def finish_epoch(self) -> None:
+        """Synchronize replicas so that all nodes agree at the epoch boundary."""
+        self.replica_manager.force_sync(self.cluster.time)
+
+    # ------------------------------------------------------------- sampling API
+    def register_distribution(self, distribution: SamplingDistribution,
+                              level: ConformityLevel | str = ConformityLevel.CONFORM) -> int:
+        if not self.integrate_sampling:
+            return super().register_distribution(distribution, level)
+        return self.sampling_manager.register(distribution, level)
+
+    def prepare_sample(self, worker: WorkerContext, distribution_id: int,
+                       count: int) -> SampleHandle:
+        if not self.integrate_sampling:
+            return super().prepare_sample(worker, distribution_id, count)
+        return self.sampling_manager.prepare_sample(worker, distribution_id, count)
+
+    def pull_sample(self, worker: WorkerContext, handle: SampleHandle,
+                    count: Optional[int] = None) -> PullResult:
+        if not self.integrate_sampling:
+            return super().pull_sample(worker, handle, count)
+        return self.sampling_manager.pull_sample(worker, handle, count)
+
+    def push_sample(self, worker: WorkerContext, keys: np.ndarray,
+                    deltas: np.ndarray) -> None:
+        keys, deltas = self._validate_push(keys, deltas)
+        self._push(worker, keys, deltas, sampling=True)
+
+    # ---------------------------------------------------------- SamplingHost API
+    def localize_async(self, node_id: int, keys: np.ndarray) -> None:
+        """Relocate ``keys`` to ``node_id`` using the node's background thread."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if len(keys) == 0:
+            return
+        keys = keys[~self.plan.replicated_mask(keys)]
+        if len(keys) == 0:
+            return
+        background = self.cluster.node(node_id).background_clock
+        value_bytes = self.store.value_bytes()
+        relocation_latency = self.network.relocation_cost(value_bytes)
+        occupancy = self.network.relocation_occupancy(value_bytes)
+        for key in keys:
+            key = int(key)
+            if self.current_owner[key] == node_id:
+                continue
+            start = background.now
+            background.advance(occupancy)
+            arrival = max(start + relocation_latency, background.now)
+            self.current_owner[key] = node_id
+            self.arrival_time[key] = arrival
+            self.metrics.increment("relocation.count", 1, node=node_id)
+            self.metrics.increment("relocation.sampling", 1, node=node_id)
+            self.metrics.increment("network.messages", 3, node=node_id)
+            self.metrics.increment(
+                "network.bytes", value_bytes, node=node_id
+            )
+
+    def key_is_local(self, node_id: int, key: int) -> bool:
+        key = int(key)
+        if self.plan.is_replicated(key):
+            return True
+        return bool(self.current_owner[key] == node_id)
+
+    def pull_keys(self, worker: WorkerContext, keys: np.ndarray,
+                  sampling: bool = True) -> np.ndarray:
+        return self._pull(worker, np.asarray(keys, dtype=np.int64), sampling=sampling)
+
+    def local_support_keys(self, node_id: int,
+                           distribution: SamplingDistribution) -> np.ndarray:
+        low = distribution.key_offset
+        high = distribution.key_offset + distribution.support_size
+        local_mask = (
+            self.plan.replicated_mask()[low:high]
+            | (self.current_owner[low:high] == node_id)
+        )
+        return np.flatnonzero(local_mask).astype(np.int64) + low
+
+    def recent_direct_access_keys(self, node_id: int) -> np.ndarray:
+        return np.asarray(self._recent_direct[node_id], dtype=np.int64)
+
+    def sampling_rng(self, node_id: int) -> np.random.Generator:
+        return self._node_rngs[node_id]
+
+    @property
+    def value_length(self) -> int:
+        return self.store.value_length
+
+    # ------------------------------------------------------------------ internals
+    def _pull(self, worker: WorkerContext, keys: np.ndarray, sampling: bool) -> np.ndarray:
+        values = np.empty((len(keys), self.store.value_length), dtype=np.float32)
+        if len(keys) == 0:
+            return values
+        replicated_mask = self.plan.replicated_mask(keys)
+        kind = "sample" if sampling else "pull"
+
+        replicated_idx = np.flatnonzero(replicated_mask)
+        if len(replicated_idx):
+            rep_keys = keys[replicated_idx]
+            values[replicated_idx] = self.replica_manager.pull(worker.node_id, rep_keys)
+            self._charge_local(worker, len(rep_keys), f"{kind}.replica")
+
+        relocated_idx = np.flatnonzero(~replicated_mask)
+        if len(relocated_idx):
+            rel_keys = keys[relocated_idx]
+            self._charge_access(worker, rel_keys, kind)
+            values[relocated_idx] = self.store.get(rel_keys)
+            if not sampling:
+                self._recent_direct[worker.node_id].extend(int(k) for k in rel_keys)
+        return values
+
+    def _push(self, worker: WorkerContext, keys: np.ndarray, deltas: np.ndarray,
+              sampling: bool) -> None:
+        if len(keys) == 0:
+            return
+        replicated_mask = self.plan.replicated_mask(keys)
+        kind = "sample_push" if sampling else "push"
+
+        replicated_idx = np.flatnonzero(replicated_mask)
+        if len(replicated_idx):
+            rep_keys = keys[replicated_idx]
+            self.replica_manager.push(worker.node_id, rep_keys, deltas[replicated_idx])
+            self._charge_local(worker, len(rep_keys), f"{kind}.replica")
+
+        relocated_idx = np.flatnonzero(~replicated_mask)
+        if len(relocated_idx):
+            rel_keys = keys[relocated_idx]
+            self._charge_access(worker, rel_keys, kind)
+            self.store.add(rel_keys, deltas[relocated_idx])
+
+    # ------------------------------------------------------------------ reports
+    def replica_access_share(self) -> float:
+        """Share of all accesses that went to replicas (Table 3, right columns)."""
+        replica = (
+            self.metrics.total_matching("access.pull.replica")
+            + self.metrics.total_matching("access.push.replica")
+            + self.metrics.total_matching("access.sample.replica")
+            + self.metrics.total_matching("access.sample_push.replica")
+        )
+        total = self.metrics.get("access.total")
+        if total == 0:
+            return 0.0
+        return replica / total
+
+    def describe(self) -> dict:
+        description = super().describe()
+        description.update(self.plan.describe())
+        description["sync_interval"] = self.replica_manager.sync_interval
+        description["integrate_sampling"] = self.integrate_sampling
+        return description

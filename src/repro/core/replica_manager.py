@@ -1,0 +1,227 @@
+"""Eager replication with time-based staleness bounds (Section 3.2).
+
+NuPS replicates hot-spot keys on every node. Reads and writes to replicated
+keys go to the node's replica through shared memory; writes additionally
+accumulate in a per-node update buffer. A background thread synchronizes the
+replicas periodically — the paper's default is every 40 ms, i.e. 25
+synchronizations per second — using a sparse all-reduce (only updated keys
+are exchanged, recursive-doubling communication pattern).
+
+If the update payload grows so large that one synchronization takes longer
+than the target interval, the achieved synchronization frequency drops below
+the target (the background thread cannot keep up). This is exactly the effect
+reported in Figures 11 and 12: too much replication makes replicas stale and
+deteriorates model quality. The :class:`ReplicaManager` tracks the achieved
+frequency so benchmarks can report it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.management import ManagementPlan
+from repro.simulation.cluster import Cluster
+from repro.simulation.events import PeriodicSchedule
+from repro.ps.storage import ParameterStore
+
+
+#: Default replica staleness bound: synchronize every 40 ms (25 syncs/second).
+DEFAULT_SYNC_INTERVAL = 0.040
+
+
+class ReplicaManager:
+    """Per-node replicas of the hot-spot keys, synchronized periodically."""
+
+    def __init__(
+        self,
+        store: ParameterStore,
+        cluster: Cluster,
+        plan: ManagementPlan,
+        sync_interval: Optional[float] = DEFAULT_SYNC_INTERVAL,
+    ) -> None:
+        if plan.num_keys != store.num_keys:
+            raise ValueError(
+                "management plan covers a different key space than the store"
+            )
+        self.store = store
+        self.cluster = cluster
+        self.plan = plan
+        self.metrics = cluster.metrics
+        self.network = cluster.network
+
+        self.replicated_keys = plan.replicated_keys
+        self.num_replicated = len(self.replicated_keys)
+        # Map absolute key -> slot in the dense replica arrays (-1 if not replicated).
+        self._slot_of_key = np.full(store.num_keys, -1, dtype=np.int64)
+        self._slot_of_key[self.replicated_keys] = np.arange(self.num_replicated)
+
+        # Per-node replica values and not-yet-synchronized update buffers.
+        initial = store.get(self.replicated_keys) if self.num_replicated else \
+            np.empty((0, store.value_length), dtype=np.float32)
+        self._replicas: Dict[int, np.ndarray] = {
+            node_id: initial.copy() for node_id in range(cluster.num_nodes)
+        }
+        self._buffers: Dict[int, np.ndarray] = {
+            node_id: np.zeros_like(initial) for node_id in range(cluster.num_nodes)
+        }
+        self._dirty: Dict[int, np.ndarray] = {
+            node_id: np.zeros(self.num_replicated, dtype=bool)
+            for node_id in range(cluster.num_nodes)
+        }
+
+        if sync_interval is None or self.num_replicated == 0:
+            # No replication (or synchronization disabled): the background
+            # thread exits immediately, sending no messages (Section 3.2).
+            self.schedule = PeriodicSchedule.disabled()
+        else:
+            if sync_interval <= 0:
+                raise ValueError("sync_interval must be positive (or None to disable)")
+            self.schedule = PeriodicSchedule(sync_interval)
+        self.sync_interval = sync_interval
+        self.syncs_performed = 0
+        self.total_sync_payload_bytes = 0
+
+    # ------------------------------------------------------------------ access
+    @property
+    def enabled(self) -> bool:
+        """Whether any key is managed by replication."""
+        return self.num_replicated > 0
+
+    def slot(self, key: int) -> int:
+        """Replica slot of ``key`` or -1 if the key is not replicated."""
+        return int(self._slot_of_key[int(key)])
+
+    def slots(self, keys: np.ndarray) -> np.ndarray:
+        return self._slot_of_key[np.asarray(keys, dtype=np.int64)]
+
+    def pull(self, node_id: int, keys: np.ndarray) -> np.ndarray:
+        """Read replicated ``keys`` from the node's replica (shared memory)."""
+        slots = self.slots(keys)
+        if np.any(slots < 0):
+            raise KeyError("pull contains keys that are not managed by replication")
+        return self._replicas[node_id][slots].copy()
+
+    def push(self, node_id: int, keys: np.ndarray, deltas: np.ndarray) -> None:
+        """Apply ``deltas`` to the node's replica and buffer them for sync."""
+        slots = self.slots(keys)
+        if np.any(slots < 0):
+            raise KeyError("push contains keys that are not managed by replication")
+        deltas = np.asarray(deltas, dtype=np.float32)
+        np.add.at(self._replicas[node_id], slots, deltas)
+        np.add.at(self._buffers[node_id], slots, deltas)
+        self._dirty[node_id][slots] = True
+
+    # ------------------------------------------------------------------- sync
+    def maybe_sync(self, now: float) -> int:
+        """Run all synchronization rounds that are due at simulated time ``now``.
+
+        Returns the number of rounds performed. Each round costs one sparse
+        all-reduce of the union of all nodes' dirty keys and is charged to
+        every node's background clock, so heavy synchronization shows up in
+        epoch run time (and competes with relocation for the same background
+        threads, as in the paper's Section 5.6 analysis).
+        """
+        if not self.enabled or not self.schedule.enabled:
+            return 0
+        performed = 0
+        # Re-check after every round: each round pushes the schedule's
+        # busy-until forward, so a background thread that cannot keep up with
+        # the target frequency fires fewer rounds (it never "catches up" by
+        # firing a burst of overdue rounds at once).
+        while self.schedule.due_count(now) > 0:
+            self._sync_once(now)
+            performed += 1
+        return performed
+
+    def force_sync(self, now: float = 0.0) -> None:
+        """Synchronize immediately (used at epoch boundaries and in tests)."""
+        if self.enabled:
+            self._sync_once(now)
+
+    def _sync_once(self, now: float) -> None:
+        # Union of dirty slots across nodes: only updated parameters are
+        # exchanged (sparse all-reduce, Section 3.2).
+        dirty_union = np.zeros(self.num_replicated, dtype=bool)
+        for node_id in range(self.cluster.num_nodes):
+            dirty_union |= self._dirty[node_id]
+        dirty_slots = np.flatnonzero(dirty_union)
+
+        if len(dirty_slots):
+            dirty_keys = self.replicated_keys[dirty_slots]
+            # Apply every node's buffered updates to the global store.
+            for node_id in range(self.cluster.num_nodes):
+                buffer = self._buffers[node_id]
+                node_dirty = np.flatnonzero(self._dirty[node_id])
+                if len(node_dirty):
+                    self.store.add(
+                        self.replicated_keys[node_dirty], buffer[node_dirty]
+                    )
+                buffer[dirty_slots] = 0.0
+                self._dirty[node_id][:] = False
+            # Refresh all replicas with the now-current global values.
+            fresh = self.store.get(dirty_keys)
+            for node_id in range(self.cluster.num_nodes):
+                self._replicas[node_id][dirty_slots] = fresh
+
+        # Charge the communication cost: each node participates in a
+        # recursive-doubling all-reduce whose payload is the dirty keys. The
+        # end-to-end *duration* (including wire latency) determines whether
+        # the background thread can sustain the target frequency; the
+        # *occupancy* charged to each node's background thread is only the
+        # per-message handling plus the payload transfer.
+        payload = len(dirty_slots) * self.store.value_bytes()
+        duration = self.network.allreduce_cost(payload, self.cluster.num_nodes)
+        rounds = (self.cluster.num_nodes - 1).bit_length() if self.cluster.num_nodes > 1 else 0
+        occupancy = rounds * (
+            self.network.message_handling_cost + self.network.transfer_cost(payload)
+        )
+        for node_id in range(self.cluster.num_nodes):
+            background = self.cluster.node(node_id).background_clock
+            start = max(now, background.now)
+            background.advance_to(start + occupancy)
+        self.schedule.fire(now, duration)
+        self.syncs_performed += 1
+        self.total_sync_payload_bytes += payload
+        self.metrics.increment("replica.syncs", 1)
+        self.metrics.increment("replica.sync_bytes", payload)
+        if self.cluster.num_nodes > 1:
+            rounds = (self.cluster.num_nodes - 1).bit_length()
+            self.metrics.increment(
+                "network.messages", rounds * self.cluster.num_nodes
+            )
+            self.metrics.increment(
+                "network.bytes", payload * self.cluster.num_nodes
+            )
+
+    # -------------------------------------------------------------- inspection
+    def achieved_sync_frequency(self, elapsed: float) -> float:
+        """Synchronizations per simulated second over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return self.syncs_performed / elapsed
+
+    def target_sync_frequency(self) -> float:
+        """The configured target synchronizations per second (0 if disabled)."""
+        if self.sync_interval is None or not self.enabled:
+            return 0.0
+        return 1.0 / self.sync_interval
+
+    def replica_values(self, node_id: int) -> np.ndarray:
+        """The node's current replica matrix (num_replicated x value_length)."""
+        return self._replicas[node_id]
+
+    def max_replica_divergence(self) -> float:
+        """Maximum absolute difference between any replica and the store.
+
+        Useful for tests: after a forced sync with no pending updates, the
+        divergence must be zero.
+        """
+        if not self.enabled:
+            return 0.0
+        reference = self.store.get(self.replicated_keys)
+        worst = 0.0
+        for replica in self._replicas.values():
+            worst = max(worst, float(np.abs(replica - reference).max(initial=0.0)))
+        return worst

@@ -1,0 +1,75 @@
+"""Walker's alias method for O(1) discrete sampling.
+
+Negative-sampling distributions can have millions of categories (one per
+entity or vocabulary word). The alias method pre-computes two tables in
+O(num_categories) and then draws each sample with one uniform variate and one
+comparison, which keeps the simulated workloads fast regardless of the key
+space size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AliasSampler:
+    """Draws integer categories from an arbitrary discrete distribution."""
+
+    def __init__(self, probabilities: np.ndarray) -> None:
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        if probabilities.ndim != 1:
+            raise ValueError("probabilities must be one-dimensional")
+        if len(probabilities) == 0:
+            raise ValueError("probabilities must not be empty")
+        if np.any(probabilities < 0):
+            raise ValueError("probabilities must be non-negative")
+        total = probabilities.sum()
+        if not np.isfinite(total) or total <= 0:
+            raise ValueError("probabilities must sum to a positive finite value")
+        self.probabilities = probabilities / total
+        self.num_categories = len(probabilities)
+        self._prob_table, self._alias_table = self._build(self.probabilities)
+
+    @staticmethod
+    def _build(probabilities: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        n = len(probabilities)
+        scaled = probabilities * n
+        prob_table = np.zeros(n, dtype=np.float64)
+        alias_table = np.zeros(n, dtype=np.int64)
+
+        small = [i for i, p in enumerate(scaled) if p < 1.0]
+        large = [i for i, p in enumerate(scaled) if p >= 1.0]
+        scaled = scaled.copy()
+
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            prob_table[s] = scaled[s]
+            alias_table[s] = l
+            scaled[l] = scaled[l] - (1.0 - scaled[s])
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+
+        # Remaining entries are 1.0 up to floating-point error.
+        for i in large:
+            prob_table[i] = 1.0
+        for i in small:
+            prob_table[i] = 1.0
+        return prob_table, alias_table
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` iid categories."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if size == 0:
+            return np.empty(0, dtype=np.int64)
+        columns = rng.integers(0, self.num_categories, size=size)
+        uniforms = rng.random(size)
+        use_alias = uniforms >= self._prob_table[columns]
+        result = np.where(use_alias, self._alias_table[columns], columns)
+        return result.astype(np.int64)
+
+    def __len__(self) -> int:
+        return self.num_categories

@@ -1,0 +1,398 @@
+"""Sampling scheme implementations (Sections 4.2 and 4.4).
+
+Each scheme implements the two halves of the sampling API — ``prepare`` and
+``pull`` — against a :class:`SamplingHost` (in practice: NuPS). The host
+provides the operations a scheme needs: asynchronous localization, locality
+checks, direct pulls, and access to the node-local part of the key space.
+
+Implemented schemes and the conformity level they provide (Table 1 / Fig. 5):
+
+========================  =============  =========================================
+Scheme                    Level          Idea
+========================  =============  =========================================
+IndependentSampling       CONFORM        iid samples, localize in ``prepare``
+PoolSampleReuse           BOUNDED        reuse pools of iid samples U times
+PostponingSampleReuse     LONG_TERM      like reuse, but postpone non-local samples
+LocalSampling             NON_CONFORM    sample from the locally available part of π
+DirectAccessRepurposing   NON_CONFORM    reuse recent direct-access keys as samples
+========================  =============  =========================================
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.sampling.alias import AliasSampler
+from repro.core.sampling.conformity import ConformityLevel
+from repro.core.sampling.distributions import SamplingDistribution
+from repro.ps.base import PullResult, SampleHandle
+from repro.simulation.cluster import WorkerContext
+
+
+class SamplingHost(ABC):
+    """The operations a sampling scheme needs from the parameter server."""
+
+    @abstractmethod
+    def localize_async(self, node_id: int, keys: np.ndarray) -> None:
+        """Start relocating ``keys`` to ``node_id`` in the background."""
+
+    @abstractmethod
+    def key_is_local(self, node_id: int, key: int) -> bool:
+        """Whether ``key`` can currently be accessed at ``node_id`` locally."""
+
+    @abstractmethod
+    def pull_keys(self, worker: WorkerContext, keys: np.ndarray,
+                  sampling: bool = True) -> np.ndarray:
+        """Pull values for ``keys``, charging costs to ``worker``."""
+
+    @abstractmethod
+    def local_support_keys(self, node_id: int,
+                           distribution: SamplingDistribution) -> np.ndarray:
+        """Keys in the distribution's support currently local to ``node_id``."""
+
+    @abstractmethod
+    def recent_direct_access_keys(self, node_id: int) -> np.ndarray:
+        """Recently direct-accessed keys at ``node_id`` (for repurposing)."""
+
+    @abstractmethod
+    def sampling_rng(self, node_id: int) -> np.random.Generator:
+        """Per-node random generator for sampling decisions."""
+
+    @property
+    @abstractmethod
+    def value_length(self) -> int:
+        """Length of one parameter value."""
+
+
+@dataclass
+class SchemeConfig:
+    """Tunable knobs shared by the schemes.
+
+    Defaults follow the paper's untuned configuration: pool size 250 and use
+    frequency 16 (Section 5.1).
+    """
+
+    pool_size: int = 250
+    use_frequency: int = 16
+    local_refresh_interval: int = 512
+    repurpose_buffer_size: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        if self.use_frequency <= 0:
+            raise ValueError("use_frequency must be positive")
+        if self.local_refresh_interval <= 0:
+            raise ValueError("local_refresh_interval must be positive")
+        if self.repurpose_buffer_size <= 0:
+            raise ValueError("repurpose_buffer_size must be positive")
+
+
+class SamplingScheme(ABC):
+    """Base class: one scheme instance serves one registered distribution."""
+
+    #: Conformity level this scheme provides (overridden by subclasses).
+    level = ConformityLevel.NON_CONFORM
+    #: Short identifier used in configuration and reports.
+    scheme_name = "abstract"
+
+    def __init__(self, host: SamplingHost, distribution: SamplingDistribution,
+                 config: Optional[SchemeConfig] = None) -> None:
+        self.host = host
+        self.distribution = distribution
+        self.config = config or SchemeConfig()
+
+    @abstractmethod
+    def prepare(self, worker: WorkerContext, count: int,
+                distribution_id: int) -> SampleHandle:
+        """Prepare ``count`` samples; returns the handle for later pulls."""
+
+    def pull(self, worker: WorkerContext, handle: SampleHandle,
+             count: int) -> PullResult:
+        """Deliver the next ``count`` samples of ``handle``.
+
+        The default implementation pulls the first ``count`` pending keys via
+        direct access; subclasses override to add postponing or lazy sampling.
+        """
+        keys = np.asarray(handle.pending[:count], dtype=np.int64)
+        del handle.pending[:count]
+        handle.delivered += count
+        values = self.host.pull_keys(worker, keys)
+        return PullResult(keys=keys, values=values)
+
+    def housekeeping(self, node_id: int, now: float) -> None:
+        """Background maintenance hook (pool preparation etc.); default no-op."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(level={self.level})"
+
+
+class IndependentSamplingScheme(SamplingScheme):
+    """CONFORM: iid samples from π, localized ahead of the pull (Fig. 5)."""
+
+    level = ConformityLevel.CONFORM
+    scheme_name = "independent"
+
+    def prepare(self, worker: WorkerContext, count: int,
+                distribution_id: int) -> SampleHandle:
+        rng = self.host.sampling_rng(worker.node_id)
+        keys = self.distribution.sample(rng, count)
+        # Localize asynchronously so the keys are (likely) local by pull time.
+        self.host.localize_async(worker.node_id, keys)
+        return SampleHandle(distribution_id, keys)
+
+
+class _NodePoolState:
+    """Prepared-sample stream of one node for the pool-reuse schemes."""
+
+    def __init__(self) -> None:
+        self.prepared: Deque[int] = deque()
+        self.pools_prepared = 0
+        self.samples_consumed = 0
+
+    def __len__(self) -> int:
+        return len(self.prepared)
+
+
+class PoolSampleReuseScheme(SamplingScheme):
+    """BOUNDED: reuse pools of ``pool_size`` iid samples ``use_frequency`` times.
+
+    A pool of ``G`` keys is drawn iid from π and localized; the prepared
+    sample stream then contains ``U`` random-order traversals of the pool,
+    which bounds inter-sample dependency by ``U * G`` while keeping
+    first-order inclusion probabilities equal to π (Section 4.4).
+    """
+
+    level = ConformityLevel.BOUNDED
+    scheme_name = "sample_reuse"
+
+    def __init__(self, host: SamplingHost, distribution: SamplingDistribution,
+                 config: Optional[SchemeConfig] = None) -> None:
+        super().__init__(host, distribution, config)
+        self._node_state: Dict[int, _NodePoolState] = {}
+
+    # ------------------------------------------------------------------- API
+    def prepare(self, worker: WorkerContext, count: int,
+                distribution_id: int) -> SampleHandle:
+        state = self._state(worker.node_id)
+        self._ensure_prepared(worker.node_id, state, count)
+        keys = [state.prepared.popleft() for _ in range(count)]
+        state.samples_consumed += count
+        keys = np.asarray(keys, dtype=np.int64)
+        # Re-localize keys that have been relocated away since pool preparation.
+        moved = np.asarray(
+            [k for k in keys if not self.host.key_is_local(worker.node_id, int(k))],
+            dtype=np.int64,
+        )
+        if len(moved):
+            self.host.localize_async(worker.node_id, moved)
+        return SampleHandle(distribution_id, keys)
+
+    def housekeeping(self, node_id: int, now: float) -> None:
+        state = self._state(node_id)
+        self._ensure_prepared(node_id, state, 0)
+
+    # --------------------------------------------------------------- internals
+    def _state(self, node_id: int) -> _NodePoolState:
+        if node_id not in self._node_state:
+            self._node_state[node_id] = _NodePoolState()
+        return self._node_state[node_id]
+
+    def _ensure_prepared(self, node_id: int, state: _NodePoolState,
+                         needed_now: int) -> None:
+        """Keep the prepared stream at least one pool ahead of consumption.
+
+        Mirrors the paper's background heuristic ("prepare another pool when
+        the number of prepared, but unused samples falls below a threshold").
+        The threshold is one pool's worth of samples plus whatever the current
+        request needs immediately.
+        """
+        pool_samples = self.config.pool_size * self.config.use_frequency
+        threshold = pool_samples + needed_now
+        while len(state.prepared) < threshold:
+            self._prepare_pool(node_id, state)
+
+    def _prepare_pool(self, node_id: int, state: _NodePoolState) -> None:
+        rng = self.host.sampling_rng(node_id)
+        pool = self.distribution.sample(rng, self.config.pool_size)
+        self.host.localize_async(node_id, pool)
+        for _ in range(self.config.use_frequency):
+            order = rng.permutation(len(pool))
+            state.prepared.extend(int(k) for k in pool[order])
+        state.pools_prepared += 1
+
+
+class PostponingSampleReuseScheme(PoolSampleReuseScheme):
+    """LONG_TERM: pool reuse plus postponing of non-local samples.
+
+    When a sample cannot be accessed locally at pull time, it is moved to the
+    end of the handle, re-localized, and a later (local) sample is used
+    instead. Each sample is postponed at most once; when a postponed sample
+    comes up again it is accessed remotely if still non-local. Postponing only
+    happens within one handle, which keeps the long-term inclusion frequencies
+    equal to π (Section 4.4).
+    """
+
+    level = ConformityLevel.LONG_TERM
+    scheme_name = "sample_reuse_postponing"
+
+    def pull(self, worker: WorkerContext, handle: SampleHandle,
+             count: int) -> PullResult:
+        if not hasattr(handle, "postponed_once"):
+            handle.postponed_once = set()  # type: ignore[attr-defined]
+        postponed_once = handle.postponed_once  # type: ignore[attr-defined]
+
+        selected: List[int] = []
+        while len(selected) < count and handle.pending:
+            key = handle.pending.pop(0)
+            is_local = self.host.key_is_local(worker.node_id, key)
+            if is_local or key in postponed_once:
+                selected.append(key)
+                continue
+            # Postpone: push to the end of this handle's samples, re-localize,
+            # and never postpone the same sample twice.
+            postponed_once.add(key)
+            handle.pending.append(key)
+            self.host.localize_async(
+                worker.node_id, np.asarray([key], dtype=np.int64)
+            )
+        handle.delivered += len(selected)
+        keys = np.asarray(selected, dtype=np.int64)
+        values = self.host.pull_keys(worker, keys)
+        return PullResult(keys=keys, values=values)
+
+
+class _NodeLocalSamplerState:
+    """Cached local-partition sampler of one node for local sampling."""
+
+    def __init__(self) -> None:
+        self.keys: np.ndarray = np.empty(0, dtype=np.int64)
+        self.sampler: Optional[AliasSampler] = None
+        self.samples_since_refresh = 0
+
+
+class LocalSamplingScheme(SamplingScheme):
+    """NON_CONFORM: sample from the locally available part of π (Fig. 5).
+
+    No network communication is required for sampling accesses. The node's
+    local candidate set (relocated keys it currently owns plus replicated
+    keys) is cached and refreshed periodically — the paper's "fast sampling
+    implementation that does not sample independently".
+    """
+
+    level = ConformityLevel.NON_CONFORM
+    scheme_name = "local"
+
+    def __init__(self, host: SamplingHost, distribution: SamplingDistribution,
+                 config: Optional[SchemeConfig] = None) -> None:
+        super().__init__(host, distribution, config)
+        self._node_state: Dict[int, _NodeLocalSamplerState] = {}
+
+    def prepare(self, worker: WorkerContext, count: int,
+                distribution_id: int) -> SampleHandle:
+        # Keys are decided lazily at pull time from whatever is local then.
+        handle = SampleHandle(distribution_id, np.empty(0, dtype=np.int64))
+        handle.total = count
+        handle.pending = [None] * count  # placeholders; resolved in pull()
+        return handle
+
+    def pull(self, worker: WorkerContext, handle: SampleHandle,
+             count: int) -> PullResult:
+        del handle.pending[:count]
+        handle.delivered += count
+        keys = self._sample_local(worker.node_id, count)
+        values = self.host.pull_keys(worker, keys)
+        return PullResult(keys=keys, values=values)
+
+    # --------------------------------------------------------------- internals
+    def _sample_local(self, node_id: int, count: int) -> np.ndarray:
+        state = self._node_state.setdefault(node_id, _NodeLocalSamplerState())
+        refresh_due = (
+            state.sampler is None
+            or state.samples_since_refresh >= self.config.local_refresh_interval
+            # A (nearly) empty local candidate set forces expensive remote
+            # fallbacks; re-check eagerly, because relocation changes the
+            # local partition constantly and new candidates arrive quickly.
+            or len(state.keys) < count
+        )
+        if refresh_due:
+            self._refresh(node_id, state)
+        state.samples_since_refresh += count
+        rng = self.host.sampling_rng(node_id)
+        if state.sampler is None or len(state.keys) == 0:
+            # Nothing local in the support: fall back to iid sampling from π
+            # (these accesses will be remote; an extreme corner case).
+            return self.distribution.sample(rng, count)
+        indices = state.sampler.sample(rng, count)
+        return state.keys[indices]
+
+    def _refresh(self, node_id: int, state: _NodeLocalSamplerState) -> None:
+        keys = self.host.local_support_keys(node_id, self.distribution)
+        state.keys = keys
+        state.samples_since_refresh = 0
+        if len(keys) == 0:
+            state.sampler = None
+            return
+        probabilities = self.distribution.conditional_probabilities(keys)
+        state.sampler = AliasSampler(probabilities)
+
+
+class DirectAccessRepurposingScheme(SamplingScheme):
+    """NON_CONFORM: reuse recent direct-access keys as negative samples.
+
+    The relative frequency of a key in the samples then follows its frequency
+    in the training data rather than π, which is why this scheme provides no
+    conformity guarantee (Section 4.2). It requires no communication at all:
+    the values of direct-access keys are transferred to the node anyway.
+    """
+
+    level = ConformityLevel.NON_CONFORM
+    scheme_name = "direct_access_repurposing"
+
+    def prepare(self, worker: WorkerContext, count: int,
+                distribution_id: int) -> SampleHandle:
+        handle = SampleHandle(distribution_id, np.empty(0, dtype=np.int64))
+        handle.total = count
+        handle.pending = [None] * count
+        return handle
+
+    def pull(self, worker: WorkerContext, handle: SampleHandle,
+             count: int) -> PullResult:
+        del handle.pending[:count]
+        handle.delivered += count
+        rng = self.host.sampling_rng(worker.node_id)
+        recent = self.host.recent_direct_access_keys(worker.node_id)
+        in_support = recent[self.distribution.in_support(recent)] if len(recent) else recent
+        if len(in_support) == 0:
+            # No direct access seen yet at this node: fall back to iid draws.
+            keys = self.distribution.sample(rng, count)
+        else:
+            keys = in_support[rng.integers(0, len(in_support), size=count)]
+        values = self.host.pull_keys(worker, keys)
+        return PullResult(keys=keys, values=values)
+
+
+#: Default scheme class for each requested conformity level (Section 4.4).
+DEFAULT_SCHEME_FOR_LEVEL = {
+    ConformityLevel.CONFORM: IndependentSamplingScheme,
+    ConformityLevel.BOUNDED: PoolSampleReuseScheme,
+    ConformityLevel.LONG_TERM: PostponingSampleReuseScheme,
+    ConformityLevel.NON_CONFORM: LocalSamplingScheme,
+}
+
+#: All scheme classes by name, for explicit configuration.
+SCHEMES_BY_NAME = {
+    cls.scheme_name: cls
+    for cls in (
+        IndependentSamplingScheme,
+        PoolSampleReuseScheme,
+        PostponingSampleReuseScheme,
+        LocalSamplingScheme,
+        DirectAccessRepurposingScheme,
+    )
+}

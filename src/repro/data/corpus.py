@@ -1,0 +1,150 @@
+"""Synthetic text corpus generator (stand-in for the One Billion Word Benchmark).
+
+The generator produces sentences over a vocabulary with two properties:
+
+1. **Zipf word frequencies**, matching the skew shown in Figure 3b: a small
+   set of words accounts for a large share of all tokens.
+2. **Topical structure**: each sentence is generated from one of several
+   latent topics, and every (non-stop) word belongs to one topic. Words of
+   the same topic co-occur, so skip-gram training pulls their vectors
+   together. This structure supports a similarity-probe evaluation that
+   stands in for the paper's analogical-reasoning accuracy (which requires a
+   natural-language corpus we cannot ship).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.data.zipf import zipf_probabilities
+
+
+@dataclass
+class Corpus:
+    """A synthetic corpus: sentences of word ids plus evaluation probes."""
+
+    vocab_size: int
+    sentences: List[np.ndarray]
+    word_frequencies: np.ndarray  # empirical token counts per word
+    word_topics: np.ndarray       # latent topic of each word (for evaluation)
+    similarity_probes: np.ndarray  # (P, 3): anchor, same-topic, other-topic
+
+    @property
+    def num_sentences(self) -> int:
+        return len(self.sentences)
+
+    @property
+    def num_tokens(self) -> int:
+        return int(sum(len(s) for s in self.sentences))
+
+
+def generate_corpus(
+    vocab_size: int = 2000,
+    num_sentences: int = 2000,
+    sentence_length: int = 12,
+    num_topics: int = 10,
+    frequency_exponent: float = 1.1,
+    topic_purity: float = 0.85,
+    num_probes: int = 500,
+    seed: int = 0,
+) -> Corpus:
+    """Generate a Zipf-skewed, topic-structured corpus.
+
+    ``topic_purity`` is the probability that a token is drawn from the
+    sentence's topic vocabulary (the rest is drawn from the global frequency
+    distribution), controlling how much co-occurrence signal there is.
+    """
+    if vocab_size < num_topics * 2:
+        raise ValueError("vocab_size must be at least twice num_topics")
+    if not 0 <= topic_purity <= 1:
+        raise ValueError("topic_purity must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+
+    # Global Zipf frequencies over words; hot words spread over the id space.
+    global_probs = zipf_probabilities(vocab_size, frequency_exponent, shuffle=True, rng=rng)
+    word_topics = rng.integers(0, num_topics, size=vocab_size)
+
+    # Per-topic word distributions: the topic's own words weighted by their
+    # global probability.
+    topic_words: List[np.ndarray] = []
+    topic_word_probs: List[np.ndarray] = []
+    for topic in range(num_topics):
+        members = np.flatnonzero(word_topics == topic)
+        if len(members) == 0:
+            members = rng.integers(0, vocab_size, size=2)
+        probs = global_probs[members]
+        topic_words.append(members)
+        topic_word_probs.append(probs / probs.sum())
+
+    sentences: List[np.ndarray] = []
+    for _ in range(num_sentences):
+        topic = int(rng.integers(0, num_topics))
+        from_topic = rng.random(sentence_length) < topic_purity
+        sentence = np.empty(sentence_length, dtype=np.int64)
+        num_topic_tokens = int(from_topic.sum())
+        if num_topic_tokens:
+            sentence[from_topic] = rng.choice(
+                topic_words[topic], size=num_topic_tokens, p=topic_word_probs[topic]
+            )
+        num_global_tokens = sentence_length - num_topic_tokens
+        if num_global_tokens:
+            sentence[~from_topic] = rng.choice(
+                vocab_size, size=num_global_tokens, p=global_probs
+            )
+        sentences.append(sentence)
+
+    word_frequencies = np.bincount(
+        np.concatenate(sentences), minlength=vocab_size
+    ).astype(np.float64)
+
+    similarity_probes = _build_similarity_probes(
+        rng, word_topics, word_frequencies, num_probes
+    )
+
+    return Corpus(
+        vocab_size=vocab_size,
+        sentences=sentences,
+        word_frequencies=word_frequencies,
+        word_topics=word_topics,
+        similarity_probes=similarity_probes,
+    )
+
+
+def _build_similarity_probes(
+    rng: np.random.Generator,
+    word_topics: np.ndarray,
+    word_frequencies: np.ndarray,
+    num_probes: int,
+) -> np.ndarray:
+    """Build (anchor, same-topic word, other-topic word) probes.
+
+    Only words that actually occur in the corpus are used, and probes prefer
+    reasonably frequent words so that their vectors receive enough updates to
+    be evaluated meaningfully.
+    """
+    occurring = np.flatnonzero(word_frequencies > 0)
+    if len(occurring) < 3:
+        return np.empty((0, 3), dtype=np.int64)
+    # Focus on the more frequent half of occurring words.
+    frequent = occurring[np.argsort(word_frequencies[occurring])[::-1]]
+    frequent = frequent[: max(3, len(frequent) // 2)]
+
+    probes = []
+    topics_of_frequent = word_topics[frequent]
+    for _ in range(num_probes * 4):
+        if len(probes) >= num_probes:
+            break
+        anchor = frequent[rng.integers(0, len(frequent))]
+        same_candidates = frequent[
+            (topics_of_frequent == word_topics[anchor]) & (frequent != anchor)
+        ]
+        diff_candidates = frequent[topics_of_frequent != word_topics[anchor]]
+        if len(same_candidates) == 0 or len(diff_candidates) == 0:
+            continue
+        same = same_candidates[rng.integers(0, len(same_candidates))]
+        diff = diff_candidates[rng.integers(0, len(diff_candidates))]
+        probes.append((int(anchor), int(same), int(diff)))
+    return np.asarray(probes, dtype=np.int64).reshape(-1, 3)

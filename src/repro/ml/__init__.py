@@ -1,0 +1,29 @@
+"""Machine-learning workloads used in the paper's evaluation.
+
+Three tasks (Table 2), all shallow models with sparse, skewed parameter
+access, implemented against the parameter-server API:
+
+* knowledge graph embeddings (ComplEx with AdaGrad and negative sampling),
+* word vectors (skip-gram Word2Vec with negative sampling),
+* matrix factorization (latent factors with SGD and the bold-driver schedule).
+
+Each task implements the :class:`~repro.ml.task.TrainingTask` interface so
+that the experiment runner can train it on any parameter server.
+"""
+
+from repro.ml.task import TrainingTask
+from repro.ml.kge import KGETask, ComplExModel
+from repro.ml.word2vec import WordVectorsTask
+from repro.ml.matrix_factorization import MatrixFactorizationTask
+from repro.ml.optimizer import AdaGrad, BoldDriver, clip_update_norm
+
+__all__ = [
+    "TrainingTask",
+    "KGETask",
+    "ComplExModel",
+    "WordVectorsTask",
+    "MatrixFactorizationTask",
+    "AdaGrad",
+    "BoldDriver",
+    "clip_update_norm",
+]

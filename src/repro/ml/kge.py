@@ -1,0 +1,351 @@
+"""Knowledge graph embeddings with ComplEx (the paper's KGE task).
+
+The task trains ComplEx embeddings with SGD + AdaGrad and negative sampling
+(Section 5.1): for every positive subject–relation–object triple, the subject
+and the object are each perturbed ``num_negatives`` times with entities drawn
+uniformly at random, and the model is trained with a binary logistic loss on
+positive vs. negative triples. Model quality is measured with filtered mean
+reciprocal rank (MRR) over a held-out test split.
+
+PS key layout
+-------------
+* entity ``e``  -> key ``e``            (``0 <= e < num_entities``)
+* relation ``r`` -> key ``num_entities + r``
+
+Each value is ``[re | im | acc_re | acc_im]``: the complex embedding followed
+by its AdaGrad accumulator, so that the optimizer state is shared through the
+PS exactly like the embeddings themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.sampling.conformity import ConformityLevel
+from repro.core.sampling.distributions import UniformDistribution
+from repro.data.knowledge_graph import KnowledgeGraph
+from repro.ml.negative_sampling import NegativeSampleStream
+from repro.ml.optimizer import AdaGrad
+from repro.ml.task import TrainingTask
+from repro.ps.base import ParameterServer
+from repro.ps.storage import ParameterStore
+from repro.simulation.cluster import WorkerContext
+
+
+class ComplExModel:
+    """Scores and gradients of the ComplEx model (Trouillon et al.).
+
+    All functions operate on *weight* vectors of length ``2 * dim`` laid out
+    as ``[re | im]``.
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = int(dim)
+
+    # ----------------------------------------------------------------- helpers
+    def split(self, weights: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Split ``[re | im]`` weights into their real and imaginary parts."""
+        return weights[..., : self.dim], weights[..., self.dim: 2 * self.dim]
+
+    def to_complex(self, weights: np.ndarray) -> np.ndarray:
+        real, imag = self.split(weights)
+        return real + 1j * imag
+
+    # ------------------------------------------------------------------ scoring
+    def score(self, subject_w: np.ndarray, relation_w: np.ndarray,
+              object_w: np.ndarray) -> np.ndarray:
+        """ComplEx score Re(<s, r, conj(o)>); broadcasts over leading axes."""
+        s_re, s_im = self.split(subject_w)
+        r_re, r_im = self.split(relation_w)
+        o_re, o_im = self.split(object_w)
+        return (
+            (r_re * (s_re * o_re + s_im * o_im)).sum(axis=-1)
+            + (r_im * (s_re * o_im - s_im * o_re)).sum(axis=-1)
+        )
+
+    def score_against_all(self, subject_w: np.ndarray, relation_w: np.ndarray,
+                          all_entity_w: np.ndarray) -> np.ndarray:
+        """Scores of (s, r, e) for every entity e (vectorized, for ranking)."""
+        s_c = self.to_complex(subject_w)
+        r_c = self.to_complex(relation_w)
+        entities_c = self.to_complex(all_entity_w)
+        return np.real((s_c * r_c) @ np.conj(entities_c).T)
+
+    def score_all_subjects(self, relation_w: np.ndarray, object_w: np.ndarray,
+                           all_entity_w: np.ndarray) -> np.ndarray:
+        """Scores of (e, r, o) for every entity e (vectorized, for ranking)."""
+        r_c = self.to_complex(relation_w)
+        o_c = self.to_complex(object_w)
+        entities_c = self.to_complex(all_entity_w)
+        return np.real(entities_c @ (r_c * np.conj(o_c)).T).ravel()
+
+    # ---------------------------------------------------------------- gradients
+    def gradients(self, subject_w: np.ndarray, relation_w: np.ndarray,
+                  object_w: np.ndarray, dscore: np.ndarray
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gradients of ``dscore * score`` w.r.t. subject, relation and object.
+
+        Inputs broadcast over a leading batch axis; ``dscore`` has shape
+        ``()`` or ``(batch,)``. Returns weight-shaped gradients.
+        """
+        s_re, s_im = self.split(subject_w)
+        r_re, r_im = self.split(relation_w)
+        o_re, o_im = self.split(object_w)
+        dscore = np.asarray(dscore, dtype=np.float32)[..., None]
+
+        grad_s = np.concatenate(
+            [dscore * (r_re * o_re + r_im * o_im),
+             dscore * (r_re * o_im - r_im * o_re)], axis=-1
+        )
+        grad_r = np.concatenate(
+            [dscore * (s_re * o_re + s_im * o_im),
+             dscore * (s_re * o_im - s_im * o_re)], axis=-1
+        )
+        grad_o = np.concatenate(
+            [dscore * (r_re * s_re - r_im * s_im),
+             dscore * (r_re * s_im + r_im * s_re)], axis=-1
+        )
+        return grad_s.astype(np.float32), grad_r.astype(np.float32), grad_o.astype(np.float32)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class KGETask(TrainingTask):
+    """The knowledge graph embeddings workload (ComplEx + negative sampling)."""
+
+    name = "kge"
+    quality_metric = "mrr_filtered"
+    higher_is_better = True
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        dim: int = 8,
+        num_negatives: int = 4,
+        learning_rate: float = 0.1,
+        init_scale: float = 0.1,
+        sampling_level: ConformityLevel = ConformityLevel.BOUNDED,
+        regularization: float = 0.0,
+    ) -> None:
+        self.graph = graph
+        self.model = ComplExModel(dim)
+        self.dim = int(dim)
+        self.num_negatives = int(num_negatives)
+        self.optimizer = AdaGrad(learning_rate)
+        self.init_scale = float(init_scale)
+        self.sampling_level = sampling_level
+        self.regularization = float(regularization)
+        self._distribution_id: Optional[int] = None
+        self._true_objects: Dict[Tuple[int, int], set] = {}
+        self._true_subjects: Dict[Tuple[int, int], set] = {}
+        self._build_filter_index()
+
+    # -------------------------------------------------------------- model layout
+    def num_keys(self) -> int:
+        return self.graph.num_entities + self.graph.num_relations
+
+    def value_length(self) -> int:
+        # [re | im | acc_re | acc_im]
+        return 4 * self.dim
+
+    def create_store(self, seed: int = 0) -> ParameterStore:
+        store = ParameterStore(self.num_keys(), self.value_length())
+        rng = np.random.default_rng(seed)
+        weights = rng.normal(
+            0.0, self.init_scale, size=(self.num_keys(), 2 * self.dim)
+        ).astype(np.float32)
+        values = np.concatenate(
+            [weights, np.zeros_like(weights)], axis=1
+        )
+        store.set(np.arange(self.num_keys()), values)
+        return store
+
+    def access_counts(self) -> np.ndarray:
+        counts = np.zeros(self.num_keys(), dtype=np.float64)
+        counts[: self.graph.num_entities] = self.graph.entity_frequencies
+        counts[self.graph.num_entities:] = self.graph.relation_frequencies
+        return counts
+
+    def sampling_access_counts(self) -> np.ndarray:
+        """Uniform negative sampling: every entity is equally likely."""
+        counts = np.zeros(self.num_keys(), dtype=np.float64)
+        total_samples = self.graph.num_train * 2 * self.num_negatives
+        counts[: self.graph.num_entities] = total_samples / self.graph.num_entities
+        return counts
+
+    def relation_key(self, relation: int) -> int:
+        return self.graph.num_entities + int(relation)
+
+    # ------------------------------------------------------------------ training
+    def num_data_points(self) -> int:
+        return self.graph.num_train
+
+    def create_shards(self, num_nodes: int, workers_per_node: int,
+                      seed: int = 0) -> List[List[np.ndarray]]:
+        rng = np.random.default_rng(seed)
+        indices = np.arange(self.graph.num_train)
+        node_parts = self.partition_round_robin(indices, num_nodes, rng)
+        return [
+            self.partition_round_robin(part, workers_per_node, rng)
+            for part in node_parts
+        ]
+
+    def register_sampling(self, ps: ParameterServer) -> None:
+        distribution = UniformDistribution(0, self.graph.num_entities)
+        self._distribution_id = ps.register_distribution(distribution, self.sampling_level)
+
+    def prefetch(self, ps: ParameterServer, worker: WorkerContext,
+                 data_indices: np.ndarray) -> None:
+        triples = self.graph.train_triples[np.asarray(data_indices, dtype=np.int64)]
+        if len(triples) == 0:
+            return
+        direct_keys = np.unique(np.concatenate([
+            triples[:, 0],
+            triples[:, 2],
+            self.graph.num_entities + triples[:, 1],
+        ]))
+        ps.localize(worker, direct_keys)
+
+    def process_chunk(self, ps: ParameterServer, worker: WorkerContext,
+                      data_indices: np.ndarray, rng: np.random.Generator) -> int:
+        if self._distribution_id is None:
+            raise RuntimeError("register_sampling must be called before training")
+        triples = self.graph.train_triples[np.asarray(data_indices, dtype=np.int64)]
+        if len(triples) == 0:
+            return 0
+
+        negatives_per_triple = 2 * self.num_negatives
+        stream = NegativeSampleStream(
+            ps, worker, self._distribution_id, len(triples) * negatives_per_triple
+        )
+
+        for subject, relation, obj in triples:
+            self._train_triple(ps, worker, int(subject), int(relation), int(obj), stream)
+            worker.clock.advance(self.network_compute_cost(ps))
+        return len(triples)
+
+    def network_compute_cost(self, ps: ParameterServer) -> float:
+        """Computation cost of one SGD step (scaled by the negative count)."""
+        return ps.network.compute_per_step * (1 + 2 * self.num_negatives / 10.0)
+
+    def _train_triple(self, ps: ParameterServer, worker: WorkerContext,
+                      subject: int, relation: int, obj: int,
+                      stream: NegativeSampleStream) -> None:
+        model = self.model
+        dim2 = 2 * self.dim
+        direct_keys = np.asarray(
+            [subject, self.relation_key(relation), obj], dtype=np.int64
+        )
+        direct_values = ps.pull(worker, direct_keys)
+        s_val, r_val, o_val = direct_values
+        s_w, r_w, o_w = s_val[:dim2], r_val[:dim2], o_val[:dim2]
+
+        negatives = stream.next(2 * self.num_negatives)
+        neg_keys = negatives.keys
+        neg_w = negatives.values[:, :dim2]
+        half = len(neg_keys) // 2
+        neg_subject_w = neg_w[:half]
+        neg_object_w = neg_w[half:]
+
+        # Positive triple: label 1.
+        pos_score = model.score(s_w, r_w, o_w)
+        pos_dscore = float(_sigmoid(pos_score) - 1.0)
+        grad_s, grad_r, grad_o = model.gradients(s_w, r_w, o_w, pos_dscore)
+
+        # Negative triples with perturbed subject: label 0.
+        if half:
+            neg_s_scores = model.score(neg_subject_w, r_w, o_w)
+            neg_s_dscore = _sigmoid(neg_s_scores)
+            g_neg_s, g_r1, g_o1 = model.gradients(neg_subject_w, r_w, o_w, neg_s_dscore)
+            grad_r = grad_r + g_r1.sum(axis=0)
+            grad_o = grad_o + g_o1.sum(axis=0)
+        else:
+            g_neg_s = np.zeros((0, dim2), dtype=np.float32)
+
+        # Negative triples with perturbed object: label 0.
+        if len(neg_keys) - half:
+            neg_o_scores = model.score(s_w, r_w, neg_object_w)
+            neg_o_dscore = _sigmoid(neg_o_scores)
+            g_s2, g_r2, g_neg_o = model.gradients(s_w, r_w, neg_object_w, neg_o_dscore)
+            grad_s = grad_s + g_s2.sum(axis=0)
+            grad_r = grad_r + g_r2.sum(axis=0)
+        else:
+            g_neg_o = np.zeros((0, dim2), dtype=np.float32)
+
+        if self.regularization:
+            grad_s = grad_s + self.regularization * s_w
+            grad_r = grad_r + self.regularization * r_w
+            grad_o = grad_o + self.regularization * o_w
+
+        # AdaGrad deltas for the direct-access keys.
+        direct_grads = np.stack([grad_s, grad_r, grad_o])
+        direct_deltas = self.optimizer.compute_update(direct_values, direct_grads)
+        ps.push(worker, direct_keys, direct_deltas)
+
+        # AdaGrad deltas for the sampled (negative) keys.
+        if len(neg_keys):
+            neg_grads = np.concatenate([g_neg_s, g_neg_o], axis=0)
+            neg_deltas = self.optimizer.compute_update(negatives.values, neg_grads)
+            stream.push_updates(neg_keys, neg_deltas)
+
+    # ---------------------------------------------------------------- evaluation
+    def evaluate(self, store: ParameterStore) -> Dict[str, float]:
+        """Filtered MRR and Hits@10 over the test split (both directions)."""
+        if self.graph.num_test == 0:
+            return {"mrr_filtered": 0.0, "hits_at_10": 0.0}
+        dim2 = 2 * self.dim
+        entity_w = store.values[: self.graph.num_entities, :dim2]
+        reciprocal_ranks: List[float] = []
+        hits = 0
+        total = 0
+        for subject, relation, obj in self.graph.test_triples:
+            subject, relation, obj = int(subject), int(relation), int(obj)
+            relation_w = store.values[self.relation_key(relation), :dim2]
+            subject_w = entity_w[subject]
+            object_w = entity_w[obj]
+
+            # Object ranking (s, r, ?).
+            scores = self.model.score_against_all(subject_w, relation_w, entity_w)
+            rank = self._filtered_rank(
+                scores, obj, self._true_objects.get((subject, relation), set())
+            )
+            reciprocal_ranks.append(1.0 / rank)
+            hits += int(rank <= 10)
+            total += 1
+
+            # Subject ranking (?, r, o).
+            scores = self.model.score_all_subjects(relation_w, object_w, entity_w)
+            rank = self._filtered_rank(
+                scores, subject, self._true_subjects.get((relation, obj), set())
+            )
+            reciprocal_ranks.append(1.0 / rank)
+            hits += int(rank <= 10)
+            total += 1
+
+        return {
+            "mrr_filtered": float(np.mean(reciprocal_ranks)),
+            "hits_at_10": hits / total,
+        }
+
+    @staticmethod
+    def _filtered_rank(scores: np.ndarray, target: int, known_true: set) -> int:
+        target_score = scores[target]
+        mask = np.ones(len(scores), dtype=bool)
+        for entity in known_true:
+            if entity != target:
+                mask[entity] = False
+        better = int(np.count_nonzero(scores[mask] > target_score))
+        return better + 1
+
+    def _build_filter_index(self) -> None:
+        for split in (self.graph.train_triples, self.graph.test_triples):
+            for subject, relation, obj in split:
+                subject, relation, obj = int(subject), int(relation), int(obj)
+                self._true_objects.setdefault((subject, relation), set()).add(obj)
+                self._true_subjects.setdefault((relation, obj), set()).add(subject)

@@ -1,0 +1,184 @@
+"""Low-rank matrix factorization (the MF task).
+
+The task factorizes a Zipf-skewed synthetic matrix with SGD (Section 5.1),
+adapting the shared-nothing SGD matrix completion setup of Makari et al.: the
+learning rate follows the bold-driver heuristic, data points are partitioned
+to nodes by row and to workers by column, and each worker visits its points
+column by column (random column order, random order within a column) to
+create locality in column-parameter accesses. There is no sampling access in
+this task; all performance differences come from parameter management.
+
+PS key layout
+-------------
+* row factor ``i``    -> key ``i``
+* column factor ``j`` -> key ``num_rows + j``
+
+Row parameters are only ever accessed by the node owning the row partition,
+whereas (frequent) column parameters are accessed by all nodes — they are the
+task's hot spots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.data.matrix import MatrixDataset
+from repro.ml.optimizer import BoldDriver, UpdateNormClipper
+from repro.ml.task import TrainingTask
+from repro.ps.base import ParameterServer
+from repro.ps.storage import ParameterStore
+from repro.simulation.cluster import WorkerContext
+
+
+class MatrixFactorizationTask(TrainingTask):
+    """The matrix factorization workload (latent factors, SGD, bold driver)."""
+
+    name = "matrix_factorization"
+    quality_metric = "test_rmse"
+    higher_is_better = False
+
+    def __init__(
+        self,
+        dataset: MatrixDataset,
+        learning_rate: float = 0.25,
+        regularization: float = 0.01,
+        init_scale: float = 0.2,
+        clip_factor: float = 2.0,
+        use_bold_driver: bool = True,
+    ) -> None:
+        self.dataset = dataset
+        self.rank = dataset.rank
+        self.regularization = float(regularization)
+        self.init_scale = float(init_scale)
+        self.bold_driver = BoldDriver(learning_rate) if use_bold_driver else None
+        self.learning_rate = float(learning_rate)
+        self._clipper = UpdateNormClipper(clip_factor) if clip_factor > 0 else None
+        self._epoch_squared_error = 0.0
+        self._epoch_points = 0
+
+    # -------------------------------------------------------------- model layout
+    def num_keys(self) -> int:
+        return self.dataset.num_rows + self.dataset.num_cols
+
+    def value_length(self) -> int:
+        return self.rank
+
+    def create_store(self, seed: int = 0) -> ParameterStore:
+        return ParameterStore(
+            self.num_keys(), self.value_length(), seed=seed,
+            init_scale=self.init_scale,
+        )
+
+    def access_counts(self) -> np.ndarray:
+        counts = np.zeros(self.num_keys(), dtype=np.float64)
+        counts[: self.dataset.num_rows] = self.dataset.row_frequencies
+        counts[self.dataset.num_rows:] = self.dataset.col_frequencies
+        return counts
+
+    def column_key(self, column: int) -> int:
+        return self.dataset.num_rows + int(column)
+
+    # ------------------------------------------------------------------ training
+    def num_data_points(self) -> int:
+        return self.dataset.num_train
+
+    def create_shards(self, num_nodes: int, workers_per_node: int,
+                      seed: int = 0) -> List[List[np.ndarray]]:
+        """Partition by row to nodes, by column to workers, ordered by column."""
+        rng = np.random.default_rng(seed)
+        rows = self.dataset.train_cells[:, 0]
+        cols = self.dataset.train_cells[:, 1]
+        node_of_row = rng.integers(0, num_nodes, size=self.dataset.num_rows)
+        worker_of_col = rng.integers(0, workers_per_node, size=self.dataset.num_cols)
+
+        shards: List[List[np.ndarray]] = []
+        for node in range(num_nodes):
+            node_mask = node_of_row[rows] == node
+            node_shards: List[np.ndarray] = []
+            for worker in range(workers_per_node):
+                mask = node_mask & (worker_of_col[cols] == worker)
+                indices = np.flatnonzero(mask)
+                node_shards.append(self._order_by_column(indices, cols[indices], rng))
+            shards.append(node_shards)
+        return shards
+
+    def _order_by_column(self, indices: np.ndarray, columns: np.ndarray,
+                         rng: np.random.Generator) -> np.ndarray:
+        """Visit columns in random order, points within a column in random order."""
+        if len(indices) == 0:
+            return indices
+        column_order = {c: r for r, c in enumerate(rng.permutation(np.unique(columns)))}
+        jitter = rng.random(len(indices))
+        sort_keys = np.array([column_order[c] for c in columns], dtype=np.float64)
+        order = np.lexsort((jitter, sort_keys))
+        return indices[order]
+
+    def prefetch(self, ps: ParameterServer, worker: WorkerContext,
+                 data_indices: np.ndarray) -> None:
+        data_indices = np.asarray(data_indices, dtype=np.int64)
+        if len(data_indices) == 0:
+            return
+        cells = self.dataset.train_cells[data_indices]
+        direct_keys = np.unique(np.concatenate([
+            cells[:, 0], self.dataset.num_rows + cells[:, 1],
+        ]))
+        ps.localize(worker, direct_keys)
+
+    def process_chunk(self, ps: ParameterServer, worker: WorkerContext,
+                      data_indices: np.ndarray, rng: np.random.Generator) -> int:
+        data_indices = np.asarray(data_indices, dtype=np.int64)
+        if len(data_indices) == 0:
+            return 0
+        cells = self.dataset.train_cells[data_indices]
+        values = self.dataset.train_values[data_indices]
+
+        for (row, col), value in zip(cells, values):
+            self._train_cell(ps, worker, int(row), int(col), float(value))
+            worker.clock.advance(ps.network.compute_per_step)
+        return len(data_indices)
+
+    def _train_cell(self, ps: ParameterServer, worker: WorkerContext,
+                    row: int, col: int, value: float) -> None:
+        keys = np.asarray([row, self.column_key(col)], dtype=np.int64)
+        factors = ps.pull(worker, keys)
+        row_factor, col_factor = factors[0], factors[1]
+
+        prediction = float(row_factor @ col_factor)
+        error = value - prediction
+        self._epoch_squared_error += error * error
+        self._epoch_points += 1
+
+        grad_row = error * col_factor - self.regularization * row_factor
+        grad_col = error * row_factor - self.regularization * col_factor
+        delta_row = self._clip(self.learning_rate * grad_row)
+        delta_col = self._clip(self.learning_rate * grad_col)
+        ps.push(worker, keys, np.stack([delta_row, delta_col]).astype(np.float32))
+
+    def _clip(self, update: np.ndarray) -> np.ndarray:
+        if self._clipper is None:
+            return update.astype(np.float32)
+        return self._clipper.clip(update).astype(np.float32)
+
+    def on_epoch_end(self, epoch: int) -> None:
+        """Bold driver: adapt the learning rate from the epoch's training loss."""
+        if self._epoch_points == 0:
+            return
+        epoch_loss = self._epoch_squared_error / self._epoch_points
+        if self.bold_driver is not None:
+            self.learning_rate = self.bold_driver.update(epoch_loss)
+        self._epoch_squared_error = 0.0
+        self._epoch_points = 0
+
+    # ---------------------------------------------------------------- evaluation
+    def evaluate(self, store: ParameterStore) -> Dict[str, float]:
+        """Root mean squared error on the held-out test cells."""
+        cells = self.dataset.test_cells
+        if len(cells) == 0:
+            return {"test_rmse": float("nan")}
+        row_factors = store.values[cells[:, 0]]
+        col_factors = store.values[self.dataset.num_rows + cells[:, 1]]
+        predictions = np.einsum("ij,ij->i", row_factors, col_factors)
+        errors = self.dataset.test_values - predictions
+        return {"test_rmse": float(np.sqrt(np.mean(errors * errors)))}

@@ -1,0 +1,57 @@
+"""Helpers for requesting negative samples through the PS sampling API.
+
+The KGE and WV tasks both follow the same pattern (Section 4.3): call
+``prepare_sample`` once per chunk of data points (so the PS can do
+preparatory work such as localizing the sampled keys) and then call
+``pull_sample`` in small portions, one per data point. The
+:class:`NegativeSampleStream` wraps that pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ps.base import ParameterServer, PullResult, SampleHandle
+from repro.simulation.cluster import WorkerContext
+
+
+class NegativeSampleStream:
+    """Pulls negative samples in portions from a prepared handle."""
+
+    def __init__(self, ps: ParameterServer, worker: WorkerContext,
+                 distribution_id: int, total_samples: int) -> None:
+        if total_samples < 0:
+            raise ValueError("total_samples must be non-negative")
+        self.ps = ps
+        self.worker = worker
+        self.distribution_id = distribution_id
+        self.total_samples = int(total_samples)
+        self._handle: Optional[SampleHandle] = None
+        if self.total_samples > 0:
+            self._handle = ps.prepare_sample(worker, distribution_id, self.total_samples)
+        self._delivered = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.total_samples - self._delivered
+
+    def next(self, count: int) -> PullResult:
+        """Pull the next ``count`` negative samples (keys and values)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0 or self._handle is None:
+            empty = np.empty(0, dtype=np.int64)
+            return PullResult(keys=empty, values=np.empty((0, self.ps.store.value_length),
+                                                          dtype=np.float32))
+        count = min(count, self.remaining)
+        result = self.ps.pull_sample(self.worker, self._handle, count)
+        self._delivered += len(result.keys)
+        return result
+
+    def push_updates(self, keys: np.ndarray, deltas: np.ndarray) -> None:
+        """Push updates for previously pulled sample keys."""
+        if len(keys) == 0:
+            return
+        self.ps.push_sample(self.worker, keys, deltas)

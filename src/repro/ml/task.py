@@ -1,0 +1,135 @@
+"""The common interface between workloads and the experiment runner.
+
+A :class:`TrainingTask` owns a dataset and a model definition. It knows how
+to lay the model out over the PS key space, how to shard its training data
+over nodes and workers, how to process a chunk of data points against a
+parameter server, and how to evaluate model quality from the parameter store.
+
+The experiment runner (:mod:`repro.runner.experiment`) interleaves chunk
+processing across all workers of the simulated cluster and periodically runs
+PS housekeeping, producing quality-over-time and quality-over-epoch curves.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List
+
+import numpy as np
+
+from repro.ps.base import ParameterServer
+from repro.ps.storage import ParameterStore
+from repro.simulation.cluster import WorkerContext
+
+
+class TrainingTask(ABC):
+    """A distributed training workload driven through the PS API."""
+
+    #: Short task identifier (used in reports).
+    name = "abstract"
+    #: Name of the primary quality metric returned by :meth:`evaluate`.
+    quality_metric = "quality"
+    #: Whether larger metric values are better (MRR, accuracy) or worse (RMSE).
+    higher_is_better = True
+
+    # ------------------------------------------------------------- model layout
+    @abstractmethod
+    def num_keys(self) -> int:
+        """Number of parameter keys the task uses."""
+
+    @abstractmethod
+    def value_length(self) -> int:
+        """Length of each parameter value (floats per key)."""
+
+    @abstractmethod
+    def create_store(self, seed: int = 0) -> ParameterStore:
+        """Create and initialize the parameter store for this task."""
+
+    @abstractmethod
+    def access_counts(self) -> np.ndarray:
+        """Expected per-key direct-access frequencies from dataset statistics.
+
+        Used by NuPS's untuned heuristic to decide which keys to replicate
+        (Section 5.1); no profiling run is needed.
+        """
+
+    def sampling_access_counts(self) -> np.ndarray:
+        """Expected per-key *sampling*-access frequencies for one epoch.
+
+        Zero for tasks without sampling access (e.g. matrix factorization).
+        Used by the skew analysis that reproduces Figure 3.
+        """
+        return np.zeros(self.num_keys(), dtype=np.float64)
+
+    # ----------------------------------------------------------------- training
+    @abstractmethod
+    def num_data_points(self) -> int:
+        """Number of training data points (one epoch processes each once)."""
+
+    @abstractmethod
+    def create_shards(self, num_nodes: int, workers_per_node: int,
+                      seed: int = 0) -> List[List[np.ndarray]]:
+        """Partition the training data: ``shards[node][worker]`` -> data indices."""
+
+    def register_sampling(self, ps: ParameterServer) -> None:
+        """Register the task's sampling distributions with the PS (if any)."""
+
+    def prefetch(self, ps: ParameterServer, worker: WorkerContext,
+                 data_indices: np.ndarray) -> None:
+        """Issue ``localize`` hints for the direct-access keys of a future chunk.
+
+        The runner calls this one chunk ahead of processing, which gives
+        relocation-capable PSs time to move the parameters before they are
+        accessed — the "asynchronously relocates these parameters before they
+        are accessed" pattern of Lapse and NuPS. The default is a no-op.
+        """
+
+    @abstractmethod
+    def process_chunk(self, ps: ParameterServer, worker: WorkerContext,
+                      data_indices: np.ndarray, rng: np.random.Generator) -> int:
+        """Train on ``data_indices`` (a chunk of the worker's shard).
+
+        Returns the number of data points processed. Implementations are
+        responsible for pulling and pushing parameters and requesting negative
+        samples through the sampling API; ``localize`` hints are issued ahead
+        of time through :meth:`prefetch`.
+        """
+
+    def on_epoch_end(self, epoch: int) -> None:
+        """Hook called after every epoch (e.g. for learning-rate schedules)."""
+
+    # --------------------------------------------------------------- evaluation
+    @abstractmethod
+    def evaluate(self, store: ParameterStore) -> Dict[str, float]:
+        """Compute model quality metrics from the current parameter values."""
+
+    def quality_of(self, metrics: Dict[str, float]) -> float:
+        """Extract the primary quality metric from an evaluation result."""
+        return float(metrics[self.quality_metric])
+
+    def is_better(self, quality_a: float, quality_b: float) -> bool:
+        """Whether ``quality_a`` is strictly better than ``quality_b``."""
+        if self.higher_is_better:
+            return quality_a > quality_b
+        return quality_a < quality_b
+
+    # ------------------------------------------------------------------ helpers
+    @staticmethod
+    def partition_round_robin(indices: np.ndarray, num_parts: int,
+                              rng: np.random.Generator) -> List[np.ndarray]:
+        """Randomly partition ``indices`` into ``num_parts`` balanced parts."""
+        indices = np.asarray(indices)
+        shuffled = indices[rng.permutation(len(indices))]
+        return [shuffled[part::num_parts] for part in range(num_parts)]
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "task": self.name,
+            "num_keys": self.num_keys(),
+            "value_length": self.value_length(),
+            "num_data_points": self.num_data_points(),
+            "quality_metric": self.quality_metric,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,174 @@
+"""Task-specific baselines for the Section 5.8 comparison.
+
+The paper compares NuPS against specialized, highly tuned implementations:
+DSGD and DSGD++ for matrix factorization, PyTorch-BigGraph for KGE, and the
+original C Word2Vec / Gensim for word vectors. None of those systems can be
+shipped here, so this module provides simplified stand-ins that capture what
+makes them fast or slow relative to a general-purpose PS:
+
+* :class:`DSGDTrainer` — block-partitioned shared-nothing SGD matrix
+  factorization. There is no parameter server: each node owns its row block
+  permanently and the column blocks rotate between sub-epochs (strata). The
+  only communication is the bulk transfer of column factors between
+  sub-epochs. ``overlap_communication=True`` models DSGD++, which overlaps
+  the transfer of the next stratum with computation on the current one.
+* :func:`specialized_single_node_epoch_time` — a single-machine, lock-free
+  implementation (original Word2Vec / Gensim style): workers read and write
+  the parameter store directly, without the per-key working copies a
+  general-purpose PS maintains, so the per-access overhead is (close to)
+  zero and an epoch costs only computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.data.matrix import MatrixDataset
+from repro.ml.optimizer import clip_update_norm
+from repro.ml.task import TrainingTask
+from repro.simulation.network import NetworkModel
+
+
+@dataclass
+class DSGDResult:
+    """Per-epoch simulated run time and test RMSE of a DSGD run."""
+
+    epoch_times: List[float]
+    rmse: List[float]
+
+    @property
+    def mean_epoch_time(self) -> float:
+        return float(np.mean(self.epoch_times))
+
+    def final_rmse(self) -> float:
+        return self.rmse[-1]
+
+
+class DSGDTrainer:
+    """Block-partitioned (shared-nothing) SGD matrix factorization.
+
+    Rows are range-partitioned over nodes; columns are partitioned into as
+    many blocks as there are nodes. One epoch consists of ``num_nodes``
+    sub-epochs; in sub-epoch ``s`` node ``n`` trains on the cells of its row
+    block crossed with column block ``(n + s) mod num_nodes``, so no two nodes
+    ever touch the same column factor concurrently (the DSGD stratification).
+    """
+
+    def __init__(
+        self,
+        dataset: MatrixDataset,
+        num_nodes: int = 8,
+        workers_per_node: int = 8,
+        learning_rate: float = 0.5,
+        regularization: float = 0.01,
+        init_scale: float = 0.2,
+        network: NetworkModel | None = None,
+        overlap_communication: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        self.dataset = dataset
+        self.num_nodes = int(num_nodes)
+        self.workers_per_node = int(workers_per_node)
+        self.learning_rate = float(learning_rate)
+        self.regularization = float(regularization)
+        self.network = network or NetworkModel()
+        self.overlap_communication = bool(overlap_communication)
+        rng = np.random.default_rng(seed)
+        self.row_factors = rng.normal(
+            0.0, init_scale, size=(dataset.num_rows, dataset.rank)
+        ).astype(np.float32)
+        self.col_factors = rng.normal(
+            0.0, init_scale, size=(dataset.num_cols, dataset.rank)
+        ).astype(np.float32)
+        self._row_node = (
+            dataset.train_cells[:, 0] * self.num_nodes // dataset.num_rows
+        )
+        self._col_block = (
+            dataset.train_cells[:, 1] * self.num_nodes // dataset.num_cols
+        )
+
+    # ---------------------------------------------------------------- training
+    def train(self, epochs: int, seed: int = 0) -> DSGDResult:
+        """Run ``epochs`` epochs and record simulated time and test RMSE."""
+        rng = np.random.default_rng(seed)
+        epoch_times: List[float] = []
+        rmse: List[float] = []
+        for _ in range(epochs):
+            epoch_times.append(self._run_epoch(rng))
+            rmse.append(self.test_rmse())
+        return DSGDResult(epoch_times=epoch_times, rmse=rmse)
+
+    def _run_epoch(self, rng: np.random.Generator) -> float:
+        cells = self.dataset.train_cells
+        values = self.dataset.train_values
+        node_times = np.zeros(self.num_nodes)
+        for sub_epoch in range(self.num_nodes):
+            stratum_times = np.zeros(self.num_nodes)
+            for node in range(self.num_nodes):
+                block = (node + sub_epoch) % self.num_nodes
+                mask = (self._row_node == node) & (self._col_block == block)
+                indices = np.flatnonzero(mask)
+                rng.shuffle(indices)
+                for index in indices:
+                    self._sgd_step(int(cells[index, 0]), int(cells[index, 1]),
+                                   float(values[index]))
+                # Compute is spread over the node's workers.
+                stratum_times[node] = (
+                    len(indices) * self.network.compute_per_step / self.workers_per_node
+                )
+            # After each sub-epoch every node ships its column block to the
+            # next node (bulk transfer). DSGD++ overlaps this with compute.
+            block_bytes = (
+                self.dataset.num_cols // max(self.num_nodes, 1)
+            ) * self.dataset.rank * 4
+            communication = self.network.message_cost(block_bytes)
+            stratum = stratum_times.max()
+            if self.num_nodes > 1:
+                if self.overlap_communication:
+                    stratum = max(stratum, communication)
+                else:
+                    stratum = stratum + communication
+            node_times += stratum
+        return float(node_times.max())
+
+    #: Maximum L2 norm of a single SGD update (the tuned implementations the
+    #: paper compares against clip updates to prevent exploding gradients).
+    MAX_UPDATE_NORM = 0.5
+
+    def _sgd_step(self, row: int, col: int, value: float) -> None:
+        row_factor = self.row_factors[row]
+        col_factor = self.col_factors[col]
+        error = value - float(row_factor @ col_factor)
+        row_delta = self.learning_rate * (error * col_factor - self.regularization * row_factor)
+        col_delta = self.learning_rate * (error * row_factor - self.regularization * col_factor)
+        self.row_factors[row] = row_factor + clip_update_norm(row_delta, self.MAX_UPDATE_NORM)
+        self.col_factors[col] = col_factor + clip_update_norm(col_delta, self.MAX_UPDATE_NORM)
+
+    # -------------------------------------------------------------- evaluation
+    def test_rmse(self) -> float:
+        cells = self.dataset.test_cells
+        predictions = np.einsum(
+            "ij,ij->i", self.row_factors[cells[:, 0]], self.col_factors[cells[:, 1]]
+        )
+        errors = self.dataset.test_values - predictions
+        return float(np.sqrt(np.mean(errors * errors)))
+
+
+def specialized_single_node_epoch_time(task: TrainingTask,
+                                       network: NetworkModel | None = None,
+                                       workers: int = 8) -> float:
+    """Simulated epoch time of a task-specific single-machine implementation.
+
+    Such implementations (original Word2Vec, Gensim, tuned KGE trainers) let
+    workers read and write the shared parameters directly, without the
+    per-key working copies and consistency bookkeeping of a general-purpose
+    PS, so an epoch costs essentially only computation.
+    """
+    network = network or NetworkModel()
+    points_per_worker = task.num_data_points() / max(workers, 1)
+    return points_per_worker * network.compute_per_step

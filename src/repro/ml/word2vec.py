@@ -1,0 +1,247 @@
+"""Word vectors with skip-gram Word2Vec and negative sampling (the WV task).
+
+The task trains skip-gram word vectors with SGD and negative sampling
+(Section 5.1). A data point is one token (center-word position): the model is
+updated for every (center, context) pair inside the window, and
+``num_negatives`` negative context words per pair are drawn from the unigram
+distribution raised to 0.75. Model quality is measured with a
+similarity-probe accuracy — the fraction of (anchor, same-topic, other-topic)
+probes for which the anchor's vector is closer to the same-topic word — which
+stands in for the analogical-reasoning accuracy the paper reports on
+natural-language data (see DESIGN.md).
+
+PS key layout
+-------------
+* input (center) vector of word ``w``  -> key ``w``
+* output (context) vector of word ``w`` -> key ``vocab_size + w``
+
+Negative sampling only ever touches output-layer keys, which is why the
+paper's Figure 3b shows the two layers as visually distinct populations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.sampling.conformity import ConformityLevel
+from repro.core.sampling.distributions import UnigramDistribution
+from repro.data.corpus import Corpus
+from repro.ml.negative_sampling import NegativeSampleStream
+from repro.ml.optimizer import UpdateNormClipper
+from repro.ml.task import TrainingTask
+from repro.ps.base import ParameterServer
+from repro.ps.storage import ParameterStore
+from repro.simulation.cluster import WorkerContext
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class WordVectorsTask(TrainingTask):
+    """The word vectors workload (skip-gram with negative sampling)."""
+
+    name = "word_vectors"
+    quality_metric = "similarity_accuracy"
+    higher_is_better = True
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        dim: int = 8,
+        window: int = 2,
+        num_negatives: int = 3,
+        learning_rate: float = 0.1,
+        init_scale: float = 0.1,
+        unigram_power: float = 0.75,
+        clip_factor: float = 2.0,
+        sampling_level: ConformityLevel = ConformityLevel.BOUNDED,
+    ) -> None:
+        self.corpus = corpus
+        self.dim = int(dim)
+        self.window = int(window)
+        self.num_negatives = int(num_negatives)
+        self.learning_rate = float(learning_rate)
+        self.init_scale = float(init_scale)
+        self.unigram_power = float(unigram_power)
+        self.sampling_level = sampling_level
+        self._clipper = UpdateNormClipper(clip_factor) if clip_factor > 0 else None
+        self._distribution_id: Optional[int] = None
+        self._centers, self._contexts = self._build_positions(corpus, self.window)
+
+    @staticmethod
+    def _build_positions(corpus: Corpus, window: int
+                         ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """One data point per token: its word id and the context word ids."""
+        centers: List[int] = []
+        contexts: List[np.ndarray] = []
+        for sentence in corpus.sentences:
+            length = len(sentence)
+            for i in range(length):
+                lo = max(0, i - window)
+                hi = min(length, i + window + 1)
+                context = np.concatenate([sentence[lo:i], sentence[i + 1: hi]])
+                if len(context) == 0:
+                    continue
+                centers.append(int(sentence[i]))
+                contexts.append(context.astype(np.int64))
+        return np.asarray(centers, dtype=np.int64), contexts
+
+    # -------------------------------------------------------------- model layout
+    def num_keys(self) -> int:
+        return 2 * self.corpus.vocab_size
+
+    def value_length(self) -> int:
+        return self.dim
+
+    def create_store(self, seed: int = 0) -> ParameterStore:
+        store = ParameterStore(self.num_keys(), self.value_length())
+        rng = np.random.default_rng(seed)
+        # Word2Vec convention: input vectors random, output vectors zero.
+        input_vectors = rng.uniform(
+            -self.init_scale, self.init_scale,
+            size=(self.corpus.vocab_size, self.dim),
+        ).astype(np.float32)
+        store.set(np.arange(self.corpus.vocab_size), input_vectors)
+        return store
+
+    def access_counts(self) -> np.ndarray:
+        counts = np.zeros(self.num_keys(), dtype=np.float64)
+        # Input keys: accessed once per occurrence as a center word; output
+        # keys: accessed roughly (2 * window) times per occurrence as context.
+        counts[: self.corpus.vocab_size] = self.corpus.word_frequencies
+        counts[self.corpus.vocab_size:] = self.corpus.word_frequencies * 2 * self.window
+        return counts
+
+    def sampling_access_counts(self) -> np.ndarray:
+        """Negatives are drawn from the unigram^0.75 distribution (output layer)."""
+        counts = np.zeros(self.num_keys(), dtype=np.float64)
+        weights = np.power(self.corpus.word_frequencies + 1e-12, self.unigram_power)
+        probabilities = weights / weights.sum()
+        total_pairs = sum(len(c) for c in self._contexts)
+        total_samples = total_pairs * self.num_negatives
+        counts[self.corpus.vocab_size:] = total_samples * probabilities
+        return counts
+
+    def output_key(self, word: int) -> int:
+        return self.corpus.vocab_size + int(word)
+
+    # ------------------------------------------------------------------ training
+    def num_data_points(self) -> int:
+        return len(self._centers)
+
+    def create_shards(self, num_nodes: int, workers_per_node: int,
+                      seed: int = 0) -> List[List[np.ndarray]]:
+        rng = np.random.default_rng(seed)
+        indices = np.arange(len(self._centers))
+        node_parts = self.partition_round_robin(indices, num_nodes, rng)
+        return [
+            self.partition_round_robin(part, workers_per_node, rng)
+            for part in node_parts
+        ]
+
+    def register_sampling(self, ps: ParameterServer) -> None:
+        distribution = UnigramDistribution(
+            self.corpus.word_frequencies + 1e-12,
+            power=self.unigram_power,
+            key_offset=self.corpus.vocab_size,
+        )
+        self._distribution_id = ps.register_distribution(distribution, self.sampling_level)
+
+    def prefetch(self, ps: ParameterServer, worker: WorkerContext,
+                 data_indices: np.ndarray) -> None:
+        data_indices = np.asarray(data_indices, dtype=np.int64)
+        if len(data_indices) == 0:
+            return
+        context_keys = [self.corpus.vocab_size + self._contexts[i] for i in data_indices]
+        direct_keys = np.unique(np.concatenate(
+            [self._centers[data_indices]] + context_keys
+        ))
+        ps.localize(worker, direct_keys)
+
+    def process_chunk(self, ps: ParameterServer, worker: WorkerContext,
+                      data_indices: np.ndarray, rng: np.random.Generator) -> int:
+        if self._distribution_id is None:
+            raise RuntimeError("register_sampling must be called before training")
+        data_indices = np.asarray(data_indices, dtype=np.int64)
+        if len(data_indices) == 0:
+            return 0
+
+        total_pairs = int(sum(len(self._contexts[i]) for i in data_indices))
+        stream = NegativeSampleStream(
+            ps, worker, self._distribution_id, total_pairs * self.num_negatives
+        )
+        for index in data_indices:
+            self._train_token(ps, worker, int(index), stream)
+        return len(data_indices)
+
+    def _train_token(self, ps: ParameterServer, worker: WorkerContext,
+                     index: int, stream: NegativeSampleStream) -> None:
+        center = int(self._centers[index])
+        contexts = self._contexts[index]
+        num_pairs = len(contexts)
+
+        direct_keys = np.concatenate(
+            [[center], self.corpus.vocab_size + contexts]
+        ).astype(np.int64)
+        direct_values = ps.pull(worker, direct_keys)
+        center_vec = direct_values[0]
+        context_vecs = direct_values[1:]
+
+        negatives = stream.next(num_pairs * self.num_negatives)
+        neg_vecs = negatives.values
+
+        # Positive pairs: label 1.
+        pos_g = _sigmoid(context_vecs @ center_vec) - 1.0
+        grad_center = pos_g @ context_vecs
+        grad_contexts = pos_g[:, None] * center_vec[None, :]
+
+        # Negative pairs: label 0 (each negative is paired with the center).
+        if len(neg_vecs):
+            neg_g = _sigmoid(neg_vecs @ center_vec)
+            grad_center = grad_center + neg_g @ neg_vecs
+            grad_negs = neg_g[:, None] * center_vec[None, :]
+        else:
+            grad_negs = np.empty((0, self.dim), dtype=np.float32)
+
+        deltas = np.concatenate(
+            [(-self.learning_rate * grad_center)[None, :],
+             -self.learning_rate * grad_contexts], axis=0
+        ).astype(np.float32)
+        deltas = self._clip_rows(deltas)
+        ps.push(worker, direct_keys, deltas)
+
+        if len(negatives.keys):
+            neg_deltas = self._clip_rows(
+                (-self.learning_rate * grad_negs).astype(np.float32)
+            )
+            stream.push_updates(negatives.keys, neg_deltas)
+
+        # One skip-gram pair is roughly one SGD step's worth of computation.
+        worker.clock.advance(
+            ps.network.compute_per_step * num_pairs * (1 + self.num_negatives) / 4.0
+        )
+
+    def _clip_rows(self, updates: np.ndarray) -> np.ndarray:
+        if self._clipper is None:
+            return updates
+        return np.stack([self._clipper.clip(row) for row in updates]).astype(np.float32)
+
+    # ---------------------------------------------------------------- evaluation
+    def evaluate(self, store: ParameterStore) -> Dict[str, float]:
+        """Similarity-probe accuracy from the input vectors (percent)."""
+        probes = self.corpus.similarity_probes
+        if len(probes) == 0:
+            return {"similarity_accuracy": 0.0}
+        vectors = store.values[: self.corpus.vocab_size]
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        normalized = vectors / np.maximum(norms, 1e-12)
+        anchor = normalized[probes[:, 0]]
+        same = normalized[probes[:, 1]]
+        different = normalized[probes[:, 2]]
+        same_similarity = np.einsum("ij,ij->i", anchor, same)
+        different_similarity = np.einsum("ij,ij->i", anchor, different)
+        accuracy = float(np.mean(same_similarity > different_similarity)) * 100.0
+        return {"similarity_accuracy": accuracy}

@@ -1,0 +1,270 @@
+"""The common parameter-server API.
+
+All parameter servers in this repository — the baselines from Section 3.1 and
+NuPS itself — implement :class:`ParameterServer`. The API mirrors the paper:
+
+* ``pull(worker, keys)`` / ``push(worker, keys, deltas)`` — global reads and
+  additive writes (direct access).
+* ``localize(worker, keys)`` — the relocation hint of Lapse; a no-op for PSs
+  that do not support relocation.
+* ``advance_clock(worker)`` — the bounded-staleness clock of replication PSs;
+  a no-op elsewhere.
+* ``register_distribution`` / ``prepare_sample`` / ``pull_sample`` — the
+  sampling API proposed in Section 4.3. The base class provides the fallback
+  behaviour of *existing* PSs: the application-level scheme of drawing
+  independent samples and accessing them via direct access. NuPS overrides
+  these with its sampling manager.
+
+Every call receives a :class:`~repro.simulation.cluster.WorkerContext`; the
+PS charges the access cost to that worker's simulated clock and records the
+access in the cluster's metrics registry.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC
+from typing import Dict, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from repro.simulation.cluster import Cluster, WorkerContext
+from repro.ps.partition import Partitioner, RangePartitioner
+from repro.ps.storage import ParameterStore
+
+
+class PullResult(NamedTuple):
+    """Result of ``pull_sample``: sampled keys and their current values."""
+
+    keys: np.ndarray
+    values: np.ndarray
+
+
+class SampleHandle:
+    """Handle returned by ``prepare_sample`` and consumed by ``pull_sample``.
+
+    A handle owns the (not yet pulled) sample keys for one ``prepare_sample``
+    invocation. Schemes may reorder or postpone keys inside the handle, but
+    exactly ``total`` samples are delivered over its lifetime.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, distribution_id: int, keys: np.ndarray) -> None:
+        self.handle_id = next(SampleHandle._ids)
+        self.distribution_id = distribution_id
+        self.pending = list(int(k) for k in keys)
+        self.total = len(self.pending)
+        self.delivered = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.delivered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SampleHandle(id={self.handle_id}, dist={self.distribution_id}, "
+            f"remaining={self.remaining})"
+        )
+
+
+class ParameterServer(ABC):
+    """Base class for all parameter servers in this repository."""
+
+    #: Human-readable architecture name used in reports and benchmarks.
+    name = "abstract"
+
+    def __init__(
+        self,
+        store: ParameterStore,
+        cluster: Cluster,
+        partitioner: Optional[Partitioner] = None,
+        seed: int = 0,
+    ) -> None:
+        self.store = store
+        self.cluster = cluster
+        self.partitioner = partitioner or RangePartitioner(
+            store.num_keys, cluster.num_nodes
+        )
+        if self.partitioner.num_keys != store.num_keys:
+            raise ValueError(
+                "partitioner covers a different key space than the store: "
+                f"{self.partitioner.num_keys} != {store.num_keys}"
+            )
+        self.metrics = cluster.metrics
+        self.network = cluster.network
+        self.rng = np.random.default_rng(seed)
+        self._distributions: Dict[int, object] = {}
+        self._next_distribution_id = 0
+
+    # ------------------------------------------------------------ direct API
+    def pull(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Read the current values of ``keys`` (a working copy per the paper)."""
+        raise NotImplementedError
+
+    def push(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray,
+             deltas: np.ndarray) -> None:
+        """Additively apply ``deltas`` to ``keys``."""
+        raise NotImplementedError
+
+    def localize(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray) -> None:
+        """Hint that ``keys`` will soon be accessed at the worker's node.
+
+        Only relocation-capable PSs act on this; the default is a no-op, which
+        matches classic and replication PSs.
+        """
+
+    def advance_clock(self, worker: WorkerContext) -> None:
+        """Advance the bounded-staleness clock of the calling worker.
+
+        Only replication PSs act on this; the default is a no-op.
+        """
+
+    def housekeeping(self, now: float) -> None:
+        """Run background work that is due at simulated time ``now``.
+
+        The training driver calls this periodically; NuPS uses it to run
+        replica synchronization and sample-pool preparation.
+        """
+
+    def finish_epoch(self) -> None:
+        """Flush any buffered state at an epoch boundary (default: no-op)."""
+
+    # ---------------------------------------------------------- sampling API
+    def register_distribution(self, distribution: object, level: object = None) -> int:
+        """Register a sampling distribution and return its id.
+
+        ``distribution`` must expose ``sample(rng, size) -> np.ndarray`` over
+        parameter keys (see :mod:`repro.core.sampling.distributions`). The
+        ``level`` argument is the requested conformity level; the base class
+        ignores it because existing PSs always sample independently in
+        application code.
+        """
+        distribution_id = self._next_distribution_id
+        self._next_distribution_id += 1
+        self._distributions[distribution_id] = distribution
+        return distribution_id
+
+    def prepare_sample(self, worker: WorkerContext, distribution_id: int,
+                       count: int) -> SampleHandle:
+        """Prepare ``count`` samples from a registered distribution.
+
+        The default implementation reproduces what applications do on top of
+        existing PSs (Section 4.2, "independent sampling"): draw iid keys in
+        application code. No preparatory communication happens.
+        """
+        distribution = self._get_distribution(distribution_id)
+        keys = distribution.sample(self.rng, count)
+        return SampleHandle(distribution_id, np.asarray(keys, dtype=np.int64))
+
+    def pull_sample(self, worker: WorkerContext, handle: SampleHandle,
+                    count: Optional[int] = None) -> PullResult:
+        """Deliver the next ``count`` samples of ``handle`` (default: all).
+
+        The default implementation accesses the sampled keys via direct
+        access (``pull``), exactly like an application built on an existing
+        PS would.
+        """
+        count = handle.remaining if count is None else int(count)
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count > handle.remaining:
+            raise ValueError(
+                f"requested {count} samples but only {handle.remaining} remain"
+            )
+        keys = np.asarray(handle.pending[:count], dtype=np.int64)
+        del handle.pending[:count]
+        handle.delivered += count
+        values = self.pull(worker, keys) if count else np.empty(
+            (0, self.store.value_length), dtype=np.float32
+        )
+        return PullResult(keys=keys, values=values)
+
+    def push_sample(self, worker: WorkerContext, keys: np.ndarray,
+                    deltas: np.ndarray) -> None:
+        """Write back updates for previously pulled sample keys.
+
+        Default: direct-access push. NuPS overrides this so that updates to
+        sampled keys follow the same management path as the samples came from.
+        """
+        self.push(worker, keys, deltas)
+
+    # --------------------------------------------------------------- helpers
+    def _get_distribution(self, distribution_id: int) -> object:
+        try:
+            return self._distributions[distribution_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown distribution id {distribution_id}; "
+                "call register_distribution first"
+            ) from None
+
+    def _validate_push(self, keys: np.ndarray, deltas: np.ndarray) -> tuple:
+        keys = np.asarray(keys, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.float32)
+        if deltas.shape != (len(keys), self.store.value_length):
+            raise ValueError(
+                f"deltas must have shape ({len(keys)}, {self.store.value_length}), "
+                f"got {deltas.shape}"
+            )
+        return keys, deltas
+
+    def _charge_local(self, worker: WorkerContext, count: int, kind: str) -> None:
+        """Charge ``count`` shared-memory accesses to the worker."""
+        if count <= 0:
+            return
+        worker.clock.advance(count * self.network.local_access_cost)
+        self.metrics.record_access(f"{kind}.local", worker.node_id, count)
+
+    def _charge_remote(self, worker: WorkerContext, count: int, kind: str,
+                       server_id: Optional[int] = None) -> None:
+        """Charge ``count`` classic remote accesses (2 messages each).
+
+        When ``server_id`` is given, each access also occupies that server's
+        request-processing thread; if the server is backed up (hot keys), the
+        worker experiences queueing delay on top of the wire latency.
+        """
+        if count <= 0:
+            return
+        value_bytes = self.store.value_bytes()
+        per_access = self.network.remote_access_cost(value_bytes)
+        worker.clock.advance(count * per_access)
+        if server_id is not None and server_id != worker.node_id:
+            # The serving node's request thread is busy for the handling and
+            # transfer time of every request. The cumulative busy time of the
+            # hottest server is a floor on the epoch's run time (throughput
+            # ceiling) — the mechanism that makes classic PSs collapse when
+            # hot keys concentrate traffic on one server.
+            server = self.cluster.node(server_id).server_clock
+            server.advance(count * self.network.server_occupancy(value_bytes))
+        self.metrics.record_access(f"{kind}.remote", worker.node_id, count)
+        self.metrics.increment("network.messages", 2 * count, node=worker.node_id)
+        self.metrics.increment(
+            "network.bytes", count * value_bytes, node=worker.node_id
+        )
+
+    def _charge_remote_keys(self, worker: WorkerContext, keys: np.ndarray,
+                            kind: str) -> None:
+        """Charge remote accesses for ``keys``, routed to their home servers."""
+        if len(keys) == 0:
+            return
+        owners = self.partitioner.owners(np.asarray(keys, dtype=np.int64))
+        for server in np.unique(owners):
+            count = int(np.count_nonzero(owners == server))
+            self._charge_remote(worker, count, kind, server_id=int(server))
+
+    @property
+    def value_bytes(self) -> int:
+        return self.store.value_bytes()
+
+    def describe(self) -> Dict[str, object]:
+        """A short description of the PS configuration (for reports)."""
+        return {
+            "name": self.name,
+            "num_keys": self.store.num_keys,
+            "value_length": self.store.value_length,
+            "num_nodes": self.cluster.num_nodes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(nodes={self.cluster.num_nodes})"

@@ -1,0 +1,46 @@
+"""Classic parameter server (PS-Lite-like).
+
+Parameters are allocated to servers statically (range partitioning) and never
+replicated or relocated (Section 3.1.1). Servers are co-located with workers,
+so accesses to the local partition go through shared memory while accesses to
+any other partition pay the full two-message remote cost. There is exactly
+one current copy of each value, so the classic PS provides per-key sequential
+consistency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ps.base import ParameterServer
+from repro.simulation.cluster import WorkerContext
+
+
+class ClassicPS(ParameterServer):
+    """Static allocation, no replication, no relocation."""
+
+    name = "classic"
+
+    def pull(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.int64)
+        self._charge_partitioned(worker, keys, "pull")
+        return self.store.get(keys)
+
+    def push(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray,
+             deltas: np.ndarray) -> None:
+        keys, deltas = self._validate_push(keys, deltas)
+        self._charge_partitioned(worker, keys, "push")
+        self.store.add(keys, deltas)
+
+    # --------------------------------------------------------------- helpers
+    def _charge_partitioned(self, worker: WorkerContext, keys: np.ndarray,
+                            kind: str) -> None:
+        """Charge local cost for home-partition keys, remote cost otherwise."""
+        if len(keys) == 0:
+            return
+        owners = self.partitioner.owners(keys)
+        local_mask = owners == worker.node_id
+        self._charge_local(worker, int(np.count_nonzero(local_mask)), kind)
+        self._charge_remote_keys(worker, keys[~local_mask], kind)

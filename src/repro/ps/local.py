@@ -1,0 +1,42 @@
+"""Shared-memory single-node baseline.
+
+The paper compares every distributed PS against a single node with 8 worker
+threads that access the model through shared memory (Section 5.1). Here the
+"single node" is a :class:`SingleNodePS` on a cluster configured with one
+node: every access is a shared-memory access, there is no network cost, and
+there is no staleness — workers always see the latest values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ps.base import ParameterServer
+from repro.simulation.cluster import WorkerContext
+
+
+class SingleNodePS(ParameterServer):
+    """Shared-memory parameter access on a single node."""
+
+    name = "single-node"
+
+    def __init__(self, store, cluster, partitioner=None, seed: int = 0) -> None:
+        super().__init__(store, cluster, partitioner, seed)
+        if cluster.num_nodes != 1:
+            raise ValueError(
+                "SingleNodePS requires a single-node cluster; got "
+                f"{cluster.num_nodes} nodes"
+            )
+
+    def pull(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.int64)
+        self._charge_local(worker, len(keys), "pull")
+        return self.store.get(keys)
+
+    def push(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray,
+             deltas: np.ndarray) -> None:
+        keys, deltas = self._validate_push(keys, deltas)
+        self._charge_local(worker, len(keys), "push")
+        self.store.add(keys, deltas)

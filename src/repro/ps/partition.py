@@ -1,0 +1,88 @@
+"""Static key-to-server partitioning.
+
+Classic parameter servers allocate parameters to servers statically
+(Section 3.1.1), typically by range-partitioning the key space. The same
+static map doubles as the *home node* map in a relocation PS: the home node
+always knows which node currently owns a key, so a requester contacts the
+home node first (the first of Lapse's three relocation messages).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Partitioner(ABC):
+    """Maps parameter keys to the server (node) that statically owns them."""
+
+    def __init__(self, num_keys: int, num_servers: int) -> None:
+        if num_keys <= 0:
+            raise ValueError("num_keys must be positive")
+        if num_servers <= 0:
+            raise ValueError("num_servers must be positive")
+        self.num_keys = int(num_keys)
+        self.num_servers = int(num_servers)
+
+    @abstractmethod
+    def owner(self, key: int) -> int:
+        """Server id of ``key``."""
+
+    @abstractmethod
+    def owners(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner` for an array of keys."""
+
+    def keys_of(self, server: int) -> np.ndarray:
+        """All keys statically assigned to ``server``."""
+        if not 0 <= server < self.num_servers:
+            raise ValueError(f"server {server} out of range [0, {self.num_servers})")
+        all_keys = np.arange(self.num_keys, dtype=np.int64)
+        return all_keys[self.owners(all_keys) == server]
+
+    def partition_sizes(self) -> np.ndarray:
+        """Number of keys per server (length ``num_servers``)."""
+        all_keys = np.arange(self.num_keys, dtype=np.int64)
+        return np.bincount(self.owners(all_keys), minlength=self.num_servers)
+
+
+class RangePartitioner(Partitioner):
+    """Contiguous range partitioning (the classic-PS default).
+
+    Key ``k`` belongs to server ``k // ceil(num_keys / num_servers)``, i.e.
+    servers own contiguous, nearly equal-sized ranges.
+    """
+
+    def __init__(self, num_keys: int, num_servers: int) -> None:
+        super().__init__(num_keys, num_servers)
+        self._range_size = -(-self.num_keys // self.num_servers)  # ceil division
+
+    def owner(self, key: int) -> int:
+        self._check_key(key)
+        return min(key // self._range_size, self.num_servers - 1)
+
+    def owners(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.int64)
+        return np.minimum(keys // self._range_size, self.num_servers - 1)
+
+    def _check_key(self, key: int) -> None:
+        if not 0 <= key < self.num_keys:
+            raise KeyError(f"key {key} out of range [0, {self.num_keys})")
+
+
+class HashPartitioner(Partitioner):
+    """Hash (modulo) partitioning.
+
+    Spreads adjacent keys across servers, which avoids placing all hot keys of
+    a frequency-sorted key space on one server. Used by some PSs and useful
+    for ablations.
+    """
+
+    def owner(self, key: int) -> int:
+        if not 0 <= key < self.num_keys:
+            raise KeyError(f"key {key} out of range [0, {self.num_keys})")
+        return int(key % self.num_servers)
+
+    def owners(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.int64)
+        return keys % self.num_servers

@@ -1,0 +1,152 @@
+"""Relocation parameter server (Lapse-like).
+
+A relocation PS moves parameters between nodes at run time so that accesses
+can be processed locally (Section 3.1.3). Applications issue ``localize``
+hints ahead of access; the PS relocates the parameter asynchronously using
+Lapse's three-message protocol (request to the home node, forward to the
+current owner, response carrying the value). Accesses to parameters that the
+node currently owns go through shared memory; accesses to parameters owned
+elsewhere are processed remotely, routed via the home node.
+
+Relocation keeps exactly one current copy of every parameter, so it provides
+per-key sequential consistency. Its weakness — reproduced here — is hot-spot
+contention: when several nodes localize the same key in quick succession, the
+key keeps moving, accesses find it gone, and workers either wait for an
+in-flight relocation or fall back to remote access.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ps.base import ParameterServer
+from repro.simulation.cluster import Cluster, WorkerContext
+from repro.ps.partition import Partitioner
+from repro.ps.storage import ParameterStore
+
+
+class RelocationPS(ParameterServer):
+    """Lapse-like PS: dynamic parameter allocation via ``localize``."""
+
+    name = "relocation"
+
+    def __init__(
+        self,
+        store: ParameterStore,
+        cluster: Cluster,
+        partitioner: Partitioner | None = None,
+        relocation_enabled: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(store, cluster, partitioner, seed)
+        #: ``relocation_enabled=False`` degrades this PS to a classic PS
+        #: (the paper uses exactly this configuration as its classic baseline).
+        self.relocation_enabled = relocation_enabled
+        all_keys = np.arange(store.num_keys, dtype=np.int64)
+        #: Current owner node of every key; starts at the static partition.
+        self.current_owner = self.partitioner.owners(all_keys).astype(np.int64)
+        #: Simulated time at which the most recent relocation of a key
+        #: completes at its new owner. Accesses before that time must wait.
+        self.arrival_time = np.zeros(store.num_keys, dtype=np.float64)
+
+    # ------------------------------------------------------------- direct API
+    def localize(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray) -> None:
+        """Asynchronously relocate ``keys`` to the worker's node."""
+        if not self.relocation_enabled:
+            return
+        keys = np.asarray(keys, dtype=np.int64)
+        if len(keys) == 0:
+            return
+        node_id = worker.node_id
+        background = self.cluster.node(node_id).background_clock
+        value_bytes = self.store.value_bytes()
+        relocation_latency = self.network.relocation_cost(value_bytes)
+        occupancy = self.network.relocation_occupancy(value_bytes)
+        for key in keys:
+            key = int(key)
+            if self.current_owner[key] == node_id:
+                continue
+            # The relocation is handled asynchronously by the node's
+            # communication thread: the thread is busy for ``occupancy`` per
+            # relocation, and the key arrives one protocol round-trip after
+            # the request leaves (whichever of the two finishes later).
+            start = max(worker.clock.now, background.now)
+            background.advance_to(start + occupancy)
+            arrival = max(start + relocation_latency, background.now)
+            self.current_owner[key] = node_id
+            self.arrival_time[key] = arrival
+            self.metrics.increment("relocation.count", 1, node=node_id)
+            self.metrics.increment("network.messages", 3, node=node_id)
+            self.metrics.increment(
+                "network.bytes", value_bytes, node=node_id
+            )
+
+    def pull(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.int64)
+        self._charge_access(worker, keys, "pull")
+        return self.store.get(keys)
+
+    def push(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray,
+             deltas: np.ndarray) -> None:
+        keys, deltas = self._validate_push(keys, deltas)
+        self._charge_access(worker, keys, "push")
+        self.store.add(keys, deltas)
+
+    # --------------------------------------------------------------- internals
+    def _charge_access(self, worker: WorkerContext, keys: np.ndarray, kind: str) -> None:
+        """Charge each access as local, wait-then-local, or routed-remote."""
+        if len(keys) == 0:
+            return
+        node_id = worker.node_id
+        for key in keys:
+            key = int(key)
+            if self.current_owner[key] == node_id:
+                arrival = self.arrival_time[key]
+                if arrival > worker.clock.now:
+                    # The key is on its way here: wait for the relocation to
+                    # finish, then access through shared memory.
+                    worker.clock.advance_to(arrival)
+                    self.metrics.increment(
+                        "relocation.waits", 1, node=node_id
+                    )
+                self._charge_local(worker, 1, kind)
+            else:
+                self._charge_routed_remote(worker, key, kind)
+
+    def _charge_routed_remote(self, worker: WorkerContext, key: int, kind: str) -> None:
+        """Synchronous remote access routed via the home node.
+
+        If the key still resides at its home node the access takes the same
+        two messages as in a classic PS; if it has been relocated elsewhere
+        the home node forwards the request, which adds a third message. The
+        serving node's request thread is occupied either way.
+        """
+        node_id = worker.node_id
+        value_bytes = self.store.value_bytes()
+        owner = int(self.current_owner[key])
+        home = self.partitioner.owner(key)
+        messages = 2 if owner == home else 3
+        cost = (messages - 1) * self.network.message_cost(0) \
+            + self.network.message_cost(value_bytes)
+        worker.clock.advance(cost)
+        if owner != node_id:
+            server = self.cluster.node(owner).server_clock
+            server.advance(self.network.server_occupancy(value_bytes))
+        self.metrics.record_access(f"{kind}.remote", node_id, 1)
+        self.metrics.increment("network.messages", messages, node=node_id)
+        self.metrics.increment("network.bytes", value_bytes, node=node_id)
+
+    # ------------------------------------------------------------- inspection
+    def is_local(self, node_id: int, key: int) -> bool:
+        """Whether ``key`` is currently allocated at ``node_id``."""
+        return bool(self.current_owner[int(key)] == node_id)
+
+    def local_keys(self, node_id: int) -> np.ndarray:
+        """All keys currently allocated at ``node_id``."""
+        return np.flatnonzero(self.current_owner == node_id).astype(np.int64)
+
+    def owner_of(self, key: int) -> int:
+        """Current owner node of ``key``."""
+        return int(self.current_owner[int(key)])

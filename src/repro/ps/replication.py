@@ -1,0 +1,252 @@
+"""Replication parameter server (Petuum-like SSP / ESSP).
+
+Replication PSs keep per-node replicas of parameters and tolerate bounded
+staleness (Section 3.1.2). Applications drive staleness with an
+"advance the clock" operation. Two replica-maintenance protocols are
+implemented, following Petuum:
+
+* **SSP** creates a replica when a parameter is accessed and uses it until the
+  staleness bound is reached; after that, the next access refreshes the
+  replica synchronously from the owning server.
+* **ESSP** also creates replicas on first access but then maintains them
+  eagerly: at every clock advance the node refreshes *all* of its replicas,
+  which over-communicates for rarely-accessed (long-tail) parameters.
+
+Writes are accumulated in a per-node update buffer and propagated to the
+owning servers at the next clock advance, as in Petuum. Because Petuum's
+co-located servers are reached through intra-process messages rather than
+shared memory, even local-partition accesses are charged a (small) messaging
+overhead; this reproduces the paper's observation that Petuum is slower than
+shared-memory systems even on a single node (Section 5.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.ps.base import ParameterServer
+from repro.simulation.cluster import Cluster, WorkerContext
+from repro.ps.partition import Partitioner
+from repro.ps.storage import ParameterStore
+
+
+class ReplicationProtocol(enum.Enum):
+    """Replica maintenance protocol."""
+
+    SSP = "ssp"
+    ESSP = "essp"
+
+
+#: Cost multiplier for reaching the co-located server via intra-process
+#: messaging instead of shared memory.
+INTRA_PROCESS_FACTOR = 10.0
+
+
+class _NodeReplicaState:
+    """Replica cache, clocks and update buffer of one node."""
+
+    def __init__(self, value_length: int) -> None:
+        self.value_length = value_length
+        self.replicas: Dict[int, np.ndarray] = {}
+        self.replica_clock: Dict[int, int] = {}
+        self.update_buffer: Dict[int, np.ndarray] = {}
+        self.worker_clocks: Dict[int, int] = {}
+
+    @property
+    def clock(self) -> int:
+        """The node clock: the slowest worker on this node."""
+        if not self.worker_clocks:
+            return 0
+        return min(self.worker_clocks.values())
+
+    def buffered_delta(self, key: int) -> np.ndarray | None:
+        return self.update_buffer.get(key)
+
+    def add_update(self, key: int, delta: np.ndarray) -> None:
+        buffered = self.update_buffer.get(key)
+        if buffered is None:
+            self.update_buffer[key] = delta.astype(np.float32).copy()
+        else:
+            buffered += delta
+
+
+class ReplicationPS(ParameterServer):
+    """Petuum-like bounded-staleness replication PS (SSP or ESSP)."""
+
+    name = "replication"
+
+    def __init__(
+        self,
+        store: ParameterStore,
+        cluster: Cluster,
+        partitioner: Partitioner | None = None,
+        protocol: ReplicationProtocol = ReplicationProtocol.SSP,
+        staleness: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(store, cluster, partitioner, seed)
+        if staleness < 0:
+            raise ValueError("staleness must be non-negative")
+        self.protocol = protocol
+        self.staleness = int(staleness)
+        self.name = f"replication-{protocol.value}"
+        self._nodes: Dict[int, _NodeReplicaState] = {
+            node_id: _NodeReplicaState(store.value_length)
+            for node_id in range(cluster.num_nodes)
+        }
+
+    # -------------------------------------------------------------- direct API
+    def pull(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.int64)
+        state = self._nodes[worker.node_id]
+        worker_clock = state.worker_clocks.get(worker.worker_id, 0)
+        values = np.empty((len(keys), self.store.value_length), dtype=np.float32)
+        for i, key in enumerate(keys):
+            key = int(key)
+            replica = state.replicas.get(key)
+            fresh = (
+                replica is not None
+                and state.replica_clock.get(key, -10**9) >= worker_clock - self.staleness
+            )
+            if fresh:
+                values[i] = replica
+                self._charge_intra_process(worker, 1, "pull.replica")
+            else:
+                values[i] = self._refresh_replica(worker, state, key, worker_clock)
+        return values
+
+    def push(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray,
+             deltas: np.ndarray) -> None:
+        keys, deltas = self._validate_push(keys, deltas)
+        state = self._nodes[worker.node_id]
+        worker_clock = state.worker_clocks.get(worker.worker_id, 0)
+        for key, delta in zip(keys, deltas):
+            key = int(key)
+            if key not in state.replicas:
+                # Writing to a parameter that was never pulled: create the
+                # replica first (Petuum reads-before-writes via the cache).
+                self._refresh_replica(worker, state, key, worker_clock)
+            state.replicas[key] = state.replicas[key] + delta
+            state.add_update(key, delta)
+            self._charge_intra_process(worker, 1, "push.replica")
+
+    def advance_clock(self, worker: WorkerContext) -> None:
+        """Advance the worker's clock; flush and (ESSP) refresh at node level."""
+        state = self._nodes[worker.node_id]
+        state.worker_clocks[worker.worker_id] = (
+            state.worker_clocks.get(worker.worker_id, 0) + 1
+        )
+        expected_workers = self.cluster.workers_per_node
+        if len(state.worker_clocks) < expected_workers:
+            # Not all workers have started clocking yet; the node clock is
+            # still effectively zero, so there is nothing to flush.
+            return
+        self._flush_node(worker.node_id, state)
+        if self.protocol is ReplicationProtocol.ESSP:
+            self._eager_refresh(worker.node_id, state)
+
+    # ------------------------------------------------------------- internals
+    def _refresh_replica(self, worker: WorkerContext, state: _NodeReplicaState,
+                         key: int, worker_clock: int) -> np.ndarray:
+        """Synchronously (re)fetch ``key`` from its owning server."""
+        owner = self.partitioner.owner(key)
+        if owner == worker.node_id:
+            self._charge_intra_process(worker, 1, "pull.local_server")
+        else:
+            self._charge_remote(worker, 1, "pull", server_id=owner)
+        value = self.store.get_single(key)
+        buffered = state.buffered_delta(key)
+        if buffered is not None:
+            value = value + buffered
+        state.replicas[key] = value
+        state.replica_clock[key] = worker_clock
+        return value.copy()
+
+    def _flush_node(self, node_id: int, state: _NodeReplicaState) -> None:
+        """Send the node's buffered updates to the owning servers."""
+        if not state.update_buffer:
+            return
+        keys = np.fromiter(state.update_buffer.keys(), dtype=np.int64)
+        deltas = np.stack([state.update_buffer[int(k)] for k in keys])
+        self.store.add(keys, deltas)
+
+        owners = self.partitioner.owners(keys)
+        background = self.cluster.node(node_id).background_clock
+        payload_per_key = self.store.value_bytes()
+        for server in np.unique(owners):
+            server_keys = int(np.count_nonzero(owners == server))
+            if int(server) == node_id:
+                continue  # local server: no network message
+            # Flushes happen asynchronously on the node's communication
+            # thread: charge handling plus payload transfer, not wire latency.
+            cost = (
+                self.network.message_handling_cost
+                + self.network.transfer_cost(server_keys * payload_per_key)
+            )
+            background.advance(cost)
+            self.metrics.increment("network.messages", 1, node=node_id)
+            self.metrics.increment(
+                "network.bytes", server_keys * payload_per_key, node=node_id
+            )
+        self.metrics.increment("replication.flushes", 1, node=node_id)
+        self.metrics.increment(
+            "replication.flushed_keys", len(keys), node=node_id
+        )
+        state.update_buffer.clear()
+
+    def _eager_refresh(self, node_id: int, state: _NodeReplicaState) -> None:
+        """ESSP: refresh every replica the node holds from the servers."""
+        if not state.replicas:
+            return
+        keys = np.fromiter(state.replicas.keys(), dtype=np.int64)
+        fresh_values = self.store.get(keys)
+        node_clock = state.clock
+        for key, value in zip(keys, fresh_values):
+            key = int(key)
+            state.replicas[key] = value
+            state.replica_clock[key] = node_clock
+
+        owners = self.partitioner.owners(keys)
+        background = self.cluster.node(node_id).background_clock
+        payload_per_key = self.store.value_bytes()
+        for server in np.unique(owners):
+            if int(server) == node_id:
+                continue
+            server_keys = int(np.count_nonzero(owners == server))
+            # Eager refreshes stream in the background; the transfer volume —
+            # every replicated key, every clock, from every node — is what
+            # over-communicates. It occupies both the requesting node's
+            # communication thread and the serving node's request thread.
+            volume = self.network.transfer_cost(server_keys * payload_per_key)
+            background.advance(self.network.message_handling_cost + volume)
+            self.cluster.node(int(server)).server_clock.advance(
+                self.network.message_handling_cost + volume
+            )
+            self.metrics.increment("network.messages", 1, node=node_id)
+            self.metrics.increment(
+                "network.bytes", server_keys * payload_per_key, node=node_id
+            )
+        self.metrics.increment("replication.eager_refreshes", 1, node=node_id)
+        self.metrics.increment(
+            "replication.refreshed_keys", len(keys), node=node_id
+        )
+
+    def finish_epoch(self) -> None:
+        """Flush all outstanding updates (end of training epoch)."""
+        for node_id, state in self._nodes.items():
+            self._flush_node(node_id, state)
+
+    def replica_count(self, node_id: int) -> int:
+        """Number of replicas currently held by ``node_id`` (for tests/reports)."""
+        return len(self._nodes[node_id].replicas)
+
+    # --------------------------------------------------------------- charging
+    def _charge_intra_process(self, worker: WorkerContext, count: int, kind: str) -> None:
+        if count <= 0:
+            return
+        cost = count * self.network.local_access_cost * INTRA_PROCESS_FACTOR
+        worker.clock.advance(cost)
+        self.metrics.record_access(kind, worker.node_id, count)

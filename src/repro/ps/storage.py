@@ -1,0 +1,136 @@
+"""Dense parameter storage.
+
+The parameter store is the ground-truth home of all model parameters. Keys
+are contiguous integers ``0 .. num_keys - 1`` and every key maps to a fixed
+length ``float32`` vector. Parameter servers layer their management
+techniques (replication, relocation, caching) on top of one shared store;
+the store itself knows nothing about nodes or the network.
+
+Updates are *additive* (``add``), which matches how the paper's workloads use
+a PS: workers push gradients or gradient-like deltas that the server adds to
+the current value. A ``set`` operation exists for initialization and for
+replica synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class ParameterStore:
+    """Dense ``num_keys x value_length`` float32 parameter storage."""
+
+    def __init__(self, num_keys: int, value_length: int, seed: int | None = None,
+                 init_scale: float = 0.0) -> None:
+        if num_keys <= 0:
+            raise ValueError("num_keys must be positive")
+        if value_length <= 0:
+            raise ValueError("value_length must be positive")
+        self.num_keys = int(num_keys)
+        self.value_length = int(value_length)
+        rng = np.random.default_rng(seed)
+        if init_scale:
+            self._values = rng.normal(
+                0.0, init_scale, size=(num_keys, value_length)
+            ).astype(np.float32)
+        else:
+            self._values = np.zeros((num_keys, value_length), dtype=np.float32)
+        # Monotonic per-key version counters; bumped on every write. Used by
+        # tests and by replica managers to detect missed updates.
+        self._versions = np.zeros(num_keys, dtype=np.int64)
+
+    # ---------------------------------------------------------------- access
+    def get(self, keys: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Return a *copy* of the values for ``keys`` (shape ``(len, dim)``)."""
+        keys = self._validate_keys(keys)
+        return self._values[keys].copy()
+
+    def get_single(self, key: int) -> np.ndarray:
+        """Return a copy of the value for one key."""
+        self._validate_key(key)
+        return self._values[key].copy()
+
+    def view(self, keys: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Return a read-only view of the values for ``keys``.
+
+        Used by the shared-memory single-node baseline, where workers read
+        the store directly. Callers must not mutate the returned array.
+        """
+        keys = self._validate_keys(keys)
+        values = self._values[keys]
+        values.flags.writeable = False
+        return values
+
+    def add(self, keys: Sequence[int] | np.ndarray, deltas: np.ndarray) -> None:
+        """Add ``deltas`` to the values of ``keys`` (duplicate keys accumulate)."""
+        keys = self._validate_keys(keys)
+        deltas = self._validate_deltas(keys, deltas)
+        # np.add.at handles repeated keys correctly (unlike fancy-index +=).
+        np.add.at(self._values, keys, deltas)
+        np.add.at(self._versions, keys, 1)
+
+    def set(self, keys: Sequence[int] | np.ndarray, values: np.ndarray) -> None:
+        """Overwrite the values of ``keys`` with ``values``."""
+        keys = self._validate_keys(keys)
+        values = self._validate_deltas(keys, values)
+        self._values[keys] = values
+        self._versions[keys] += 1
+
+    def version(self, key: int) -> int:
+        """The number of writes applied to ``key`` so far."""
+        self._validate_key(key)
+        return int(self._versions[key])
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def values(self) -> np.ndarray:
+        """The full value matrix (read-write; owned by the store)."""
+        return self._values
+
+    def value_bytes(self) -> int:
+        """Wire size in bytes of one parameter value."""
+        return self.value_length * 4
+
+    def total_bytes(self) -> int:
+        """Total size of the stored model in bytes."""
+        return self.num_keys * self.value_bytes()
+
+    def copy(self) -> "ParameterStore":
+        """Deep copy (used by experiments that restart from a checkpoint)."""
+        clone = ParameterStore(self.num_keys, self.value_length)
+        clone._values = self._values.copy()
+        clone._versions = self._versions.copy()
+        return clone
+
+    # ------------------------------------------------------------ validation
+    def _validate_key(self, key: int) -> None:
+        if not 0 <= key < self.num_keys:
+            raise KeyError(f"key {key} out of range [0, {self.num_keys})")
+
+    def _validate_keys(self, keys: Sequence[int] | np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.ndim != 1:
+            raise ValueError(f"keys must be one-dimensional, got shape {keys.shape}")
+        if keys.size and (keys.min() < 0 or keys.max() >= self.num_keys):
+            raise KeyError(
+                f"keys out of range [0, {self.num_keys}): "
+                f"min={keys.min()}, max={keys.max()}"
+            )
+        return keys
+
+    def _validate_deltas(self, keys: np.ndarray, deltas: np.ndarray) -> np.ndarray:
+        deltas = np.asarray(deltas, dtype=np.float32)
+        expected = (len(keys), self.value_length)
+        if deltas.shape != expected:
+            raise ValueError(
+                f"deltas must have shape {expected}, got {deltas.shape}"
+            )
+        return deltas
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParameterStore(num_keys={self.num_keys}, "
+            f"value_length={self.value_length})"
+        )

@@ -1,0 +1,34 @@
+"""Experiment harness: wires tasks, parameter servers and the simulated cluster.
+
+Used by the examples and by every benchmark in ``benchmarks/``.
+"""
+
+from repro.runner.config import ExperimentConfig
+from repro.runner.experiment import EpochRecord, ExperimentResult, run_experiment
+from repro.runner.systems import SYSTEM_NAMES, build_parameter_server, make_ps_factory
+from repro.runner.reporting import format_table, quality_over_time_table, summary_table
+from repro.runner.workloads import (
+    NUPS_BENCH_OVERRIDES,
+    kge_task,
+    make_task,
+    matrix_factorization_task,
+    word_vectors_task,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "EpochRecord",
+    "ExperimentResult",
+    "run_experiment",
+    "SYSTEM_NAMES",
+    "build_parameter_server",
+    "make_ps_factory",
+    "format_table",
+    "quality_over_time_table",
+    "summary_table",
+    "NUPS_BENCH_OVERRIDES",
+    "make_task",
+    "kge_task",
+    "word_vectors_task",
+    "matrix_factorization_task",
+]

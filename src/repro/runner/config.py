@@ -1,0 +1,57 @@
+"""Experiment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.simulation.cluster import ClusterConfig
+
+
+@dataclass
+class ExperimentConfig:
+    """Configuration of one training experiment.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster (number of nodes, workers per node, network
+        cost model). The paper's main setting is 8 nodes x 8 workers.
+    epochs:
+        Maximum number of epochs to train.
+    time_budget:
+        Optional budget in *simulated* seconds; training stops at the first
+        epoch boundary after the budget is exhausted, mirroring the paper's
+        fixed 6-hour budget.
+    chunk_size:
+        Number of data points a worker processes per scheduling round. The
+        runner interleaves chunks across all workers round-robin, which is
+        how the simulation approximates parallel execution.
+    housekeeping_every_chunks:
+        How often (in scheduling rounds) PS housekeeping runs — replica
+        synchronization and sampling-pool maintenance.
+    evaluate_every:
+        Evaluate model quality every this many epochs.
+    seed:
+        Random seed for sharding, model initialization and training.
+    """
+
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    epochs: int = 3
+    time_budget: Optional[float] = None
+    chunk_size: int = 16
+    housekeeping_every_chunks: int = 1
+    evaluate_every: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.housekeeping_every_chunks < 1:
+            raise ValueError("housekeeping_every_chunks must be >= 1")
+        if self.evaluate_every < 1:
+            raise ValueError("evaluate_every must be >= 1")
+        if self.time_budget is not None and self.time_budget <= 0:
+            raise ValueError("time_budget must be positive when set")

@@ -1,0 +1,215 @@
+"""The training driver: interleaved simulated-parallel execution.
+
+``run_experiment`` trains one task on one parameter server over the simulated
+cluster. Per scheduling round, every worker processes one chunk of its local
+data shard; PS housekeeping (replica synchronization, sampling-pool
+maintenance) runs between rounds. Per-worker simulated clocks advance as the
+PS charges access costs and the task charges compute costs, so the epoch's
+simulated run time is the time of the slowest worker — exactly how wall-clock
+epoch time behaves on a real cluster.
+
+After every epoch the model is evaluated from the (synchronized) parameter
+store, which produces the quality-over-time and quality-over-epoch series the
+paper's figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.ml.task import TrainingTask
+from repro.ps.base import ParameterServer
+from repro.runner.config import ExperimentConfig
+from repro.simulation.cluster import Cluster
+
+PSFactory = Callable[..., ParameterServer]
+
+
+@dataclass
+class EpochRecord:
+    """Quality and timing of one training epoch."""
+
+    epoch: int
+    sim_time: float
+    epoch_duration: float
+    quality: Dict[str, float]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment: per-epoch records plus PS counters."""
+
+    system: str
+    task: str
+    num_nodes: int
+    workers_per_node: int
+    initial_quality: Dict[str, float]
+    records: List[EpochRecord] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    quality_metric: str = "quality"
+    higher_is_better: bool = True
+
+    # --------------------------------------------------------------- accessors
+    @property
+    def epochs_completed(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_time(self) -> float:
+        return self.records[-1].sim_time if self.records else 0.0
+
+    def qualities(self, metric: Optional[str] = None) -> List[float]:
+        metric = metric or self.quality_metric
+        return [record.quality[metric] for record in self.records]
+
+    def times(self) -> List[float]:
+        return [record.sim_time for record in self.records]
+
+    def final_quality(self, metric: Optional[str] = None) -> float:
+        metric = metric or self.quality_metric
+        if not self.records:
+            return float(self.initial_quality.get(metric, float("nan")))
+        return float(self.records[-1].quality[metric])
+
+    def best_quality(self, metric: Optional[str] = None) -> float:
+        metric = metric or self.quality_metric
+        values = self.qualities(metric)
+        if not values:
+            return float(self.initial_quality.get(metric, float("nan")))
+        return max(values) if self.higher_is_better else min(values)
+
+    def mean_epoch_time(self) -> float:
+        if not self.records:
+            return float("nan")
+        return float(np.mean([record.epoch_duration for record in self.records]))
+
+    def time_to_quality(self, threshold: float) -> Optional[float]:
+        """Simulated time of the first epoch at which quality reaches ``threshold``.
+
+        Returns ``None`` when the threshold is never reached (the paper then
+        reports the variant as not reaching the 90% mark within the budget).
+        """
+        for record in self.records:
+            value = record.quality[self.quality_metric]
+            reached = value >= threshold if self.higher_is_better else value <= threshold
+            if reached:
+                return record.sim_time
+        return None
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "system": self.system,
+            "task": self.task,
+            "nodes": self.num_nodes,
+            "epochs": self.epochs_completed,
+            "final_quality": self.final_quality(),
+            "mean_epoch_time": self.mean_epoch_time(),
+        }
+
+
+def run_experiment(
+    task: TrainingTask,
+    ps_factory: PSFactory,
+    config: Optional[ExperimentConfig] = None,
+    system_name: Optional[str] = None,
+) -> ExperimentResult:
+    """Train ``task`` on the PS built by ``ps_factory`` and record quality.
+
+    ``ps_factory`` is called as ``ps_factory(store, cluster, task)`` and must
+    return a :class:`~repro.ps.base.ParameterServer` operating on that store
+    and cluster (see :mod:`repro.runner.systems` for the standard factories).
+    """
+    config = config or ExperimentConfig()
+    cluster = Cluster(config.cluster)
+    store = task.create_store(seed=config.seed)
+    ps = ps_factory(store, cluster, task)
+    task.register_sampling(ps)
+
+    shards = task.create_shards(
+        cluster.num_nodes, cluster.workers_per_node, seed=config.seed
+    )
+    workers = list(cluster.workers())
+    worker_rngs = {
+        (w.node_id, w.worker_id): np.random.default_rng(
+            config.seed * 1_000_003 + w.node_id * 131 + w.worker_id
+        )
+        for w in workers
+    }
+
+    result = ExperimentResult(
+        system=system_name or ps.name,
+        task=task.name,
+        num_nodes=cluster.num_nodes,
+        workers_per_node=cluster.workers_per_node,
+        initial_quality=task.evaluate(store),
+        quality_metric=task.quality_metric,
+        higher_is_better=task.higher_is_better,
+    )
+
+    for epoch in range(config.epochs):
+        epoch_start = cluster.time
+        _run_epoch(task, ps, cluster, shards, workers, worker_rngs, config)
+        ps.finish_epoch()
+        task.on_epoch_end(epoch)
+
+        if (epoch + 1) % config.evaluate_every == 0 or epoch + 1 == config.epochs:
+            quality = task.evaluate(store)
+        else:
+            quality = dict(result.records[-1].quality) if result.records else \
+                dict(result.initial_quality)
+        result.records.append(EpochRecord(
+            epoch=epoch + 1,
+            sim_time=cluster.time,
+            epoch_duration=cluster.time - epoch_start,
+            quality=quality,
+        ))
+        if config.time_budget is not None and cluster.time >= config.time_budget:
+            break
+
+    result.metrics = cluster.metrics.counters()
+    return result
+
+
+def _run_epoch(task, ps, cluster, shards, workers, worker_rngs, config) -> None:
+    """One epoch: every worker processes its full shard, chunk by chunk."""
+    positions = {
+        (w.node_id, w.worker_id): 0 for w in workers
+    }
+    # Prefetch the very first chunk of every worker so that its parameters
+    # can be relocated before processing starts.
+    for worker in workers:
+        shard = shards[worker.node_id][worker.worker_id]
+        task.prefetch(ps, worker, shard[: config.chunk_size])
+    rounds_since_housekeeping = 0
+    remaining = True
+    while remaining:
+        remaining = False
+        for worker in workers:
+            key = (worker.node_id, worker.worker_id)
+            shard = shards[worker.node_id][worker.worker_id]
+            position = positions[key]
+            if position >= len(shard):
+                continue
+            chunk = shard[position: position + config.chunk_size]
+            positions[key] = position + len(chunk)
+            # Localize the *next* chunk's parameters while this chunk is being
+            # processed (asynchronous relocate-before-access).
+            next_chunk = shard[position + len(chunk): position + len(chunk) + config.chunk_size]
+            if len(next_chunk):
+                task.prefetch(ps, worker, next_chunk)
+            task.process_chunk(ps, worker, chunk, worker_rngs[key])
+            # Drive the bounded-staleness clock of replication PSs; a no-op
+            # for every other architecture. One clock per chunk corresponds
+            # to the paper's best-performing setting of advancing the clock
+            # every ~10 data points.
+            ps.advance_clock(worker)
+            if positions[key] < len(shard):
+                remaining = True
+        rounds_since_housekeeping += 1
+        if rounds_since_housekeeping >= config.housekeeping_every_chunks:
+            ps.housekeeping(cluster.time)
+            rounds_since_housekeeping = 0
+    ps.housekeeping(cluster.time)

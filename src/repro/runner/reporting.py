@@ -1,0 +1,78 @@
+"""Plain-text reporting helpers used by examples and benchmarks.
+
+The benchmarks print the same rows and series the paper's tables and figures
+report; these helpers format them consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.runner.experiment import ExperimentResult
+
+
+def format_value(value: object, precision: int = 4) -> str:
+    """Human-friendly formatting for table cells."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 10 ** (-precision):
+            return f"{value:.3g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 precision: int = 4) -> str:
+    """Render an aligned plain-text table."""
+    rendered_rows = [[format_value(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [render_row(list(headers)), render_row(["-" * w for w in widths])]
+    lines.extend(render_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def quality_over_time_table(results: Sequence[ExperimentResult],
+                            metric: Optional[str] = None) -> str:
+    """Quality-over-time series for several systems (Figure 6-style output)."""
+    rows: List[List[object]] = []
+    for result in results:
+        metric_name = metric or result.quality_metric
+        for record in result.records:
+            rows.append([
+                result.system,
+                record.epoch,
+                record.sim_time,
+                record.epoch_duration,
+                record.quality.get(metric_name, float("nan")),
+            ])
+    headers = ["system", "epoch", "sim_time_s", "epoch_time_s", metric or "quality"]
+    return format_table(headers, rows)
+
+
+def summary_table(results: Sequence[ExperimentResult]) -> str:
+    """One-line-per-system summary: epochs, mean epoch time, final quality."""
+    rows = []
+    for result in results:
+        rows.append([
+            result.system,
+            result.num_nodes,
+            result.epochs_completed,
+            result.mean_epoch_time(),
+            result.final_quality(),
+        ])
+    headers = ["system", "nodes", "epochs", "mean_epoch_time_s", "final_quality"]
+    return format_table(headers, rows)

@@ -1,0 +1,28 @@
+"""Simulated cluster substrate.
+
+The paper evaluates NuPS on a real 8--16 node cluster. This package provides
+the stand-in: a cost-model simulation of such a cluster. Parameter-server
+operations advance per-worker simulated clocks according to a configurable
+network model (latency + bandwidth), and a metrics registry records message
+and byte counts. Relative performance between parameter-server architectures
+is determined by exactly these quantities, so the simulation preserves the
+shape of the paper's results (who wins, by roughly what factor) while running
+on a single machine.
+"""
+
+from repro.simulation.clock import SimulatedClock
+from repro.simulation.network import NetworkModel
+from repro.simulation.metrics import MetricsRegistry
+from repro.simulation.cluster import Cluster, ClusterConfig, Node, WorkerContext
+from repro.simulation.events import PeriodicSchedule
+
+__all__ = [
+    "SimulatedClock",
+    "NetworkModel",
+    "MetricsRegistry",
+    "Cluster",
+    "ClusterConfig",
+    "Node",
+    "WorkerContext",
+    "PeriodicSchedule",
+]

@@ -1,0 +1,58 @@
+"""Simulated clocks.
+
+Each worker (and each node-level background thread) owns a
+:class:`SimulatedClock`. Parameter-server operations advance the clock of the
+worker that issued them; background activities (replica synchronization, pool
+preparation) advance the clock of the background thread that runs them. The
+run time of an epoch is the maximum clock value across all workers, which
+mirrors how wall-clock epoch time is determined on a real cluster.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """A monotonically increasing simulated clock measured in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time.
+
+        Negative advances are rejected: simulated time never moves backwards.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to ``timestamp`` if it lies in the future.
+
+        If ``timestamp`` is in the past the clock is left unchanged. Returns
+        the (possibly unchanged) current time. This is used to model a worker
+        that blocks until a background event (e.g. a relocation that is in
+        flight) completes.
+        """
+        if timestamp > self._now:
+            self._now = float(timestamp)
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock to ``start`` (used between epochs in experiments)."""
+        if start < 0:
+            raise ValueError(f"clock cannot be reset to negative time: {start}")
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulatedClock(now={self._now:.6f})"

@@ -1,0 +1,156 @@
+"""Simulated cluster: nodes, workers, and their clocks.
+
+The cluster object ties together the network cost model, the metrics registry
+and the per-worker simulated clocks. Parameter servers receive a
+:class:`WorkerContext` on every API call; the context identifies the calling
+worker and exposes its clock so that the PS can charge access costs to the
+right place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.simulation.clock import SimulatedClock
+from repro.simulation.metrics import MetricsRegistry
+from repro.simulation.network import NetworkModel
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the simulated cluster.
+
+    The defaults mirror the paper's main setting: 8 nodes with 8 worker
+    threads each (Section 5.1), scaled-down workloads notwithstanding.
+    """
+
+    num_nodes: int = 8
+    workers_per_node: int = 8
+    network: NetworkModel = field(default_factory=NetworkModel)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.workers_per_node < 1:
+            raise ValueError("workers_per_node must be >= 1")
+
+    @property
+    def total_workers(self) -> int:
+        return self.num_nodes * self.workers_per_node
+
+
+class Node:
+    """A cluster node: holds worker clocks and a background-thread clock."""
+
+    def __init__(self, node_id: int, workers_per_node: int) -> None:
+        self.node_id = node_id
+        self.worker_clocks: List[SimulatedClock] = [
+            SimulatedClock() for _ in range(workers_per_node)
+        ]
+        # Clock of the node's background thread (replica sync, pool prep,
+        # asynchronous relocations issued by this node).
+        self.background_clock = SimulatedClock()
+        # Accumulated busy time of the node's *server* thread, which processes
+        # incoming remote requests from other nodes. When hot keys
+        # concentrate requests on one server, its busy time exceeds the
+        # workers' compute time and becomes the epoch's bottleneck — the
+        # reason a classic PS collapses under skew.
+        self.server_clock = SimulatedClock()
+
+    @property
+    def time(self) -> float:
+        """Node time: the furthest-ahead activity on this node.
+
+        Includes the server thread's accumulated busy time: an epoch is not
+        over until every queued remote request has been served.
+        """
+        worker_max = max(clock.now for clock in self.worker_clocks)
+        return max(worker_max, self.background_clock.now, self.server_clock.now)
+
+    def reset_clocks(self) -> None:
+        for clock in self.worker_clocks:
+            clock.reset()
+        self.background_clock.reset()
+        self.server_clock.reset()
+
+
+@dataclass
+class WorkerContext:
+    """Identity and clock of the worker issuing a parameter-server call."""
+
+    node_id: int
+    worker_id: int
+    clock: SimulatedClock
+
+    @property
+    def global_worker_id(self) -> Tuple[int, int]:
+        return (self.node_id, self.worker_id)
+
+
+class Cluster:
+    """The simulated cluster shared by a parameter server and its workers."""
+
+    def __init__(self, config: ClusterConfig | None = None) -> None:
+        self.config = config or ClusterConfig()
+        self.network = self.config.network
+        self.metrics = MetricsRegistry()
+        self.nodes: List[Node] = [
+            Node(node_id, self.config.workers_per_node)
+            for node_id in range(self.config.num_nodes)
+        ]
+        self._worker_contexts: Dict[Tuple[int, int], WorkerContext] = {}
+        for node in self.nodes:
+            for worker_id, clock in enumerate(node.worker_clocks):
+                self._worker_contexts[(node.node_id, worker_id)] = WorkerContext(
+                    node_id=node.node_id, worker_id=worker_id, clock=clock
+                )
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def num_nodes(self) -> int:
+        return self.config.num_nodes
+
+    @property
+    def workers_per_node(self) -> int:
+        return self.config.workers_per_node
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def worker(self, node_id: int, worker_id: int) -> WorkerContext:
+        """The :class:`WorkerContext` for worker ``worker_id`` on ``node_id``."""
+        return self._worker_contexts[(node_id, worker_id)]
+
+    def workers(self) -> Iterator[WorkerContext]:
+        """All worker contexts, ordered by (node, worker)."""
+        for node in self.nodes:
+            for worker_id in range(self.config.workers_per_node):
+                yield self._worker_contexts[(node.node_id, worker_id)]
+
+    # ------------------------------------------------------------------ time
+    @property
+    def time(self) -> float:
+        """Cluster time: the maximum time reached by any node."""
+        return max(node.time for node in self.nodes)
+
+    @property
+    def min_worker_time(self) -> float:
+        """The clock of the slowest (least advanced) worker."""
+        return min(
+            clock.now for node in self.nodes for clock in node.worker_clocks
+        )
+
+    def reset_clocks(self) -> None:
+        """Reset all clocks to zero (metrics are left untouched)."""
+        for node in self.nodes:
+            node.reset_clocks()
+
+    def reset_metrics(self) -> None:
+        self.metrics.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster(nodes={self.num_nodes}, workers_per_node="
+            f"{self.workers_per_node}, time={self.time:.4f})"
+        )

@@ -1,0 +1,92 @@
+"""Metrics collection for the simulated cluster.
+
+All parameter servers in this repository record what they do — local versus
+remote accesses, messages, bytes, relocations, replica synchronizations,
+sampling accesses — into a :class:`MetricsRegistry`. The benchmark harness
+reads these counters to reproduce the paper's tables (e.g. Table 3's "share of
+accesses to replicas") and to explain run-time differences.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping
+
+
+class MetricsRegistry:
+    """Hierarchical counter registry: global counters plus per-node counters."""
+
+    def __init__(self) -> None:
+        self._global: Dict[str, float] = defaultdict(float)
+        self._per_node: Dict[int, Dict[str, float]] = defaultdict(
+            lambda: defaultdict(float)
+        )
+
+    # ---------------------------------------------------------------- writing
+    def increment(self, name: str, amount: float = 1.0, node: int | None = None) -> None:
+        """Add ``amount`` to counter ``name`` (and to the node's counter)."""
+        self._global[name] += amount
+        if node is not None:
+            self._per_node[node][name] += amount
+
+    def record_access(self, kind: str, node: int, count: int = 1) -> None:
+        """Record ``count`` parameter accesses of ``kind`` at ``node``.
+
+        ``kind`` is a dotted label such as ``"pull.local"``, ``"pull.remote"``,
+        ``"push.replica"`` or ``"sample.local"``.
+        """
+        self.increment(f"access.{kind}", count, node=node)
+        self.increment("access.total", count, node=node)
+
+    # ---------------------------------------------------------------- reading
+    def get(self, name: str, node: int | None = None) -> float:
+        """Return the value of counter ``name`` (0.0 if never incremented)."""
+        if node is None:
+            return self._global.get(name, 0.0)
+        return self._per_node.get(node, {}).get(name, 0.0)
+
+    def counters(self) -> Dict[str, float]:
+        """A copy of all global counters."""
+        return dict(self._global)
+
+    def node_counters(self, node: int) -> Dict[str, float]:
+        """A copy of the counters recorded for ``node``."""
+        return dict(self._per_node.get(node, {}))
+
+    def nodes(self) -> Iterable[int]:
+        """Node ids that have recorded at least one counter."""
+        return sorted(self._per_node)
+
+    # ------------------------------------------------------------- aggregates
+    def share(self, numerator: str, denominator: str) -> float:
+        """Ratio of two counters; 0.0 when the denominator is zero."""
+        denom = self.get(denominator)
+        if denom == 0:
+            return 0.0
+        return self.get(numerator) / denom
+
+    def total_matching(self, prefix: str) -> float:
+        """Sum of all global counters whose name starts with ``prefix``."""
+        return sum(v for k, v in self._global.items() if k.startswith(prefix))
+
+    # ----------------------------------------------------------------- control
+    def reset(self) -> None:
+        """Clear all counters."""
+        self._global.clear()
+        self._per_node.clear()
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Add all counters from ``other`` into this registry."""
+        for name, value in other._global.items():
+            self._global[name] += value
+        for node, counters in other._per_node.items():
+            for name, value in counters.items():
+                self._per_node[node][name] += value
+
+    def snapshot(self) -> Mapping[str, float]:
+        """Immutable-ish view of the global counters (for reporting)."""
+        return dict(self._global)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        top = sorted(self._global.items())[:8]
+        return f"MetricsRegistry({dict(top)}...)"

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.management import ManagementPlan
+from repro.core.nups import NuPS
+from repro.ps.storage import ParameterStore
+from repro.simulation.cluster import Cluster, ClusterConfig
+from repro.simulation.network import NetworkModel
+
+
+@pytest.fixture
+def network() -> NetworkModel:
+    """A network model with easy-to-reason-about constants."""
+    return NetworkModel(
+        latency=10e-6,
+        bandwidth=1e9,
+        message_handling_cost=1e-6,
+        local_access_cost=1e-7,
+        compute_per_step=20e-6,
+    )
+
+
+@pytest.fixture
+def cluster(network: NetworkModel) -> Cluster:
+    """A 4-node cluster with 2 workers per node."""
+    return Cluster(ClusterConfig(num_nodes=4, workers_per_node=2, network=network))
+
+
+@pytest.fixture
+def single_node_cluster(network: NetworkModel) -> Cluster:
+    return Cluster(ClusterConfig(num_nodes=1, workers_per_node=4, network=network))
+
+
+@pytest.fixture
+def store() -> ParameterStore:
+    """A small parameter store with reproducible random values."""
+    return ParameterStore(num_keys=100, value_length=4, seed=7, init_scale=0.5)
+
+
+@pytest.fixture
+def nups(store: ParameterStore, cluster: Cluster) -> NuPS:
+    """A NuPS instance replicating the first five keys."""
+    plan = ManagementPlan(store.num_keys, np.arange(5))
+    return NuPS(store, cluster, plan=plan, sync_interval=0.01, seed=3)

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.runner.systems import SYSTEM_NAMES
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--system", "not-a-ps"])
+
+    def test_rejects_unknown_task(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--task", "not-a-task"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.task == "kge"
+        assert args.system == "nups"
+        assert args.scale == "test"
+
+
+class TestCommands:
+    def test_systems_lists_all_registered_systems(self, capsys):
+        assert main(["systems"]) == 0
+        output = capsys.readouterr().out.strip().splitlines()
+        assert set(output) == set(SYSTEM_NAMES)
+
+    def test_tasks_lists_the_three_workloads(self, capsys):
+        assert main(["tasks"]) == 0
+        output = capsys.readouterr().out.strip().splitlines()
+        assert output == ["kge", "matrix_factorization", "word_vectors"]
+
+    def test_skew_prints_statistics(self, capsys):
+        assert main(["skew", "--task", "matrix_factorization"]) == 0
+        output = capsys.readouterr().out
+        assert "sampling_share" in output
+        assert "top_share" in output
+
+    def test_run_single_system(self, capsys):
+        exit_code = main([
+            "run", "--task", "matrix_factorization", "--system", "nups",
+            "--nodes", "2", "--workers", "2", "--epochs", "1",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "nups" in output
+        assert "epoch_time_s" in output
+
+    def test_compare_reports_speedups(self, capsys):
+        exit_code = main([
+            "compare", "--task", "matrix_factorization",
+            "--systems", "single-node", "nups",
+            "--nodes", "2", "--workers", "2", "--epochs", "1",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "raw speedup" in output
+        assert "single-node" in output and "nups" in output

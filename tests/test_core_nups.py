@@ -1,0 +1,201 @@
+"""Tests for NuPS: multi-technique management and the integrated sampling API."""
+
+import numpy as np
+import pytest
+
+from repro.core.management import ManagementPlan
+from repro.core.nups import NuPS
+from repro.core.sampling.conformity import ConformityLevel
+from repro.core.sampling.distributions import UniformDistribution
+from repro.ps.base import SampleHandle
+from repro.ps.storage import ParameterStore
+from repro.simulation.cluster import Cluster, ClusterConfig
+
+
+class TestManagementIntegration:
+    def test_replicated_keys_are_always_local(self, nups, cluster):
+        for node in range(cluster.num_nodes):
+            for key in range(5):
+                assert nups.key_is_local(node, key)
+
+    def test_relocated_keys_follow_ownership(self, nups, cluster):
+        key = int(nups.partitioner.keys_of(2)[10])
+        assert nups.key_is_local(2, key)
+        assert not nups.key_is_local(0, key)
+
+    def test_pull_splits_between_replica_and_relocation(self, nups, cluster):
+        worker = cluster.worker(0, 0)
+        keys = np.array([0, 1, 50, 99])
+        values = nups.pull(worker, keys)
+        assert values.shape == (4, nups.store.value_length)
+        assert cluster.metrics.get("access.pull.replica.local") == 2
+        remote_plus_local = (cluster.metrics.get("access.pull.remote")
+                             + cluster.metrics.get("access.pull.local"))
+        assert remote_plus_local == 2
+
+    def test_pull_preserves_key_order(self, nups, cluster):
+        worker = cluster.worker(0, 0)
+        keys = np.array([50, 0, 99, 1])
+        values = nups.pull(worker, keys)
+        expected = np.stack([
+            nups.store.get_single(50),
+            nups.replica_manager.pull(0, np.array([0]))[0],
+            nups.store.get_single(99),
+            nups.replica_manager.pull(0, np.array([1]))[0],
+        ])
+        np.testing.assert_allclose(values, expected, rtol=1e-6)
+
+    def test_push_to_replicated_key_is_deferred_until_sync(self, nups, cluster):
+        worker = cluster.worker(0, 0)
+        before = nups.store.get_single(0).copy()
+        nups.push(worker, [0], np.ones((1, nups.store.value_length), dtype=np.float32))
+        np.testing.assert_array_equal(nups.store.get_single(0), before)
+        nups.finish_epoch()
+        np.testing.assert_allclose(nups.store.get_single(0), before + 1.0, rtol=1e-6)
+
+    def test_push_to_relocated_key_is_immediate(self, nups, cluster):
+        worker = cluster.worker(0, 0)
+        before = nups.store.get_single(50).copy()
+        nups.push(worker, [50], np.ones((1, nups.store.value_length), dtype=np.float32))
+        np.testing.assert_allclose(nups.store.get_single(50), before + 1.0, rtol=1e-6)
+
+    def test_localize_skips_replicated_keys(self, nups, cluster):
+        worker = cluster.worker(0, 0)
+        nups.localize(worker, np.array([0, 1, 2]))
+        assert cluster.metrics.get("relocation.count") == 0
+
+    def test_localize_relocates_long_tail_keys(self, nups, cluster):
+        worker = cluster.worker(0, 0)
+        key = int(nups.partitioner.keys_of(3)[5])
+        nups.localize(worker, np.array([key]))
+        assert nups.key_is_local(0, key)
+        assert cluster.metrics.get("relocation.count") == 1
+
+    def test_advance_clock_is_a_noop(self, nups, cluster):
+        """NuPS uses time-based staleness; no clock operations are needed."""
+        worker = cluster.worker(0, 0)
+        nups.advance_clock(worker)
+        assert worker.clock.now == 0.0
+
+    def test_housekeeping_runs_replica_sync(self, nups, cluster):
+        worker = cluster.worker(0, 0)
+        nups.push(worker, [0], np.ones((1, nups.store.value_length), dtype=np.float32))
+        nups.housekeeping(now=1.0)
+        assert cluster.metrics.get("replica.syncs") >= 1
+
+    def test_replica_updates_from_all_nodes_merge(self, nups, cluster):
+        before = nups.store.get_single(0).copy()
+        delta = np.ones((1, nups.store.value_length), dtype=np.float32)
+        nups.push(cluster.worker(0, 0), [0], delta)
+        nups.push(cluster.worker(1, 0), [0], delta)
+        nups.push(cluster.worker(2, 0), [0], delta)
+        nups.finish_epoch()
+        np.testing.assert_allclose(nups.store.get_single(0), before + 3.0, rtol=1e-6)
+
+    def test_from_access_counts_factory(self, store, cluster):
+        counts = np.ones(store.num_keys)
+        counts[13] = 1e6
+        ps = NuPS.from_access_counts(store, cluster, counts, hot_spot_factor=10.0)
+        assert ps.plan.is_replicated(13)
+        assert ps.plan.num_replicated == 1
+
+    def test_replica_access_share(self, nups, cluster):
+        worker = cluster.worker(0, 0)
+        nups.pull(worker, np.array([0, 1, 50, 51]))
+        assert nups.replica_access_share() == pytest.approx(0.5)
+
+    def test_describe_includes_plan(self, nups):
+        description = nups.describe()
+        assert description["num_replicated"] == 5
+        assert description["integrate_sampling"] is True
+
+
+class TestSingleTechniqueReduction:
+    def test_no_replication_means_no_sync_messages(self, store, cluster):
+        """NuPS reduces to a relocation-only PS without overhead when no key
+        is replicated (Section 3.2)."""
+        ps = NuPS(store, cluster, plan=ManagementPlan.relocate_all(store.num_keys))
+        ps.housekeeping(now=100.0)
+        ps.finish_epoch()
+        assert cluster.metrics.get("replica.syncs") == 0
+        assert cluster.metrics.get("replica.sync_bytes") == 0
+
+    def test_all_replicated_means_no_relocations(self, store, cluster):
+        ps = NuPS(store, cluster, plan=ManagementPlan.replicate_all(store.num_keys))
+        worker = cluster.worker(0, 0)
+        ps.localize(worker, np.arange(store.num_keys))
+        ps.pull(worker, np.arange(0, store.num_keys, 7))
+        assert cluster.metrics.get("relocation.count") == 0
+        assert cluster.metrics.get("access.pull.remote") == 0
+
+
+class TestSamplingIntegration:
+    def test_sampling_api_round_trip(self, nups, cluster):
+        worker = cluster.worker(1, 0)
+        dist_id = nups.register_distribution(
+            UniformDistribution(0, nups.store.num_keys), ConformityLevel.BOUNDED
+        )
+        handle = nups.prepare_sample(worker, dist_id, 12)
+        assert isinstance(handle, SampleHandle)
+        result = nups.pull_sample(worker, handle, 5)
+        assert len(result.keys) == 5
+        rest = nups.pull_sample(worker, handle)
+        assert len(rest.keys) == 7
+
+    def test_push_sample_routes_through_management(self, nups, cluster):
+        worker = cluster.worker(0, 0)
+        keys = np.array([0, 50])
+        before_store = nups.store.get_single(50).copy()
+        nups.push_sample(worker, keys, np.ones((2, nups.store.value_length), dtype=np.float32))
+        # Relocated key updated immediately, replicated key deferred.
+        np.testing.assert_allclose(nups.store.get_single(50), before_store + 1.0, rtol=1e-6)
+        assert cluster.metrics.get("access.sample_push.replica.local") == 1
+
+    def test_sampling_disabled_falls_back_to_application_side(self, store, cluster):
+        """The ablation variant (Section 5.3) draws independent samples and
+        accesses them via direct access, without PS support."""
+        ps = NuPS(store, cluster, plan=ManagementPlan(store.num_keys, [0]),
+                  integrate_sampling=False)
+        worker = cluster.worker(0, 0)
+        dist_id = ps.register_distribution(UniformDistribution(0, store.num_keys),
+                                           ConformityLevel.NON_CONFORM)
+        handle = ps.prepare_sample(worker, dist_id, 10)
+        result = ps.pull_sample(worker, handle)
+        assert len(result.keys) == 10
+        # No sampling-manager bookkeeping took place.
+        assert cluster.metrics.get("relocation.sampling") == 0
+
+    def test_local_support_keys_includes_replicated_and_owned(self, nups, cluster):
+        distribution = UniformDistribution(0, nups.store.num_keys)
+        local = set(nups.local_support_keys(2, distribution).tolist())
+        # Replicated keys are local everywhere.
+        assert {0, 1, 2, 3, 4} <= local
+        # Keys owned by node 2's partition are local to node 2.
+        assert set(nups.partitioner.keys_of(2).tolist()) <= local
+        # Keys owned by other nodes (and not replicated) are not.
+        foreign = set(nups.partitioner.keys_of(3).tolist()) - {0, 1, 2, 3, 4}
+        assert foreign.isdisjoint(local)
+
+    def test_recent_direct_access_keys_tracks_relocated_pulls_only(self, nups, cluster):
+        worker = cluster.worker(0, 0)
+        nups.pull(worker, np.array([0, 1, 50, 60]))
+        recent = set(nups.recent_direct_access_keys(0).tolist())
+        assert recent == {50, 60}
+
+    def test_sampling_rng_is_per_node(self, nups):
+        assert nups.sampling_rng(0) is not nups.sampling_rng(1)
+
+
+class TestStalenessBehaviour:
+    def test_nodes_see_own_replica_updates_before_sync(self, nups, cluster):
+        worker_a = cluster.worker(0, 0)
+        worker_b = cluster.worker(1, 0)
+        delta = np.ones((1, nups.store.value_length), dtype=np.float32)
+        base = nups.pull(worker_b, [0]).copy()
+        nups.push(worker_a, [0], delta)
+        # Node 0 sees its own write, node 1 does not (bounded staleness).
+        np.testing.assert_allclose(nups.pull(worker_a, [0]), base + 1.0, rtol=1e-6)
+        np.testing.assert_allclose(nups.pull(worker_b, [0]), base, rtol=1e-6)
+        # After a sync both agree.
+        nups.replica_manager.force_sync()
+        np.testing.assert_allclose(nups.pull(worker_b, [0]), base + 1.0, rtol=1e-6)

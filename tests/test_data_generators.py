@@ -1,0 +1,203 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.corpus import generate_corpus
+from repro.data.knowledge_graph import generate_knowledge_graph
+from repro.data.matrix import generate_matrix
+from repro.data.zipf import empirical_skew_summary, zipf_probabilities, zipf_sample
+
+
+class TestZipfUtilities:
+    def test_probabilities_normalized_and_decreasing(self):
+        probs = zipf_probabilities(100, 1.1)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(probs) < 0)
+
+    def test_shuffle_permutes(self):
+        rng = np.random.default_rng(0)
+        shuffled = zipf_probabilities(50, 1.1, shuffle=True, rng=rng)
+        plain = zipf_probabilities(50, 1.1)
+        assert shuffled.sum() == pytest.approx(1.0)
+        assert sorted(shuffled) == pytest.approx(sorted(plain))
+        assert not np.allclose(shuffled, plain)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -1.0)
+
+    def test_zipf_sample_range(self):
+        samples = zipf_sample(np.random.default_rng(0), 20, 500, 1.1)
+        assert samples.min() >= 0 and samples.max() < 20
+
+    def test_zipf_sample_probability_length_mismatch(self):
+        with pytest.raises(ValueError):
+            zipf_sample(np.random.default_rng(0), 20, 10, probabilities=np.ones(5) / 5)
+
+    def test_skew_summary(self):
+        counts = np.array([1000.0] + [1.0] * 999)
+        summary = empirical_skew_summary(counts, top_fraction=0.001)
+        assert summary["top_share"] == pytest.approx(1000.0 / 1999.0)
+        assert summary["num_items"] == 1000
+
+    def test_skew_summary_validation(self):
+        with pytest.raises(ValueError):
+            empirical_skew_summary(np.array([]))
+        with pytest.raises(ValueError):
+            empirical_skew_summary(np.ones(5), top_fraction=0.0)
+
+
+class TestKnowledgeGraphGenerator:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return generate_knowledge_graph(
+            num_entities=300, num_relations=8, num_triples=3000, seed=0
+        )
+
+    def test_triples_within_ranges(self, graph):
+        for split in (graph.train_triples, graph.test_triples):
+            assert split[:, 0].max() < graph.num_entities
+            assert split[:, 2].max() < graph.num_entities
+            assert split[:, 1].max() < graph.num_relations
+            assert split.min() >= 0
+
+    def test_train_test_split_disjoint(self, graph):
+        train = {tuple(t) for t in graph.train_triples.tolist()}
+        test = {tuple(t) for t in graph.test_triples.tolist()}
+        assert train.isdisjoint(test)
+
+    def test_no_duplicate_triples(self, graph):
+        combined = np.concatenate([graph.train_triples, graph.test_triples])
+        assert len(np.unique(combined, axis=0)) == len(combined)
+
+    def test_entity_frequencies_match_triples(self, graph):
+        expected = np.bincount(
+            np.concatenate([graph.train_triples[:, 0], graph.train_triples[:, 2]]),
+            minlength=graph.num_entities,
+        )
+        np.testing.assert_array_equal(graph.entity_frequencies, expected)
+
+    def test_entity_access_is_skewed(self, graph):
+        """A small share of entities receives a large share of accesses."""
+        summary = empirical_skew_summary(graph.entity_frequencies + 1e-9, top_fraction=0.05)
+        assert summary["top_share"] > 0.3
+
+    def test_reproducible(self):
+        a = generate_knowledge_graph(num_entities=100, num_relations=4, num_triples=500, seed=5)
+        b = generate_knowledge_graph(num_entities=100, num_relations=4, num_triples=500, seed=5)
+        np.testing.assert_array_equal(a.train_triples, b.train_triples)
+
+    def test_all_true_triples(self, graph):
+        assert len(graph.all_true_triples()) == graph.num_train + graph.num_test
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_knowledge_graph(num_entities=4, num_clusters=8)
+        with pytest.raises(ValueError):
+            generate_knowledge_graph(noise=1.5)
+        with pytest.raises(ValueError):
+            generate_knowledge_graph(test_fraction=0.0)
+
+
+class TestCorpusGenerator:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus(vocab_size=200, num_sentences=300, sentence_length=10, seed=1)
+
+    def test_sentences_within_vocab(self, corpus):
+        for sentence in corpus.sentences:
+            assert sentence.min() >= 0
+            assert sentence.max() < corpus.vocab_size
+            assert len(sentence) == 10
+
+    def test_word_frequencies_match_tokens(self, corpus):
+        expected = np.bincount(np.concatenate(corpus.sentences), minlength=corpus.vocab_size)
+        np.testing.assert_array_equal(corpus.word_frequencies, expected)
+
+    def test_frequencies_are_skewed(self, corpus):
+        summary = empirical_skew_summary(corpus.word_frequencies + 1e-9, top_fraction=0.05)
+        assert summary["top_share"] > 0.3
+
+    def test_probes_are_valid(self, corpus):
+        probes = corpus.similarity_probes
+        assert probes.shape[1] == 3
+        assert len(probes) > 0
+        for anchor, same, different in probes:
+            assert corpus.word_topics[anchor] == corpus.word_topics[same]
+            assert corpus.word_topics[anchor] != corpus.word_topics[different]
+            assert anchor != same
+
+    def test_num_tokens(self, corpus):
+        assert corpus.num_tokens == 300 * 10
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_corpus(vocab_size=5, num_topics=10)
+        with pytest.raises(ValueError):
+            generate_corpus(topic_purity=1.5)
+
+    def test_reproducible(self):
+        a = generate_corpus(vocab_size=100, num_sentences=50, seed=3)
+        b = generate_corpus(vocab_size=100, num_sentences=50, seed=3)
+        np.testing.assert_array_equal(np.concatenate(a.sentences), np.concatenate(b.sentences))
+
+
+class TestMatrixGenerator:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return generate_matrix(num_rows=200, num_cols=50, num_cells=3000, rank=4, seed=2)
+
+    def test_cells_within_bounds(self, matrix):
+        for cells in (matrix.train_cells, matrix.test_cells):
+            assert cells[:, 0].max() < matrix.num_rows
+            assert cells[:, 1].max() < matrix.num_cols
+            assert cells.min() >= 0
+
+    def test_no_duplicate_cells(self, matrix):
+        combined = np.concatenate([matrix.train_cells, matrix.test_cells])
+        assert len(np.unique(combined, axis=0)) == len(combined)
+
+    def test_values_align_with_cells(self, matrix):
+        assert len(matrix.train_values) == len(matrix.train_cells)
+        assert len(matrix.test_values) == len(matrix.test_cells)
+
+    def test_frequencies_match_cells(self, matrix):
+        np.testing.assert_array_equal(
+            matrix.row_frequencies,
+            np.bincount(matrix.train_cells[:, 0], minlength=matrix.num_rows),
+        )
+        np.testing.assert_array_equal(
+            matrix.col_frequencies,
+            np.bincount(matrix.train_cells[:, 1], minlength=matrix.num_cols),
+        )
+
+    def test_cells_are_skewed(self, matrix):
+        summary = empirical_skew_summary(matrix.col_frequencies + 1e-9, top_fraction=0.05)
+        assert summary["top_share"] > 0.15
+
+    def test_values_have_low_rank_structure(self, matrix):
+        """The generated values are far from pure noise: their variance is
+        dominated by the low-rank signal, not the additive noise."""
+        assert matrix.train_values.std() > 2 * 0.1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_matrix(rank=0)
+        with pytest.raises(ValueError):
+            generate_matrix(test_fraction=1.0)
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(min_value=20, max_value=200), st.integers(min_value=100, max_value=1000))
+def test_kg_generator_is_well_formed_for_any_size(num_entities, num_triples):
+    graph = generate_knowledge_graph(
+        num_entities=num_entities, num_relations=4, num_triples=num_triples,
+        num_clusters=4, seed=0,
+    )
+    assert graph.num_train + graph.num_test <= num_triples
+    assert graph.num_train > 0 and graph.num_test > 0
+    assert len(graph.entity_frequencies) == num_entities

@@ -1,0 +1,135 @@
+"""Integration tests: full training runs across parameter servers.
+
+These exercise the whole stack — data generator, task, PS, simulated cluster,
+runner — and check the invariants the paper's evaluation relies on:
+
+* every system trains the model (quality improves over epochs),
+* sequentially-consistent systems (single node, classic, Lapse) produce
+  statistically comparable per-epoch quality,
+* NuPS reduces communication and epoch run time relative to the baselines,
+* the metrics the benchmark harness reports are present and consistent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.speedup import raw_speedup_from_results
+from repro.runner.config import ExperimentConfig
+from repro.runner.experiment import run_experiment
+from repro.runner.systems import make_ps_factory
+from repro.runner.workloads import kge_task, matrix_factorization_task, word_vectors_task
+from repro.simulation.cluster import ClusterConfig
+
+
+def run(task_factory, system, nodes=4, epochs=2, seed=7, **overrides):
+    task = task_factory()
+    config = ExperimentConfig(
+        cluster=ClusterConfig(num_nodes=nodes, workers_per_node=2),
+        epochs=epochs, chunk_size=8, seed=seed,
+    )
+    return run_experiment(task, make_ps_factory(system, **overrides), config,
+                          system_name=system)
+
+
+@pytest.mark.parametrize("system", ["single-node", "classic", "lapse", "nups"])
+def test_kge_quality_improves_on_every_system(system):
+    nodes = 1 if system == "single-node" else 4
+    overrides = {}
+    if system == "nups":
+        # Scale the replica synchronization interval down with the tiny
+        # simulated epochs, as the benchmark presets do.
+        overrides = {"sync_interval": 0.001, "pool_size": 16}
+    result = run(lambda: kge_task("test"), system, nodes=nodes, epochs=2, **overrides)
+    assert result.final_quality() > result.initial_quality["mrr_filtered"]
+    assert result.epochs_completed == 2
+
+
+def test_word_vectors_quality_improves_distributed():
+    result = run(lambda: word_vectors_task("test"), "nups", epochs=2,
+                 sync_interval=0.001, pool_size=16)
+    assert result.final_quality() > result.initial_quality["similarity_accuracy"]
+
+
+def test_matrix_factorization_rmse_decreases_distributed():
+    result = run(lambda: matrix_factorization_task("test", learning_rate=0.5),
+                 "nups", epochs=3, sync_interval=0.001)
+    assert result.final_quality() < result.initial_quality["test_rmse"]
+
+
+def test_nups_epoch_is_faster_than_classic_and_lapse():
+    """The headline performance relation on the KGE workload."""
+    classic = run(lambda: kge_task("test"), "classic", epochs=1)
+    lapse = run(lambda: kge_task("test"), "lapse", epochs=1)
+    nups = run(lambda: kge_task("test"), "nups", epochs=1,
+               sync_interval=0.001, pool_size=16)
+    assert nups.mean_epoch_time() < classic.mean_epoch_time()
+    assert nups.mean_epoch_time() < lapse.mean_epoch_time()
+
+
+def test_nups_reduces_remote_accesses_relative_to_classic():
+    classic = run(lambda: kge_task("test"), "classic", epochs=1)
+    nups = run(lambda: kge_task("test"), "nups", epochs=1,
+               sync_interval=0.001, pool_size=16)
+    classic_remote = classic.metrics.get("access.pull.remote", 0)
+    nups_remote = nups.metrics.get("access.pull.remote", 0) + \
+        nups.metrics.get("access.sample.remote", 0)
+    assert nups_remote < 0.5 * classic_remote
+
+
+def test_classic_and_lapse_have_identical_per_epoch_quality():
+    """Both provide per-key sequential consistency and use the same
+    application-side sampling, so with the same seed they apply exactly the
+    same updates — only their run time differs."""
+    classic = run(lambda: kge_task("test"), "classic", epochs=2, seed=3)
+    lapse = run(lambda: kge_task("test"), "lapse", epochs=2, seed=3)
+    assert classic.qualities() == pytest.approx(lapse.qualities(), rel=1e-6)
+    assert classic.mean_epoch_time() != lapse.mean_epoch_time()
+
+
+def test_raw_speedups_are_computable_across_systems():
+    single = run(lambda: kge_task("test"), "single-node", nodes=1, epochs=1)
+    nups = run(lambda: kge_task("test"), "nups", epochs=1,
+               sync_interval=0.001, pool_size=16)
+    speedups = raw_speedup_from_results([single, nups])
+    assert speedups["nups"] > 0
+
+
+def test_ablation_variants_run_end_to_end():
+    for system in ("relocation+replication", "relocation+sampling"):
+        result = run(lambda: kge_task("test"), system, epochs=1,
+                     sync_interval=0.001, pool_size=16)
+        assert result.epochs_completed == 1
+        assert np.isfinite(result.final_quality())
+
+
+def test_nups_tuned_runs_end_to_end():
+    result = run(lambda: kge_task("test"), "nups-tuned", epochs=1,
+                 sync_interval=0.001)
+    assert result.epochs_completed == 1
+
+
+def test_replication_protocols_run_end_to_end():
+    for system in ("ssp", "essp"):
+        result = run(lambda: kge_task("test"), system, epochs=1)
+        assert result.final_quality() >= 0
+        assert result.metrics.get("replication.flushes", 0) > 0
+
+
+def test_scalability_more_nodes_do_not_slow_nups_down():
+    """Raw epoch time with 4 nodes is not worse than with 2 nodes (Fig. 8)."""
+    two = run(lambda: kge_task("test"), "nups", nodes=2, epochs=1,
+              sync_interval=0.001, pool_size=16)
+    four = run(lambda: kge_task("test"), "nups", nodes=4, epochs=1,
+               sync_interval=0.001, pool_size=16)
+    assert four.mean_epoch_time() <= two.mean_epoch_time() * 1.2
+
+
+def test_metrics_account_for_every_parameter_access():
+    """Total recorded accesses equal local + remote + replica accesses."""
+    result = run(lambda: kge_task("test"), "nups", epochs=1,
+                 sync_interval=0.001, pool_size=16)
+    metrics = result.metrics
+    total = metrics["access.total"]
+    partial = sum(value for name, value in metrics.items()
+                  if name.startswith("access.") and name != "access.total")
+    assert partial == pytest.approx(total)

@@ -1,0 +1,74 @@
+"""Tests for the task-specific baselines (Section 5.8 stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.data.matrix import generate_matrix
+from repro.ml.task_specific import DSGDTrainer, specialized_single_node_epoch_time
+from repro.runner.workloads import word_vectors_task
+from repro.simulation.network import NetworkModel
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return generate_matrix(num_rows=150, num_cols=40, num_cells=4000, rank=4, seed=2)
+
+
+class TestDSGDTrainer:
+    def test_rejects_invalid_node_count(self, matrix):
+        with pytest.raises(ValueError):
+            DSGDTrainer(matrix, num_nodes=0)
+
+    def test_rmse_decreases_over_epochs(self, matrix):
+        trainer = DSGDTrainer(matrix, num_nodes=4, workers_per_node=2,
+                              learning_rate=0.5, seed=0)
+        initial = trainer.test_rmse()
+        result = trainer.train(epochs=4, seed=0)
+        assert result.final_rmse() < initial
+        assert len(result.rmse) == 4
+        assert len(result.epoch_times) == 4
+
+    def test_epoch_times_are_positive(self, matrix):
+        result = DSGDTrainer(matrix, num_nodes=4, workers_per_node=2).train(epochs=2)
+        assert all(t > 0 for t in result.epoch_times)
+        assert result.mean_epoch_time > 0
+
+    def test_overlapping_communication_is_not_slower(self, matrix):
+        plain = DSGDTrainer(matrix, num_nodes=8, workers_per_node=2, seed=1)
+        overlapped = DSGDTrainer(matrix, num_nodes=8, workers_per_node=2,
+                                 overlap_communication=True, seed=1)
+        assert overlapped.train(epochs=1, seed=1).mean_epoch_time <= \
+            plain.train(epochs=1, seed=1).mean_epoch_time
+
+    def test_more_nodes_reduce_epoch_time(self, matrix):
+        few = DSGDTrainer(matrix, num_nodes=2, workers_per_node=2, seed=1)
+        many = DSGDTrainer(matrix, num_nodes=8, workers_per_node=2, seed=1)
+        assert many.train(epochs=1, seed=1).mean_epoch_time < \
+            few.train(epochs=1, seed=1).mean_epoch_time
+
+    def test_single_node_has_no_communication(self, matrix):
+        network = NetworkModel()
+        trainer = DSGDTrainer(matrix, num_nodes=1, workers_per_node=4, network=network)
+        result = trainer.train(epochs=1)
+        expected_compute = matrix.num_train * network.compute_per_step / 4
+        assert result.mean_epoch_time == pytest.approx(expected_compute, rel=0.01)
+
+    def test_training_is_deterministic_given_seed(self, matrix):
+        a = DSGDTrainer(matrix, num_nodes=4, workers_per_node=2, seed=5).train(2, seed=5)
+        b = DSGDTrainer(matrix, num_nodes=4, workers_per_node=2, seed=5).train(2, seed=5)
+        assert a.rmse == pytest.approx(b.rmse)
+
+
+class TestSpecializedSingleNode:
+    def test_epoch_time_is_compute_only(self):
+        task = word_vectors_task("test")
+        network = NetworkModel()
+        time = specialized_single_node_epoch_time(task, network=network, workers=8)
+        assert time == pytest.approx(
+            task.num_data_points() / 8 * network.compute_per_step
+        )
+
+    def test_more_workers_reduce_epoch_time(self):
+        task = word_vectors_task("test")
+        assert specialized_single_node_epoch_time(task, workers=16) < \
+            specialized_single_node_epoch_time(task, workers=4)

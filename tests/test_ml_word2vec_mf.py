@@ -1,0 +1,171 @@
+"""Tests for the word vectors and matrix factorization tasks."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import generate_corpus
+from repro.data.matrix import generate_matrix
+from repro.ml.matrix_factorization import MatrixFactorizationTask
+from repro.ml.word2vec import WordVectorsTask
+from repro.ps.local import SingleNodePS
+from repro.simulation.cluster import Cluster, ClusterConfig
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(vocab_size=250, num_sentences=250, sentence_length=8,
+                           num_topics=6, seed=3)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return generate_matrix(num_rows=150, num_cols=40, num_cells=4000, rank=4, seed=2)
+
+
+def train_on_single_node(task, epochs, seed=0, workers=2, chunk=16):
+    cluster = Cluster(ClusterConfig(num_nodes=1, workers_per_node=workers))
+    store = task.create_store(seed=seed)
+    ps = SingleNodePS(store, cluster)
+    task.register_sampling(ps)
+    shards = task.create_shards(1, workers, seed=seed)
+    rng = np.random.default_rng(seed)
+    initial = task.evaluate(store)
+    for epoch in range(epochs):
+        for worker_id, shard in enumerate(shards[0]):
+            worker = cluster.worker(0, worker_id)
+            for start in range(0, len(shard), chunk):
+                task.process_chunk(ps, worker, shard[start: start + chunk], rng)
+        task.on_epoch_end(epoch)
+    return initial, task.evaluate(store), store
+
+
+class TestWordVectorsLayout:
+    def test_key_space_has_input_and_output_layers(self, corpus):
+        task = WordVectorsTask(corpus, dim=4)
+        assert task.num_keys() == 2 * corpus.vocab_size
+        assert task.output_key(0) == corpus.vocab_size
+
+    def test_store_init_input_random_output_zero(self, corpus):
+        task = WordVectorsTask(corpus, dim=4)
+        store = task.create_store(seed=0)
+        assert np.abs(store.values[: corpus.vocab_size]).max() > 0
+        assert np.all(store.values[corpus.vocab_size:] == 0)
+
+    def test_data_points_are_tokens_with_context(self, corpus):
+        task = WordVectorsTask(corpus, dim=4, window=2)
+        assert 0 < task.num_data_points() <= corpus.num_tokens
+        # Every data point has at least one context word within the window.
+        assert all(len(c) >= 1 for c in task._contexts)
+        assert all(len(c) <= 4 for c in task._contexts)
+
+    def test_access_counts_output_layer_hotter(self, corpus):
+        task = WordVectorsTask(corpus, dim=4, window=2)
+        counts = task.access_counts()
+        assert counts[corpus.vocab_size:].sum() > counts[: corpus.vocab_size].sum()
+
+    def test_sampling_access_counts_only_output_layer(self, corpus):
+        task = WordVectorsTask(corpus, dim=4)
+        counts = task.sampling_access_counts()
+        assert counts[: corpus.vocab_size].sum() == 0
+        assert counts[corpus.vocab_size:].sum() > 0
+
+    def test_shards_partition_data(self, corpus):
+        task = WordVectorsTask(corpus, dim=4)
+        shards = task.create_shards(2, 3, seed=0)
+        total = sum(len(w) for node in shards for w in node)
+        assert total == task.num_data_points()
+
+
+class TestWordVectorsTraining:
+    def test_similarity_accuracy_improves(self, corpus):
+        task = WordVectorsTask(corpus, dim=8, window=2, num_negatives=2,
+                               learning_rate=0.3)
+        initial, final, _ = train_on_single_node(task, epochs=3)
+        assert final["similarity_accuracy"] > initial["similarity_accuracy"]
+        assert final["similarity_accuracy"] > 60.0
+
+    def test_output_vectors_receive_updates(self, corpus):
+        task = WordVectorsTask(corpus, dim=4, window=2, num_negatives=2)
+        _, _, store = train_on_single_node(task, epochs=1)
+        assert np.abs(store.values[corpus.vocab_size:]).max() > 0
+
+    def test_requires_sampling_registration(self, corpus):
+        task = WordVectorsTask(corpus, dim=4)
+        cluster = Cluster(ClusterConfig(num_nodes=1, workers_per_node=1))
+        ps = SingleNodePS(task.create_store(), cluster)
+        with pytest.raises(RuntimeError):
+            task.process_chunk(ps, cluster.worker(0, 0), np.array([0]),
+                               np.random.default_rng(0))
+
+    def test_evaluation_range(self, corpus):
+        task = WordVectorsTask(corpus, dim=4)
+        accuracy = task.evaluate(task.create_store())["similarity_accuracy"]
+        assert 0.0 <= accuracy <= 100.0
+
+
+class TestMatrixFactorizationLayout:
+    def test_key_space(self, matrix):
+        task = MatrixFactorizationTask(matrix)
+        assert task.num_keys() == matrix.num_rows + matrix.num_cols
+        assert task.column_key(0) == matrix.num_rows
+        assert task.value_length() == matrix.rank
+
+    def test_access_counts_match_frequencies(self, matrix):
+        task = MatrixFactorizationTask(matrix)
+        counts = task.access_counts()
+        np.testing.assert_array_equal(counts[: matrix.num_rows], matrix.row_frequencies)
+        np.testing.assert_array_equal(counts[matrix.num_rows:], matrix.col_frequencies)
+
+    def test_no_sampling_access(self, matrix):
+        task = MatrixFactorizationTask(matrix)
+        assert task.sampling_access_counts().sum() == 0
+
+    def test_shards_partition_rows_by_node(self, matrix):
+        task = MatrixFactorizationTask(matrix)
+        shards = task.create_shards(num_nodes=3, workers_per_node=2, seed=0)
+        all_indices = np.concatenate([w for node in shards for w in node])
+        assert sorted(all_indices.tolist()) == list(range(matrix.num_train))
+        # All cells of a row live on exactly one node.
+        row_to_node = {}
+        for node_id, node in enumerate(shards):
+            for shard in node:
+                for index in shard:
+                    row = int(matrix.train_cells[index, 0])
+                    assert row_to_node.setdefault(row, node_id) == node_id
+
+    def test_worker_shards_ordered_by_column(self, matrix):
+        task = MatrixFactorizationTask(matrix)
+        shards = task.create_shards(num_nodes=1, workers_per_node=2, seed=0)
+        for shard in shards[0]:
+            columns = matrix.train_cells[shard, 1]
+            # Each column's cells appear contiguously (visit column by column).
+            changes = np.count_nonzero(np.diff(columns) != 0)
+            assert changes == len(np.unique(columns)) - 1
+
+
+class TestMatrixFactorizationTraining:
+    def test_rmse_decreases(self, matrix):
+        task = MatrixFactorizationTask(matrix, learning_rate=0.5)
+        initial, final, _ = train_on_single_node(task, epochs=5)
+        assert final["test_rmse"] < initial["test_rmse"]
+
+    def test_bold_driver_adapts_learning_rate(self, matrix):
+        task = MatrixFactorizationTask(matrix, learning_rate=0.1)
+        initial_rate = task.learning_rate
+        train_on_single_node(task, epochs=3)
+        assert task.learning_rate != initial_rate
+
+    def test_bold_driver_can_be_disabled(self, matrix):
+        task = MatrixFactorizationTask(matrix, learning_rate=0.1, use_bold_driver=False)
+        train_on_single_node(task, epochs=2)
+        assert task.learning_rate == 0.1
+
+    def test_epoch_loss_resets_between_epochs(self, matrix):
+        task = MatrixFactorizationTask(matrix)
+        train_on_single_node(task, epochs=1)
+        assert task._epoch_points == 0
+
+    def test_evaluation_is_finite(self, matrix):
+        task = MatrixFactorizationTask(matrix)
+        rmse = task.evaluate(task.create_store())["test_rmse"]
+        assert np.isfinite(rmse) and rmse > 0

@@ -1,0 +1,100 @@
+"""Tests for static key partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ps.partition import HashPartitioner, RangePartitioner
+
+
+class TestRangePartitioner:
+    def test_all_keys_assigned_within_range(self):
+        partitioner = RangePartitioner(100, 4)
+        owners = partitioner.owners(np.arange(100))
+        assert owners.min() >= 0
+        assert owners.max() < 4
+
+    def test_contiguous_ranges(self):
+        partitioner = RangePartitioner(100, 4)
+        owners = partitioner.owners(np.arange(100))
+        # Owners must be non-decreasing for a range partitioner.
+        assert np.all(np.diff(owners) >= 0)
+
+    def test_balanced_partition_sizes(self):
+        partitioner = RangePartitioner(100, 4)
+        sizes = partitioner.partition_sizes()
+        assert sizes.sum() == 100
+        assert sizes.max() - sizes.min() <= 25  # ceil-division imbalance only
+
+    def test_uneven_key_count(self):
+        partitioner = RangePartitioner(10, 3)
+        sizes = partitioner.partition_sizes()
+        assert sizes.sum() == 10
+        assert all(size > 0 for size in sizes)
+
+    def test_single_server_owns_everything(self):
+        partitioner = RangePartitioner(50, 1)
+        assert set(partitioner.owners(np.arange(50))) == {0}
+
+    def test_owner_single_key(self):
+        partitioner = RangePartitioner(100, 4)
+        assert partitioner.owner(0) == 0
+        assert partitioner.owner(99) == 3
+
+    def test_out_of_range_key_rejected(self):
+        partitioner = RangePartitioner(10, 2)
+        with pytest.raises(KeyError):
+            partitioner.owner(10)
+
+    def test_keys_of_inverse_of_owner(self):
+        partitioner = RangePartitioner(30, 4)
+        for server in range(4):
+            for key in partitioner.keys_of(server):
+                assert partitioner.owner(int(key)) == server
+
+    def test_keys_of_invalid_server(self):
+        with pytest.raises(ValueError):
+            RangePartitioner(10, 2).keys_of(2)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RangePartitioner(0, 2)
+        with pytest.raises(ValueError):
+            RangePartitioner(10, 0)
+
+
+class TestHashPartitioner:
+    def test_spreads_adjacent_keys(self):
+        partitioner = HashPartitioner(100, 4)
+        owners = partitioner.owners(np.arange(8))
+        assert list(owners) == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_owner_matches_owners(self):
+        partitioner = HashPartitioner(100, 7)
+        owners = partitioner.owners(np.arange(100))
+        for key in range(100):
+            assert partitioner.owner(key) == owners[key]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(KeyError):
+            HashPartitioner(10, 2).owner(-1)
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    num_keys=st.integers(min_value=1, max_value=500),
+    num_servers=st.integers(min_value=1, max_value=16),
+)
+@pytest.mark.parametrize("partitioner_cls", [RangePartitioner, HashPartitioner])
+def test_partition_is_total_and_consistent(partitioner_cls, num_keys, num_servers):
+    """Every key has exactly one owner, in range, and the scalar and
+    vectorized owner functions agree."""
+    partitioner = partitioner_cls(num_keys, num_servers)
+    keys = np.arange(num_keys)
+    owners = partitioner.owners(keys)
+    assert owners.shape == (num_keys,)
+    assert owners.min() >= 0 and owners.max() < num_servers
+    sample = keys if num_keys <= 50 else keys[:: num_keys // 50]
+    for key in sample:
+        assert partitioner.owner(int(key)) == owners[key]
+    assert partitioner.partition_sizes().sum() == num_keys

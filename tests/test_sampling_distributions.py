@@ -1,0 +1,142 @@
+"""Tests for the target sampling distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sampling.distributions import (
+    CategoricalDistribution,
+    UniformDistribution,
+    UnigramDistribution,
+    zipf_weights,
+)
+
+
+class TestUniformDistribution:
+    def test_probability_inside_and_outside_support(self):
+        dist = UniformDistribution(key_offset=10, support_size=5)
+        assert dist.probability(10) == pytest.approx(0.2)
+        assert dist.probability(14) == pytest.approx(0.2)
+        assert dist.probability(9) == 0.0
+        assert dist.probability(15) == 0.0
+
+    def test_probabilities_sum_to_one(self):
+        dist = UniformDistribution(0, 7)
+        assert dist.probabilities().sum() == pytest.approx(1.0)
+
+    def test_samples_within_support(self):
+        dist = UniformDistribution(key_offset=100, support_size=50)
+        samples = dist.sample(np.random.default_rng(0), 1000)
+        assert samples.min() >= 100
+        assert samples.max() < 150
+
+    def test_samples_are_roughly_uniform(self):
+        dist = UniformDistribution(0, 10)
+        samples = dist.sample(np.random.default_rng(1), 50_000)
+        counts = np.bincount(samples, minlength=10) / 50_000
+        np.testing.assert_allclose(counts, 0.1, atol=0.01)
+
+    def test_support_keys(self):
+        dist = UniformDistribution(key_offset=3, support_size=4)
+        np.testing.assert_array_equal(dist.support_keys, [3, 4, 5, 6])
+
+    def test_in_support_mask(self):
+        dist = UniformDistribution(key_offset=3, support_size=4)
+        mask = dist.in_support(np.array([2, 3, 6, 7]))
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            UniformDistribution(0, 0)
+        with pytest.raises(ValueError):
+            UniformDistribution(-1, 5)
+
+    def test_sample_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UniformDistribution(0, 5).sample(np.random.default_rng(0), -1)
+
+
+class TestCategoricalDistribution:
+    def test_probabilities_follow_weights(self):
+        dist = CategoricalDistribution([1.0, 3.0], key_offset=5)
+        assert dist.probability(5) == pytest.approx(0.25)
+        assert dist.probability(6) == pytest.approx(0.75)
+
+    def test_key_offset_applied_to_samples(self):
+        dist = CategoricalDistribution([1.0, 1.0], key_offset=100)
+        samples = dist.sample(np.random.default_rng(0), 100)
+        assert set(samples.tolist()) <= {100, 101}
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            CategoricalDistribution([0.0, 0.0])
+        with pytest.raises(ValueError):
+            CategoricalDistribution([1.0, -1.0])
+
+    def test_empirical_matches_target(self):
+        weights = np.array([5.0, 3.0, 1.0, 1.0])
+        dist = CategoricalDistribution(weights)
+        samples = dist.sample(np.random.default_rng(2), 50_000)
+        empirical = np.bincount(samples, minlength=4) / 50_000
+        np.testing.assert_allclose(empirical, weights / weights.sum(), atol=0.01)
+
+    def test_conditional_probabilities_renormalize(self):
+        dist = CategoricalDistribution([1.0, 2.0, 3.0, 4.0])
+        conditional = dist.conditional_probabilities(np.array([1, 3]))
+        np.testing.assert_allclose(conditional, [2 / 6, 4 / 6])
+
+    def test_conditional_probabilities_fall_back_to_uniform(self):
+        """Keys entirely outside the support get a uniform distribution."""
+        dist = CategoricalDistribution([1.0, 1.0], key_offset=0)
+        conditional = dist.conditional_probabilities(np.array([10, 11, 12]))
+        np.testing.assert_allclose(conditional, 1 / 3)
+
+
+class TestUnigramDistribution:
+    def test_power_smoothing_flattens_the_distribution(self):
+        frequencies = np.array([100.0, 1.0])
+        smoothed = UnigramDistribution(frequencies, power=0.75)
+        raw = CategoricalDistribution(frequencies)
+        assert smoothed.probability(0) < raw.probability(0)
+        assert smoothed.probability(1) > raw.probability(1)
+
+    def test_power_one_equals_frequencies(self):
+        frequencies = np.array([4.0, 1.0])
+        dist = UnigramDistribution(frequencies, power=1.0)
+        assert dist.probability(0) == pytest.approx(0.8)
+
+    def test_rejects_bad_frequencies(self):
+        with pytest.raises(ValueError):
+            UnigramDistribution(np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            UnigramDistribution(np.array([-1.0, 1.0]))
+
+
+class TestZipfWeights:
+    def test_monotonically_decreasing(self):
+        weights = zipf_weights(100, 1.1)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_exponent_zero_is_uniform(self):
+        np.testing.assert_allclose(zipf_weights(10, 0.0), 1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    support=st.integers(min_value=1, max_value=200),
+    offset=st.integers(min_value=0, max_value=1000),
+)
+def test_probabilities_always_normalized(support, offset):
+    for dist in (
+        UniformDistribution(offset, support),
+        CategoricalDistribution(np.random.default_rng(support).uniform(0.01, 1, support),
+                                key_offset=offset),
+    ):
+        assert dist.probabilities().sum() == pytest.approx(1.0)
+        assert dist.probabilities().min() >= 0
+        samples = dist.sample(np.random.default_rng(0), 100)
+        assert dist.in_support(samples).all()

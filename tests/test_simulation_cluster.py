@@ -1,0 +1,75 @@
+"""Tests for the simulated cluster."""
+
+import pytest
+
+from repro.simulation.cluster import Cluster, ClusterConfig
+from repro.simulation.network import NetworkModel
+
+
+class TestClusterConfig:
+    def test_defaults_match_paper_setting(self):
+        config = ClusterConfig()
+        assert config.num_nodes == 8
+        assert config.workers_per_node == 8
+        assert config.total_workers == 64
+
+    def test_rejects_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(workers_per_node=0)
+
+
+class TestCluster:
+    def test_worker_contexts_cover_all_workers(self, cluster):
+        workers = list(cluster.workers())
+        assert len(workers) == cluster.num_nodes * cluster.workers_per_node
+        identities = {(w.node_id, w.worker_id) for w in workers}
+        assert len(identities) == len(workers)
+
+    def test_worker_lookup(self, cluster):
+        worker = cluster.worker(2, 1)
+        assert worker.node_id == 2
+        assert worker.worker_id == 1
+        assert worker.global_worker_id == (2, 1)
+
+    def test_worker_clock_identity(self, cluster):
+        """The context's clock is the node's clock object (shared state)."""
+        worker = cluster.worker(1, 0)
+        worker.clock.advance(0.5)
+        assert cluster.node(1).worker_clocks[0].now == 0.5
+
+    def test_cluster_time_is_max_over_nodes(self, cluster):
+        cluster.worker(0, 0).clock.advance(1.0)
+        cluster.worker(3, 1).clock.advance(2.5)
+        assert cluster.time == 2.5
+
+    def test_node_time_includes_background_and_server(self, cluster):
+        node = cluster.node(0)
+        node.background_clock.advance(3.0)
+        assert node.time == 3.0
+        node.server_clock.advance(4.0)
+        assert node.time == 4.0
+
+    def test_min_worker_time(self, cluster):
+        for worker in cluster.workers():
+            worker.clock.advance(1.0)
+        cluster.worker(0, 0).clock.advance(1.0)
+        assert cluster.min_worker_time == 1.0
+
+    def test_reset_clocks_preserves_metrics(self, cluster):
+        cluster.worker(0, 0).clock.advance(1.0)
+        cluster.metrics.increment("x", 1)
+        cluster.reset_clocks()
+        assert cluster.time == 0.0
+        assert cluster.metrics.get("x") == 1
+
+    def test_reset_metrics(self, cluster):
+        cluster.metrics.increment("x", 1)
+        cluster.reset_metrics()
+        assert cluster.metrics.get("x") == 0
+
+    def test_network_is_shared(self, network):
+        cluster = Cluster(ClusterConfig(num_nodes=2, workers_per_node=1, network=network))
+        assert cluster.network is network
+        assert isinstance(cluster.network, NetworkModel)
