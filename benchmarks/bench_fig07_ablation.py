@@ -36,7 +36,7 @@ def test_fig07_ablation(benchmark, task_name):
     full = by_name["nups"].mean_epoch_time()
     # Sampling integration improves over Lapse; multi-technique management at
     # least does not hurt (its individual benefit is small for WV at this
-    # scale, see EXPERIMENTS.md); the combination is the fastest variant
+    # scale); the combination is the fastest variant
     # (Section 5.3).
     assert multi < lapse * 1.1
     assert sampling < lapse

@@ -43,6 +43,6 @@ def test_fig09_effective_scalability(benchmark):
     largest = max(NODE_COUNTS)
     # NuPS reaches the threshold at the largest node count and does so faster
     # than the single node (smaller node counts may need more epochs than the
-    # budget allows to cross the 90% threshold — see EXPERIMENTS.md).
+    # budget allows to cross the 90% threshold at benchmark scale).
     assert speedups[largest] is not None
     assert speedups[largest] > 1.0

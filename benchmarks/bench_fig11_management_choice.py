@@ -95,7 +95,7 @@ def test_fig11_management_choice(benchmark, task_name):
     # KGE/MF down and deteriorates quality because replica synchronization
     # cannot keep up with hundreds of MB of replicated values. The scaled-down
     # models here are a few MB at most, so that part of the effect does not
-    # materialize (see EXPERIMENTS.md); we only require that the largest
+    # materialize at benchmark scale; we only require that the largest
     # extent still trains the model.
     initial = largest.initial_quality[largest.quality_metric]
     if largest.higher_is_better:

@@ -7,7 +7,7 @@ to be competitive — in the same ballpark as the specialized systems — while
 remaining a general-purpose PS.
 
 The specialized systems are re-implemented as simplified stand-ins in
-:mod:`repro.ml.task_specific` (see DESIGN.md for the substitution notes).
+:mod:`repro.ml.task_specific` (the module docstring has the substitution notes).
 """
 
 from common import (

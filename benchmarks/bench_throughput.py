@@ -1,0 +1,168 @@
+"""Simulator-throughput microbenchmark: PS accesses per wall-clock second.
+
+Unlike the figure benchmarks, which reproduce the paper's *simulated* run
+times, this benchmark tracks how fast the simulator itself executes — the
+hot-loop throughput that the vectorized batch fast path optimizes. It drives
+a synthetic Zipf-skewed pull/push workload (with localize-ahead for
+relocation-capable systems and clock advances for replication) through each
+PS architecture and reports processed parameter accesses per wall-clock
+second, writing the results to ``BENCH_throughput.json`` in the repository
+root so the perf trajectory is tracked across PRs.
+
+Run directly::
+
+    REPRO_BENCH_FAST=1 PYTHONPATH=src python benchmarks/bench_throughput.py
+
+or through pytest (the test asserts the JSON is produced)::
+
+    REPRO_BENCH_FAST=1 PYTHONPATH=src python -m pytest benchmarks/bench_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.management import ManagementPlan
+from repro.core.nups import NuPS
+from repro.ps.classic import ClassicPS
+from repro.ps.relocation import RelocationPS
+from repro.ps.replication import ReplicationProtocol, ReplicationPS
+from repro.ps.storage import ParameterStore
+from repro.simulation.cluster import Cluster, ClusterConfig
+
+FAST = bool(int(os.environ.get("REPRO_BENCH_FAST", "0")))
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+NUM_KEYS = 5_000 if FAST else 20_000
+VALUE_LENGTH = 16
+NUM_NODES = 4
+WORKERS_PER_NODE = 2
+BATCH_SIZE = 32
+ROUNDS = 40 if FAST else 400
+ZIPF_EXPONENT = 1.1
+HOT_SPOT_KEYS = 64
+
+
+def _make_cluster() -> Cluster:
+    return Cluster(ClusterConfig(num_nodes=NUM_NODES,
+                                 workers_per_node=WORKERS_PER_NODE))
+
+
+def _system_factories():
+    def classic(store, cluster):
+        return ClassicPS(store, cluster, seed=0)
+
+    def relocation(store, cluster):
+        return RelocationPS(store, cluster, seed=0)
+
+    def replication(store, cluster):
+        return ReplicationPS(store, cluster,
+                             protocol=ReplicationProtocol.SSP, seed=0)
+
+    def nups(store, cluster):
+        plan = ManagementPlan(
+            store.num_keys, np.arange(HOT_SPOT_KEYS, dtype=np.int64)
+        )
+        return NuPS(store, cluster, plan=plan, sync_interval=0.001, seed=0)
+
+    return {
+        "classic": classic,
+        "relocation": relocation,
+        "replication": replication,
+        "nups": nups,
+    }
+
+
+def _workload(seed: int = 0):
+    """Per-(round, worker) Zipf-skewed key batches and matching deltas."""
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / np.arange(1, NUM_KEYS + 1, dtype=np.float64) ** ZIPF_EXPONENT
+    probs = weights / weights.sum()
+    batches = []
+    for _ in range(ROUNDS):
+        round_batches = []
+        for _ in range(NUM_NODES * WORKERS_PER_NODE):
+            keys = rng.choice(NUM_KEYS, size=BATCH_SIZE, p=probs).astype(np.int64)
+            deltas = rng.normal(0, 0.01, size=(BATCH_SIZE, VALUE_LENGTH)) \
+                .astype(np.float32)
+            round_batches.append((keys, deltas))
+        batches.append(round_batches)
+    return batches
+
+
+def _drive(name: str, factory, batches) -> dict:
+    """Run the workload through one PS and measure wall-clock throughput."""
+    cluster = _make_cluster()
+    store = ParameterStore(NUM_KEYS, VALUE_LENGTH, seed=0, init_scale=0.1)
+    ps = factory(store, cluster)
+    workers = list(cluster.workers())
+
+    accesses = 0
+    start = time.perf_counter()
+    for round_batches in batches:
+        for worker, (keys, deltas) in zip(workers, round_batches):
+            ps.localize(worker, keys)  # no-op for classic / replication
+            ps.pull(worker, keys)
+            ps.push(worker, keys, deltas)
+            accesses += 2 * len(keys)
+            ps.advance_clock(worker)  # no-op outside replication
+        ps.housekeeping(cluster.time)
+    ps.finish_epoch()
+    elapsed = time.perf_counter() - start
+
+    return {
+        "accesses": accesses,
+        "seconds": round(elapsed, 6),
+        "accesses_per_sec": round(accesses / elapsed) if elapsed > 0 else None,
+        "simulated_time": round(cluster.time, 6),
+    }
+
+
+def run_benchmark(output_path: Path = OUTPUT_PATH) -> dict:
+    batches = _workload()
+    results = {}
+    for name, factory in _system_factories().items():
+        results[name] = _drive(name, factory, batches)
+        rate = results[name]["accesses_per_sec"]
+        print(f"{name:12s} {rate:>12,d} accesses/s "
+              f"({results[name]['accesses']:,d} accesses in "
+              f"{results[name]['seconds']:.3f}s)")
+    report = {
+        "benchmark": "simulator_throughput",
+        "fast_mode": FAST,
+        "config": {
+            "num_keys": NUM_KEYS,
+            "value_length": VALUE_LENGTH,
+            "num_nodes": NUM_NODES,
+            "workers_per_node": WORKERS_PER_NODE,
+            "batch_size": BATCH_SIZE,
+            "rounds": ROUNDS,
+            "zipf_exponent": ZIPF_EXPONENT,
+        },
+        "systems": results,
+    }
+    output_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output_path}")
+    return report
+
+
+def test_throughput_benchmark(tmp_path):
+    """The harness runs, reports every system, and writes valid JSON."""
+    output = tmp_path / "BENCH_throughput.json"
+    report = run_benchmark(output)
+    assert set(report["systems"]) == {"classic", "relocation",
+                                      "replication", "nups"}
+    for stats in report["systems"].values():
+        assert stats["accesses"] > 0
+        assert stats["accesses_per_sec"] > 0
+    assert json.loads(output.read_text())["benchmark"] == "simulator_throughput"
+
+
+if __name__ == "__main__":
+    run_benchmark()

@@ -1,11 +1,12 @@
 """Shared infrastructure for the benchmark harness.
 
 Every benchmark file reproduces one table or figure of the paper's evaluation
-(see DESIGN.md for the index). The benchmarks run scaled-down synthetic
-workloads on the simulated cluster and print the same rows / series the paper
-reports; absolute numbers are simulated seconds, but the *shape* — which
-system wins, by roughly what factor, where crossovers happen — is what is
-being reproduced (EXPERIMENTS.md records paper-vs-measured).
+(the file names carry the index: ``bench_fig06_*`` is Figure 6, and so on).
+The benchmarks run scaled-down synthetic workloads on the simulated cluster
+and print the same rows / series the paper reports; absolute numbers are
+simulated seconds, but the *shape* — which system wins, by roughly what
+factor, where crossovers happen — is what is being reproduced (see README.md,
+"Benchmarks").
 
 Run with::
 
@@ -16,6 +17,7 @@ Set ``REPRO_BENCH_FAST=1`` to cut epochs/sweeps further for a quick smoke run.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -89,9 +91,51 @@ def run_system(task_name: str, system: str, num_nodes: int = DEFAULT_NODES,
     )
 
 
+def _parallel_workers(num_jobs: int) -> int:
+    """Worker-process count for a sweep of ``num_jobs`` independent runs.
+
+    Controlled by ``REPRO_BENCH_PARALLEL``: unset picks ``cpu_count`` workers
+    automatically (sequential on single-core machines), ``0`` forces
+    sequential execution, and any other integer forces that many workers.
+    """
+    setting = os.environ.get("REPRO_BENCH_PARALLEL", "")
+    if setting:
+        try:
+            return max(1, min(int(setting), num_jobs))
+        except ValueError:
+            return 1
+    cpus = os.cpu_count() or 1
+    return max(1, min(cpus, num_jobs))
+
+
+def _run_system_job(task_name: str, system: str, kwargs: dict) -> ExperimentResult:
+    return run_system(task_name, system, **kwargs)
+
+
 def run_systems(task_name: str, systems: Sequence[str], **kwargs
                 ) -> List[ExperimentResult]:
-    """Run several systems on the same workload."""
+    """Run several systems on the same workload.
+
+    The runs are independent, deterministic simulations, so on multi-core
+    machines they execute in worker processes (fork) with results identical
+    to sequential execution; see :func:`_parallel_workers` for the knob.
+    """
+    workers = _parallel_workers(len(systems))
+    if workers > 1 and hasattr(os, "fork"):
+        # Warm the dataset cache first so forked workers inherit it.
+        TASK_FACTORIES[task_name]("bench", **(kwargs.get("task_kwargs") or {}))
+        try:
+            pool = multiprocessing.get_context("fork").Pool(workers)
+        except (OSError, ValueError):
+            pool = None  # cannot fork here: fall back to sequential
+        if pool is not None:
+            # Real benchmark failures must propagate, not silently trigger
+            # a sequential re-run — only pool *creation* is best-effort.
+            with pool:
+                return pool.starmap(
+                    _run_system_job,
+                    [(task_name, system, kwargs) for system in systems],
+                )
     return [run_system(task_name, system, **kwargs) for system in systems]
 
 
@@ -102,8 +146,8 @@ def heuristic_key_count(task) -> int:
     selects a non-empty hot-spot set (900 keys for KGE, 3272 for WV, 755 for
     MF). At benchmark scale the MF matrix is so small that no column exceeds
     100x the mean; the replication-extent benchmarks then fall back to a
-    small fixed hot-spot set (documented in EXPERIMENTS.md) so the sweep
-    remains meaningful.
+    small fixed hot-spot set (see the fallback below) so the sweep remains
+    meaningful.
     """
     from repro.core.management import ManagementPlan
 

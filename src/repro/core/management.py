@@ -122,7 +122,7 @@ class ManagementPlan:
         if keys is None:
             return self._replicated_mask.copy()
         keys = np.asarray(keys, dtype=np.int64)
-        return self._replicated_mask[keys]
+        return self._replicated_mask.take(keys)
 
     @property
     def num_replicated(self) -> int:

@@ -42,6 +42,34 @@ from repro.ps.storage import ParameterStore
 from repro.simulation.cluster import Cluster, WorkerContext
 
 
+def _partition_mask(mask: np.ndarray):
+    """Split a boolean mask into (true_idx, false_idx) index arrays.
+
+    A ``None`` on either side signals a homogeneous mask (all-False when the
+    first element is None, all-True when the second is), so callers can take
+    whole-batch fast paths; the placeholder on the opposite side is unused.
+    Small masks are partitioned with a Python loop (cheaper than two
+    ``flatnonzero`` calls at that size).
+    """
+    n = len(mask)
+    if n <= 64:
+        as_list = mask.tolist()
+        true_positions = [i for i, m in enumerate(as_list) if m]
+        if not true_positions:
+            return None, ()
+        if len(true_positions) == n:
+            return (), None
+        false_positions = [i for i, m in enumerate(as_list) if not m]
+        return (np.asarray(true_positions, dtype=np.intp),
+                np.asarray(false_positions, dtype=np.intp))
+    true_idx = np.flatnonzero(mask)
+    if len(true_idx) == 0:
+        return None, ()
+    if len(true_idx) == n:
+        return (), None
+    return true_idx, np.flatnonzero(~mask)
+
+
 class NuPS(RelocationPS, SamplingHost):
     """Non-uniform parameter server: replication + relocation + sampling."""
 
@@ -57,8 +85,10 @@ class NuPS(RelocationPS, SamplingHost):
         integrate_sampling: bool = True,
         partitioner: Optional[Partitioner] = None,
         seed: int = 0,
+        batch_charging: bool = True,
     ) -> None:
-        super().__init__(store, cluster, partitioner, relocation_enabled=True, seed=seed)
+        super().__init__(store, cluster, partitioner, relocation_enabled=True,
+                         seed=seed, batch_charging=batch_charging)
         self.plan = plan or ManagementPlan.relocate_all(store.num_keys)
         self.replica_manager = ReplicaManager(
             store, cluster, self.plan, sync_interval=sync_interval
@@ -152,6 +182,16 @@ class NuPS(RelocationPS, SamplingHost):
         keys = keys[~self.plan.replicated_mask(keys)]
         if len(keys) == 0:
             return
+        if not self.batch_charging:
+            self._localize_async_scalar(node_id, keys)
+            return
+        # Background-issued relocations start at the communication thread's
+        # own time (no worker is blocked) and count toward the sampling
+        # relocation metric; the batch mechanics are shared with localize.
+        self._relocate_batch(node_id, keys, worker_clock=None, sampling=True)
+
+    def _localize_async_scalar(self, node_id: int, keys: np.ndarray) -> None:
+        """Per-key reference implementation of :meth:`localize_async`."""
         background = self.cluster.node(node_id).background_clock
         value_bytes = self.store.value_bytes()
         relocation_latency = self.network.relocation_cost(value_bytes)
@@ -177,6 +217,11 @@ class NuPS(RelocationPS, SamplingHost):
         if self.plan.is_replicated(key):
             return True
         return bool(self.current_owner[key] == node_id)
+
+    def keys_are_local(self, node_id: int, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`key_is_local` for a batch of keys."""
+        keys = np.asarray(keys, dtype=np.int64)
+        return self.plan.replicated_mask(keys) | (self.current_owner[keys] == node_id)
 
     def pull_keys(self, worker: WorkerContext, keys: np.ndarray,
                   sampling: bool = True) -> np.ndarray:
@@ -204,45 +249,71 @@ class NuPS(RelocationPS, SamplingHost):
 
     # ------------------------------------------------------------------ internals
     def _pull(self, worker: WorkerContext, keys: np.ndarray, sampling: bool) -> np.ndarray:
-        values = np.empty((len(keys), self.store.value_length), dtype=np.float32)
         if len(keys) == 0:
+            return np.empty((0, self.store.value_length), dtype=np.float32)
+        kind = "sample" if sampling else "pull"
+        if self.plan.num_replicated == 0:
+            # Relocation-only plan: every key takes the relocation path.
+            self._charge_access(worker, keys, kind)
+            values = self.store.get(keys)
+            if not sampling:
+                self._recent_direct[worker.node_id].extend(keys.tolist())
             return values
         replicated_mask = self.plan.replicated_mask(keys)
-        kind = "sample" if sampling else "pull"
+        replicated_idx, relocated_idx = _partition_mask(replicated_mask)
 
-        replicated_idx = np.flatnonzero(replicated_mask)
-        if len(replicated_idx):
-            rep_keys = keys[replicated_idx]
-            values[replicated_idx] = self.replica_manager.pull(worker.node_id, rep_keys)
-            self._charge_local(worker, len(rep_keys), f"{kind}.replica")
-
-        relocated_idx = np.flatnonzero(~replicated_mask)
-        if len(relocated_idx):
-            rel_keys = keys[relocated_idx]
-            self._charge_access(worker, rel_keys, kind)
-            values[relocated_idx] = self.store.get(rel_keys)
+        if replicated_idx is None:
+            # Homogeneous batch (the common case): skip the index juggling.
+            self._charge_access(worker, keys, kind)
+            values = self.store.get(keys)
             if not sampling:
-                self._recent_direct[worker.node_id].extend(int(k) for k in rel_keys)
+                self._recent_direct[worker.node_id].extend(keys.tolist())
+            return values
+        if relocated_idx is None:
+            values = self.replica_manager.pull(worker.node_id, keys)
+            self._charge_local(worker, len(keys), f"{kind}.replica")
+            return values
+
+        values = np.empty((len(keys), self.store.value_length), dtype=np.float32)
+        rep_keys = keys[replicated_idx]
+        values[replicated_idx] = self.replica_manager.pull(worker.node_id, rep_keys)
+        self._charge_local(worker, len(rep_keys), f"{kind}.replica")
+
+        rel_keys = keys[relocated_idx]
+        self._charge_access(worker, rel_keys, kind)
+        values[relocated_idx] = self.store.get(rel_keys)
+        if not sampling:
+            self._recent_direct[worker.node_id].extend(rel_keys.tolist())
         return values
 
     def _push(self, worker: WorkerContext, keys: np.ndarray, deltas: np.ndarray,
               sampling: bool) -> None:
         if len(keys) == 0:
             return
-        replicated_mask = self.plan.replicated_mask(keys)
         kind = "sample_push" if sampling else "push"
+        if self.plan.num_replicated == 0:
+            self._charge_access(worker, keys, kind)
+            self.store.add(keys, deltas)
+            return
+        replicated_mask = self.plan.replicated_mask(keys)
+        replicated_idx, relocated_idx = _partition_mask(replicated_mask)
 
-        replicated_idx = np.flatnonzero(replicated_mask)
-        if len(replicated_idx):
-            rep_keys = keys[replicated_idx]
-            self.replica_manager.push(worker.node_id, rep_keys, deltas[replicated_idx])
-            self._charge_local(worker, len(rep_keys), f"{kind}.replica")
+        if replicated_idx is None:
+            self._charge_access(worker, keys, kind)
+            self.store.add(keys, deltas)
+            return
+        if relocated_idx is None:
+            self.replica_manager.push(worker.node_id, keys, deltas)
+            self._charge_local(worker, len(keys), f"{kind}.replica")
+            return
 
-        relocated_idx = np.flatnonzero(~replicated_mask)
-        if len(relocated_idx):
-            rel_keys = keys[relocated_idx]
-            self._charge_access(worker, rel_keys, kind)
-            self.store.add(rel_keys, deltas[relocated_idx])
+        rep_keys = keys[replicated_idx]
+        self.replica_manager.push(worker.node_id, rep_keys, deltas[replicated_idx])
+        self._charge_local(worker, len(rep_keys), f"{kind}.replica")
+
+        rel_keys = keys[relocated_idx]
+        self._charge_access(worker, rel_keys, kind)
+        self.store.add(rel_keys, deltas[relocated_idx])
 
     # ------------------------------------------------------------------ reports
     def replica_access_share(self) -> float:

@@ -24,7 +24,7 @@ import numpy as np
 from repro.core.management import ManagementPlan
 from repro.simulation.cluster import Cluster
 from repro.simulation.events import PeriodicSchedule
-from repro.ps.storage import ParameterStore
+from repro.ps.storage import ParameterStore, scatter_add_rows
 
 
 #: Default replica staleness bound: synchronize every 40 ms (25 syncs/second).
@@ -94,23 +94,24 @@ class ReplicaManager:
         return int(self._slot_of_key[int(key)])
 
     def slots(self, keys: np.ndarray) -> np.ndarray:
-        return self._slot_of_key[np.asarray(keys, dtype=np.int64)]
+        return self._slot_of_key.take(np.asarray(keys, dtype=np.int64))
 
     def pull(self, node_id: int, keys: np.ndarray) -> np.ndarray:
         """Read replicated ``keys`` from the node's replica (shared memory)."""
         slots = self.slots(keys)
-        if np.any(slots < 0):
+        if slots.size and int(slots.min()) < 0:
             raise KeyError("pull contains keys that are not managed by replication")
-        return self._replicas[node_id][slots].copy()
+        return self._replicas[node_id].take(slots, axis=0)
 
     def push(self, node_id: int, keys: np.ndarray, deltas: np.ndarray) -> None:
         """Apply ``deltas`` to the node's replica and buffer them for sync."""
         slots = self.slots(keys)
-        if np.any(slots < 0):
+        if slots.size and int(slots.min()) < 0:
             raise KeyError("push contains keys that are not managed by replication")
         deltas = np.asarray(deltas, dtype=np.float32)
-        np.add.at(self._replicas[node_id], slots, deltas)
-        np.add.at(self._buffers[node_id], slots, deltas)
+        slots_list = slots.tolist() if len(slots) <= 64 else None
+        scatter_add_rows(self._replicas[node_id], slots, deltas, slots_list)
+        scatter_add_rows(self._buffers[node_id], slots, deltas, slots_list)
         self._dirty[node_id][slots] = True
 
     # ------------------------------------------------------------------- sync

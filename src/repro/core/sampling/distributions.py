@@ -48,6 +48,20 @@ class SamplingDistribution(ABC):
     def probabilities(self) -> np.ndarray:
         """The full probability vector over the support (length support_size)."""
 
+    def probabilities_of(self, keys: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`probability`: π_k for a batch of absolute keys.
+
+        Keys outside the support get probability zero. Subclasses override
+        with cheaper implementations; the default indexes the full
+        probability vector.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        probs = np.zeros(len(keys), dtype=np.float64)
+        mask = self.in_support(keys)
+        if np.any(mask):
+            probs[mask] = self.probabilities()[keys[mask] - self.key_offset]
+        return probs
+
     # --------------------------------------------------------------- helpers
     @property
     def support_keys(self) -> np.ndarray:
@@ -71,7 +85,7 @@ class SamplingDistribution(ABC):
         that makes local sampling NON-CONFORM).
         """
         keys = np.asarray(keys, dtype=np.int64)
-        probs = np.array([self.probability(int(k)) for k in keys], dtype=np.float64)
+        probs = self.probabilities_of(keys)
         total = probs.sum()
         if total <= 0:
             return np.full(len(keys), 1.0 / max(len(keys), 1))
@@ -103,6 +117,10 @@ class UniformDistribution(SamplingDistribution):
     def probabilities(self) -> np.ndarray:
         return np.full(self.support_size, 1.0 / self.support_size)
 
+    def probabilities_of(self, keys: Sequence[int] | np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.int64)
+        return np.where(self.in_support(keys), 1.0 / self.support_size, 0.0)
+
 
 class CategoricalDistribution(SamplingDistribution):
     """Arbitrary discrete distribution over a contiguous key range."""
@@ -129,6 +147,14 @@ class CategoricalDistribution(SamplingDistribution):
 
     def probabilities(self) -> np.ndarray:
         return self._probs.copy()
+
+    def probabilities_of(self, keys: Sequence[int] | np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.int64)
+        probs = np.zeros(len(keys), dtype=np.float64)
+        mask = self.in_support(keys)
+        if np.any(mask):
+            probs[mask] = self._probs[keys[mask] - self.key_offset]
+        return probs
 
 
 class UnigramDistribution(CategoricalDistribution):

@@ -45,6 +45,12 @@ class SamplingHost(ABC):
     def key_is_local(self, node_id: int, key: int) -> bool:
         """Whether ``key`` can currently be accessed at ``node_id`` locally."""
 
+    def keys_are_local(self, node_id: int, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`key_is_local`; hosts override with a batch check."""
+        return np.asarray(
+            [self.key_is_local(node_id, int(key)) for key in keys], dtype=bool
+        )
+
     @abstractmethod
     def pull_keys(self, worker: WorkerContext, keys: np.ndarray,
                   sampling: bool = True) -> np.ndarray:
@@ -119,8 +125,7 @@ class SamplingScheme(ABC):
         The default implementation pulls the first ``count`` pending keys via
         direct access; subclasses override to add postponing or lazy sampling.
         """
-        keys = np.asarray(handle.pending[:count], dtype=np.int64)
-        del handle.pending[:count]
+        keys = handle.take(count)
         handle.delivered += count
         values = self.host.pull_keys(worker, keys)
         return PullResult(keys=keys, values=values)
@@ -148,15 +153,45 @@ class IndependentSamplingScheme(SamplingScheme):
 
 
 class _NodePoolState:
-    """Prepared-sample stream of one node for the pool-reuse schemes."""
+    """Prepared-sample stream of one node for the pool-reuse schemes.
+
+    The stream is a queue of NumPy chunks (one chunk per pool traversal) with
+    a consumption offset into the head chunk, so taking ``count`` samples is
+    a handful of array slices instead of ``count`` deque pops.
+    """
 
     def __init__(self) -> None:
-        self.prepared: Deque[int] = deque()
+        self.chunks: Deque[np.ndarray] = deque()
+        self.offset = 0  # consumed prefix of the head chunk
+        self.size = 0
         self.pools_prepared = 0
         self.samples_consumed = 0
 
     def __len__(self) -> int:
-        return len(self.prepared)
+        return self.size
+
+    def extend(self, keys: np.ndarray) -> None:
+        if len(keys):
+            self.chunks.append(np.asarray(keys, dtype=np.int64))
+            self.size += len(keys)
+
+    def take(self, count: int) -> np.ndarray:
+        """Remove and return the next ``count`` prepared keys, in order."""
+        if count > self.size:
+            raise ValueError(f"cannot take {count} of {self.size} prepared samples")
+        out = np.empty(count, dtype=np.int64)
+        filled = 0
+        while filled < count:
+            head = self.chunks[0]
+            use = min(len(head) - self.offset, count - filled)
+            out[filled:filled + use] = head[self.offset:self.offset + use]
+            self.offset += use
+            filled += use
+            if self.offset == len(head):
+                self.chunks.popleft()
+                self.offset = 0
+        self.size -= count
+        return out
 
 
 class PoolSampleReuseScheme(SamplingScheme):
@@ -181,14 +216,10 @@ class PoolSampleReuseScheme(SamplingScheme):
                 distribution_id: int) -> SampleHandle:
         state = self._state(worker.node_id)
         self._ensure_prepared(worker.node_id, state, count)
-        keys = [state.prepared.popleft() for _ in range(count)]
+        keys = state.take(count)
         state.samples_consumed += count
-        keys = np.asarray(keys, dtype=np.int64)
         # Re-localize keys that have been relocated away since pool preparation.
-        moved = np.asarray(
-            [k for k in keys if not self.host.key_is_local(worker.node_id, int(k))],
-            dtype=np.int64,
-        )
+        moved = keys[~self.host.keys_are_local(worker.node_id, keys)]
         if len(moved):
             self.host.localize_async(worker.node_id, moved)
         return SampleHandle(distribution_id, keys)
@@ -214,7 +245,7 @@ class PoolSampleReuseScheme(SamplingScheme):
         """
         pool_samples = self.config.pool_size * self.config.use_frequency
         threshold = pool_samples + needed_now
-        while len(state.prepared) < threshold:
+        while len(state) < threshold:
             self._prepare_pool(node_id, state)
 
     def _prepare_pool(self, node_id: int, state: _NodePoolState) -> None:
@@ -223,7 +254,7 @@ class PoolSampleReuseScheme(SamplingScheme):
         self.host.localize_async(node_id, pool)
         for _ in range(self.config.use_frequency):
             order = rng.permutation(len(pool))
-            state.prepared.extend(int(k) for k in pool[order])
+            state.extend(pool[order])
         state.pools_prepared += 1
 
 
@@ -248,8 +279,10 @@ class PostponingSampleReuseScheme(PoolSampleReuseScheme):
         postponed_once = handle.postponed_once  # type: ignore[attr-defined]
 
         selected: List[int] = []
-        while len(selected) < count and handle.pending:
-            key = handle.pending.pop(0)
+        while len(selected) < count:
+            key = handle.pop_front()
+            if key is None:
+                break
             is_local = self.host.key_is_local(worker.node_id, key)
             if is_local or key in postponed_once:
                 selected.append(key)
@@ -257,7 +290,7 @@ class PostponingSampleReuseScheme(PoolSampleReuseScheme):
             # Postpone: push to the end of this handle's samples, re-localize,
             # and never postpone the same sample twice.
             postponed_once.add(key)
-            handle.pending.append(key)
+            handle.append_back(key)
             self.host.localize_async(
                 worker.node_id, np.asarray([key], dtype=np.int64)
             )
@@ -296,14 +329,10 @@ class LocalSamplingScheme(SamplingScheme):
     def prepare(self, worker: WorkerContext, count: int,
                 distribution_id: int) -> SampleHandle:
         # Keys are decided lazily at pull time from whatever is local then.
-        handle = SampleHandle(distribution_id, np.empty(0, dtype=np.int64))
-        handle.total = count
-        handle.pending = [None] * count  # placeholders; resolved in pull()
-        return handle
+        return SampleHandle.placeholder(distribution_id, count)
 
     def pull(self, worker: WorkerContext, handle: SampleHandle,
              count: int) -> PullResult:
-        del handle.pending[:count]
         handle.delivered += count
         keys = self._sample_local(worker.node_id, count)
         values = self.host.pull_keys(worker, keys)
@@ -356,14 +385,10 @@ class DirectAccessRepurposingScheme(SamplingScheme):
 
     def prepare(self, worker: WorkerContext, count: int,
                 distribution_id: int) -> SampleHandle:
-        handle = SampleHandle(distribution_id, np.empty(0, dtype=np.int64))
-        handle.total = count
-        handle.pending = [None] * count
-        return handle
+        return SampleHandle.placeholder(distribution_id, count)
 
     def pull(self, worker: WorkerContext, handle: SampleHandle,
              count: int) -> PullResult:
-        del handle.pending[:count]
         handle.delivered += count
         rng = self.host.sampling_rng(worker.node_id)
         recent = self.host.recent_direct_access_keys(worker.node_id)

@@ -68,19 +68,28 @@ class ComplExModel:
         )
 
     def score_against_all(self, subject_w: np.ndarray, relation_w: np.ndarray,
-                          all_entity_w: np.ndarray) -> np.ndarray:
-        """Scores of (s, r, e) for every entity e (vectorized, for ranking)."""
+                          all_entity_w: np.ndarray,
+                          conj_entities: np.ndarray | None = None) -> np.ndarray:
+        """Scores of (s, r, e) for every entity e (vectorized, for ranking).
+
+        ``conj_entities`` optionally passes ``conj(to_complex(all_entity_w))``
+        precomputed, so rankings over many queries against the same entity
+        matrix do not convert it once per query.
+        """
         s_c = self.to_complex(subject_w)
         r_c = self.to_complex(relation_w)
-        entities_c = self.to_complex(all_entity_w)
-        return np.real((s_c * r_c) @ np.conj(entities_c).T)
+        if conj_entities is None:
+            conj_entities = np.conj(self.to_complex(all_entity_w))
+        return np.real((s_c * r_c) @ conj_entities.T)
 
     def score_all_subjects(self, relation_w: np.ndarray, object_w: np.ndarray,
-                           all_entity_w: np.ndarray) -> np.ndarray:
+                           all_entity_w: np.ndarray,
+                           entities_c: np.ndarray | None = None) -> np.ndarray:
         """Scores of (e, r, o) for every entity e (vectorized, for ranking)."""
         r_c = self.to_complex(relation_w)
         o_c = self.to_complex(object_w)
-        entities_c = self.to_complex(all_entity_w)
+        if entities_c is None:
+            entities_c = self.to_complex(all_entity_w)
         return np.real(entities_c @ (r_c * np.conj(o_c)).T).ravel()
 
     # ---------------------------------------------------------------- gradients
@@ -97,23 +106,24 @@ class ComplExModel:
         o_re, o_im = self.split(object_w)
         dscore = np.asarray(dscore, dtype=np.float32)[..., None]
 
-        grad_s = np.concatenate(
-            [dscore * (r_re * o_re + r_im * o_im),
-             dscore * (r_re * o_im - r_im * o_re)], axis=-1
-        )
-        grad_r = np.concatenate(
-            [dscore * (s_re * o_re + s_im * o_im),
-             dscore * (s_re * o_im - s_im * o_re)], axis=-1
-        )
-        grad_o = np.concatenate(
-            [dscore * (r_re * s_re - r_im * s_im),
-             dscore * (r_re * s_im + r_im * s_re)], axis=-1
-        )
-        return grad_s.astype(np.float32), grad_r.astype(np.float32), grad_o.astype(np.float32)
+        def assemble(real_part: np.ndarray, imag_part: np.ndarray) -> np.ndarray:
+            grad = np.empty(real_part.shape[:-1] + (2 * self.dim,),
+                            dtype=np.float32)
+            grad[..., : self.dim] = real_part
+            grad[..., self.dim:] = imag_part
+            return grad
+
+        grad_s = assemble(dscore * (r_re * o_re + r_im * o_im),
+                          dscore * (r_re * o_im - r_im * o_re))
+        grad_r = assemble(dscore * (s_re * o_re + s_im * o_im),
+                          dscore * (s_re * o_im - s_im * o_re))
+        grad_o = assemble(dscore * (r_re * s_re - r_im * s_im),
+                          dscore * (r_re * s_im + r_im * s_re))
+        return grad_s, grad_r, grad_o
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+    return 1.0 / (1.0 + np.exp(-x.clip(-30.0, 30.0)))
 
 
 class KGETask(TrainingTask):
@@ -225,9 +235,10 @@ class KGETask(TrainingTask):
             ps, worker, self._distribution_id, len(triples) * negatives_per_triple
         )
 
+        compute_cost = self.network_compute_cost(ps)  # constant per chunk
         for subject, relation, obj in triples:
             self._train_triple(ps, worker, int(subject), int(relation), int(obj), stream)
-            worker.clock.advance(self.network_compute_cost(ps))
+            worker.clock.advance(compute_cost)
         return len(triples)
 
     def network_compute_cost(self, ps: ParameterServer) -> float:
@@ -243,40 +254,47 @@ class KGETask(TrainingTask):
             [subject, self.relation_key(relation), obj], dtype=np.int64
         )
         direct_values = ps.pull(worker, direct_keys)
-        s_val, r_val, o_val = direct_values
-        s_w, r_w, o_w = s_val[:dim2], r_val[:dim2], o_val[:dim2]
+        s_w = direct_values[0, :dim2]
+        r_w = direct_values[1, :dim2]
+        o_w = direct_values[2, :dim2]
 
         negatives = stream.next(2 * self.num_negatives)
         neg_keys = negatives.keys
         neg_w = negatives.values[:, :dim2]
         half = len(neg_keys) // 2
-        neg_subject_w = neg_w[:half]
-        neg_object_w = neg_w[half:]
+        rest = len(neg_keys) - half
 
-        # Positive triple: label 1.
-        pos_score = model.score(s_w, r_w, o_w)
-        pos_dscore = float(_sigmoid(pos_score) - 1.0)
-        grad_s, grad_r, grad_o = model.gradients(s_w, r_w, o_w, pos_dscore)
+        # Score and differentiate the positive triple and both negative
+        # blocks in ONE batch: row 0 is (s, r, o), rows 1..half perturb the
+        # subject, the remaining rows perturb the object. Scores, sigmoids
+        # and per-row gradients are elementwise/row-wise operations, so the
+        # fused batch is bit-identical to three separate model calls.
+        batch = 1 + len(neg_keys)
+        subjects = np.empty((batch, dim2), dtype=np.float32)
+        objects = np.empty((batch, dim2), dtype=np.float32)
+        subjects[0] = s_w
+        objects[0] = o_w
+        subjects[1:1 + half] = neg_w[:half]
+        objects[1:1 + half] = o_w
+        subjects[1 + half:] = s_w
+        objects[1 + half:] = neg_w[half:]
 
-        # Negative triples with perturbed subject: label 0.
+        scores = model.score(subjects, r_w, objects)
+        dscores = _sigmoid(scores)
+        dscores[0] = dscores[0] - 1.0  # positive triple: label 1
+        g_subj, g_rel, g_obj = model.gradients(subjects, r_w, objects, dscores)
+
+        # Accumulate in the seed's order: positive gradient, then the
+        # perturbed-subject block, then the perturbed-object block.
+        grad_s = g_subj[0]
+        grad_r = g_rel[0]
+        grad_o = g_obj[0]
         if half:
-            neg_s_scores = model.score(neg_subject_w, r_w, o_w)
-            neg_s_dscore = _sigmoid(neg_s_scores)
-            g_neg_s, g_r1, g_o1 = model.gradients(neg_subject_w, r_w, o_w, neg_s_dscore)
-            grad_r = grad_r + g_r1.sum(axis=0)
-            grad_o = grad_o + g_o1.sum(axis=0)
-        else:
-            g_neg_s = np.zeros((0, dim2), dtype=np.float32)
-
-        # Negative triples with perturbed object: label 0.
-        if len(neg_keys) - half:
-            neg_o_scores = model.score(s_w, r_w, neg_object_w)
-            neg_o_dscore = _sigmoid(neg_o_scores)
-            g_s2, g_r2, g_neg_o = model.gradients(s_w, r_w, neg_object_w, neg_o_dscore)
-            grad_s = grad_s + g_s2.sum(axis=0)
-            grad_r = grad_r + g_r2.sum(axis=0)
-        else:
-            g_neg_o = np.zeros((0, dim2), dtype=np.float32)
+            grad_r = grad_r + g_rel[1:1 + half].sum(axis=0)
+            grad_o = grad_o + g_obj[1:1 + half].sum(axis=0)
+        if rest:
+            grad_s = grad_s + g_subj[1 + half:].sum(axis=0)
+            grad_r = grad_r + g_rel[1 + half:].sum(axis=0)
 
         if self.regularization:
             grad_s = grad_s + self.regularization * s_w
@@ -284,13 +302,19 @@ class KGETask(TrainingTask):
             grad_o = grad_o + self.regularization * o_w
 
         # AdaGrad deltas for the direct-access keys.
-        direct_grads = np.stack([grad_s, grad_r, grad_o])
+        direct_grads = np.empty((3, dim2), dtype=np.float32)
+        direct_grads[0] = grad_s
+        direct_grads[1] = grad_r
+        direct_grads[2] = grad_o
         direct_deltas = self.optimizer.compute_update(direct_values, direct_grads)
         ps.push(worker, direct_keys, direct_deltas)
 
-        # AdaGrad deltas for the sampled (negative) keys.
+        # AdaGrad deltas for the sampled (negative) keys: the gradient of a
+        # perturbed subject (object) is that row's subject (object) gradient.
         if len(neg_keys):
-            neg_grads = np.concatenate([g_neg_s, g_neg_o], axis=0)
+            neg_grads = np.empty((len(neg_keys), dim2), dtype=np.float32)
+            neg_grads[:half] = g_subj[1:1 + half]
+            neg_grads[half:] = g_obj[1 + half:]
             neg_deltas = self.optimizer.compute_update(negatives.values, neg_grads)
             stream.push_updates(neg_keys, neg_deltas)
 
@@ -301,6 +325,10 @@ class KGETask(TrainingTask):
             return {"mrr_filtered": 0.0, "hits_at_10": 0.0}
         dim2 = 2 * self.dim
         entity_w = store.values[: self.graph.num_entities, :dim2]
+        # The entity matrix is shared by every ranking query of this
+        # evaluation round: convert it to complex form once, not per triple.
+        entities_c = self.model.to_complex(entity_w)
+        conj_entities = np.conj(entities_c)
         reciprocal_ranks: List[float] = []
         hits = 0
         total = 0
@@ -311,7 +339,9 @@ class KGETask(TrainingTask):
             object_w = entity_w[obj]
 
             # Object ranking (s, r, ?).
-            scores = self.model.score_against_all(subject_w, relation_w, entity_w)
+            scores = self.model.score_against_all(
+                subject_w, relation_w, entity_w, conj_entities=conj_entities
+            )
             rank = self._filtered_rank(
                 scores, obj, self._true_objects.get((subject, relation), set())
             )
@@ -320,7 +350,9 @@ class KGETask(TrainingTask):
             total += 1
 
             # Subject ranking (?, r, o).
-            scores = self.model.score_all_subjects(relation_w, object_w, entity_w)
+            scores = self.model.score_all_subjects(
+                relation_w, object_w, entity_w, entities_c=entities_c
+            )
             rank = self._filtered_rank(
                 scores, subject, self._true_subjects.get((relation, obj), set())
             )

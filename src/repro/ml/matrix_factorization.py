@@ -134,9 +134,10 @@ class MatrixFactorizationTask(TrainingTask):
         cells = self.dataset.train_cells[data_indices]
         values = self.dataset.train_values[data_indices]
 
+        compute_cost = ps.network.compute_per_step  # constant per chunk
         for (row, col), value in zip(cells, values):
             self._train_cell(ps, worker, int(row), int(col), float(value))
-            worker.clock.advance(ps.network.compute_per_step)
+            worker.clock.advance(compute_cost)
         return len(data_indices)
 
     def _train_cell(self, ps: ParameterServer, worker: WorkerContext,
@@ -145,7 +146,7 @@ class MatrixFactorizationTask(TrainingTask):
         factors = ps.pull(worker, keys)
         row_factor, col_factor = factors[0], factors[1]
 
-        prediction = float(row_factor @ col_factor)
+        prediction = float(row_factor.dot(col_factor))
         error = value - prediction
         self._epoch_squared_error += error * error
         self._epoch_points += 1
@@ -154,12 +155,15 @@ class MatrixFactorizationTask(TrainingTask):
         grad_col = error * row_factor - self.regularization * col_factor
         delta_row = self._clip(self.learning_rate * grad_row)
         delta_col = self._clip(self.learning_rate * grad_col)
-        ps.push(worker, keys, np.stack([delta_row, delta_col]).astype(np.float32))
+        deltas = np.empty((2, len(delta_row)), dtype=np.float32)
+        deltas[0] = delta_row
+        deltas[1] = delta_col
+        ps.push(worker, keys, deltas)
 
     def _clip(self, update: np.ndarray) -> np.ndarray:
         if self._clipper is None:
-            return update.astype(np.float32)
-        return self._clipper.clip(update).astype(np.float32)
+            return np.asarray(update, dtype=np.float32)
+        return np.asarray(self._clipper.clip(update), dtype=np.float32)
 
     def on_epoch_end(self, epoch: int) -> None:
         """Bold driver: adapt the learning rate from the epoch's training loss."""

@@ -55,10 +55,10 @@ class AdaGrad:
         accumulator = value[..., dim:]
         grad_sq = gradient * gradient
         adjusted = gradient / np.sqrt(accumulator + grad_sq + self.eps)
-        delta = np.concatenate(
-            [-self.learning_rate * adjusted, grad_sq], axis=-1
-        )
-        return delta.astype(np.float32)
+        delta = np.empty(adjusted.shape[:-1] + (2 * dim,), dtype=np.float32)
+        delta[..., :dim] = -self.learning_rate * adjusted
+        delta[..., dim:] = grad_sq
+        return delta
 
     @staticmethod
     def weights(value: np.ndarray) -> np.ndarray:
@@ -112,7 +112,9 @@ class UpdateNormClipper:
 
     def clip(self, update: np.ndarray) -> np.ndarray:
         update = np.asarray(update, dtype=np.float32)
-        norm = float(np.linalg.norm(update))
+        # sqrt(x . x) is what np.linalg.norm computes for 1-D inputs, minus
+        # several layers of dispatch overhead (this runs once per update row).
+        norm = float(np.sqrt(update.dot(update)))
         if (self._count >= self.warmup and self._mean_norm > 0
                 and norm > self.factor * self._mean_norm):
             update = update * (self.factor * self._mean_norm / max(norm, 1e-12))
@@ -122,6 +124,37 @@ class UpdateNormClipper:
             self._count += 1
             self._mean_norm += (norm - self._mean_norm) / self._count
         return update
+
+    def clip_rows(self, updates: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`clip` of a 2-D float32 batch, in order.
+
+        Bit-identical to calling :meth:`clip` once per row: the squared
+        norms are computed with the same per-row BLAS dot, the square roots
+        in one elementwise call, and the (inherently sequential) running-mean
+        logic runs on Python floats. ``updates`` must be freshly allocated —
+        clipped rows are scaled in place.
+        """
+        n = len(updates)
+        if n == 0:
+            return updates
+        dots = np.empty(n, dtype=np.float32)
+        for i, row in enumerate(updates):
+            dots[i] = row.dot(row)
+        norms = np.sqrt(dots).tolist()
+        count = self._count
+        mean = self._mean_norm
+        factor = self.factor
+        warmup = self.warmup
+        for i, norm in enumerate(norms):
+            if count >= warmup and mean > 0 and norm > factor * mean:
+                updates[i] = updates[i] * (factor * mean / max(norm, 1e-12))
+                norm = factor * mean
+            if norm > 0:
+                count += 1
+                mean += (norm - mean) / count
+        self._count = count
+        self._mean_norm = mean
+        return updates
 
     @property
     def mean_norm(self) -> float:

@@ -8,7 +8,7 @@ distribution raised to 0.75. Model quality is measured with a
 similarity-probe accuracy — the fraction of (anchor, same-topic, other-topic)
 probes for which the anchor's vector is closer to the same-topic word — which
 stands in for the analogical-reasoning accuracy the paper reports on
-natural-language data (see DESIGN.md).
+natural-language data (see README.md, "Benchmarks").
 
 PS key layout
 -------------
@@ -37,7 +37,7 @@ from repro.simulation.cluster import WorkerContext
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+    return 1.0 / (1.0 + np.exp(-x.clip(-30.0, 30.0)))
 
 
 class WordVectorsTask(TrainingTask):
@@ -183,9 +183,9 @@ class WordVectorsTask(TrainingTask):
         contexts = self._contexts[index]
         num_pairs = len(contexts)
 
-        direct_keys = np.concatenate(
-            [[center], self.corpus.vocab_size + contexts]
-        ).astype(np.int64)
+        direct_keys = np.empty(num_pairs + 1, dtype=np.int64)
+        direct_keys[0] = center
+        direct_keys[1:] = self.corpus.vocab_size + contexts
         direct_values = ps.pull(worker, direct_keys)
         center_vec = direct_values[0]
         context_vecs = direct_values[1:]
@@ -194,29 +194,28 @@ class WordVectorsTask(TrainingTask):
         neg_vecs = negatives.values
 
         # Positive pairs: label 1.
-        pos_g = _sigmoid(context_vecs @ center_vec) - 1.0
-        grad_center = pos_g @ context_vecs
+        pos_g = _sigmoid(context_vecs.dot(center_vec)) - 1.0
+        grad_center = pos_g.dot(context_vecs)
         grad_contexts = pos_g[:, None] * center_vec[None, :]
 
         # Negative pairs: label 0 (each negative is paired with the center).
         if len(neg_vecs):
-            neg_g = _sigmoid(neg_vecs @ center_vec)
-            grad_center = grad_center + neg_g @ neg_vecs
+            neg_g = _sigmoid(neg_vecs.dot(center_vec))
+            grad_center = grad_center + neg_g.dot(neg_vecs)
             grad_negs = neg_g[:, None] * center_vec[None, :]
         else:
             grad_negs = np.empty((0, self.dim), dtype=np.float32)
 
-        deltas = np.concatenate(
-            [(-self.learning_rate * grad_center)[None, :],
-             -self.learning_rate * grad_contexts], axis=0
-        ).astype(np.float32)
+        deltas = np.empty((len(grad_contexts) + 1, self.dim), dtype=np.float32)
+        deltas[0] = -self.learning_rate * grad_center
+        deltas[1:] = -self.learning_rate * grad_contexts
         deltas = self._clip_rows(deltas)
         ps.push(worker, direct_keys, deltas)
 
         if len(negatives.keys):
-            neg_deltas = self._clip_rows(
-                (-self.learning_rate * grad_negs).astype(np.float32)
-            )
+            # grad_negs is float32 already; -lr * grad is a fresh float32
+            # array, safe for the clipper to scale in place.
+            neg_deltas = self._clip_rows(-self.learning_rate * grad_negs)
             stream.push_updates(negatives.keys, neg_deltas)
 
         # One skip-gram pair is roughly one SGD step's worth of computation.
@@ -227,7 +226,7 @@ class WordVectorsTask(TrainingTask):
     def _clip_rows(self, updates: np.ndarray) -> np.ndarray:
         if self._clipper is None:
             return updates
-        return np.stack([self._clipper.clip(row) for row in updates]).astype(np.float32)
+        return self._clipper.clip_rows(updates)
 
     # ---------------------------------------------------------------- evaluation
     def evaluate(self, store: ParameterStore) -> Dict[str, float]:

@@ -46,6 +46,11 @@ class SampleHandle:
     A handle owns the (not yet pulled) sample keys for one ``prepare_sample``
     invocation. Schemes may reorder or postpone keys inside the handle, but
     exactly ``total`` samples are delivered over its lifetime.
+
+    The pending keys are stored as a NumPy array plus a cursor so that the
+    common case — delivering the next ``count`` keys — is a single slice
+    rather than a Python-level list mutation. Schemes that postpone samples
+    append to a small overflow tail (:meth:`append_back`).
     """
 
     _ids = itertools.count()
@@ -53,13 +58,69 @@ class SampleHandle:
     def __init__(self, distribution_id: int, keys: np.ndarray) -> None:
         self.handle_id = next(SampleHandle._ids)
         self.distribution_id = distribution_id
-        self.pending = list(int(k) for k in keys)
-        self.total = len(self.pending)
+        self._keys = np.asarray(keys, dtype=np.int64)
+        self._cursor = 0
+        self._tail: list[int] = []
+        self.total = len(self._keys)
         self.delivered = 0
+
+    @classmethod
+    def placeholder(cls, distribution_id: int, count: int) -> "SampleHandle":
+        """A handle whose keys are decided lazily at pull time.
+
+        Used by schemes (local sampling, direct-access repurposing) that
+        resolve keys only when the samples are actually pulled; the handle
+        carries no pending keys, only the delivery accounting.
+        """
+        handle = cls(distribution_id, np.empty(0, dtype=np.int64))
+        handle.total = int(count)
+        return handle
 
     @property
     def remaining(self) -> int:
         return self.total - self.delivered
+
+    @property
+    def pending_count(self) -> int:
+        """Number of not-yet-delivered keys physically held by the handle."""
+        return len(self._keys) - self._cursor + len(self._tail)
+
+    @property
+    def pending(self) -> list:
+        """The not-yet-delivered keys as a list (read-only convenience view)."""
+        return self._keys[self._cursor:].tolist() + list(self._tail)
+
+    def take(self, count: int) -> np.ndarray:
+        """Remove and return the next ``count`` pending keys, in order."""
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        end = self._cursor + count
+        if end > len(self._keys) and self._tail:
+            # Fold the overflow tail back into the array (rare: postponing).
+            self._keys = np.concatenate([
+                self._keys[self._cursor:],
+                np.asarray(self._tail, dtype=np.int64),
+            ])
+            self._cursor = 0
+            self._tail = []
+            end = count
+        keys = self._keys[self._cursor:end]
+        self._cursor += len(keys)
+        return keys
+
+    def pop_front(self) -> Optional[int]:
+        """Remove and return the next pending key (None when exhausted)."""
+        if self._cursor < len(self._keys):
+            key = int(self._keys[self._cursor])
+            self._cursor += 1
+            return key
+        if self._tail:
+            return int(self._tail.pop(0))
+        return None
+
+    def append_back(self, key: int) -> None:
+        """Move ``key`` to the end of the handle (used by postponing)."""
+        self._tail.append(int(key))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -96,6 +157,18 @@ class ParameterServer(ABC):
         self.rng = np.random.default_rng(seed)
         self._distributions: Dict[int, object] = {}
         self._next_distribution_id = 0
+        # Store geometry and the network model are fixed for the lifetime of
+        # a PS, so the per-access cost constants are computed once. The batch
+        # fast paths are called tens of thousands of times per simulated
+        # epoch; recomputing these on every call shows up in profiles.
+        self._cached_value_bytes = store.value_bytes()
+        self._local_access_cost = self.network.local_access_cost
+        self._remote_access_cost = self.network.remote_access_cost(
+            self._cached_value_bytes
+        )
+        self._server_occupancy = self.network.server_occupancy(
+            self._cached_value_bytes
+        )
 
     # ------------------------------------------------------------ direct API
     def pull(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray) -> np.ndarray:
@@ -172,8 +245,7 @@ class ParameterServer(ABC):
             raise ValueError(
                 f"requested {count} samples but only {handle.remaining} remain"
             )
-        keys = np.asarray(handle.pending[:count], dtype=np.int64)
-        del handle.pending[:count]
+        keys = handle.take(count)
         handle.delivered += count
         values = self.pull(worker, keys) if count else np.empty(
             (0, self.store.value_length), dtype=np.float32
@@ -213,7 +285,7 @@ class ParameterServer(ABC):
         """Charge ``count`` shared-memory accesses to the worker."""
         if count <= 0:
             return
-        worker.clock.advance(count * self.network.local_access_cost)
+        worker.clock.advance(count * self._local_access_cost)
         self.metrics.record_access(f"{kind}.local", worker.node_id, count)
 
     def _charge_remote(self, worker: WorkerContext, count: int, kind: str,
@@ -226,9 +298,7 @@ class ParameterServer(ABC):
         """
         if count <= 0:
             return
-        value_bytes = self.store.value_bytes()
-        per_access = self.network.remote_access_cost(value_bytes)
-        worker.clock.advance(count * per_access)
+        worker.clock.advance(count * self._remote_access_cost)
         if server_id is not None and server_id != worker.node_id:
             # The serving node's request thread is busy for the handling and
             # transfer time of every request. The cumulative busy time of the
@@ -236,11 +306,11 @@ class ParameterServer(ABC):
             # ceiling) — the mechanism that makes classic PSs collapse when
             # hot keys concentrate traffic on one server.
             server = self.cluster.node(server_id).server_clock
-            server.advance(count * self.network.server_occupancy(value_bytes))
+            server.advance(count * self._server_occupancy)
         self.metrics.record_access(f"{kind}.remote", worker.node_id, count)
         self.metrics.increment("network.messages", 2 * count, node=worker.node_id)
         self.metrics.increment(
-            "network.bytes", count * value_bytes, node=worker.node_id
+            "network.bytes", count * self._cached_value_bytes, node=worker.node_id
         )
 
     def _charge_remote_keys(self, worker: WorkerContext, keys: np.ndarray,
@@ -249,9 +319,17 @@ class ParameterServer(ABC):
         if len(keys) == 0:
             return
         owners = self.partitioner.owners(np.asarray(keys, dtype=np.int64))
-        for server in np.unique(owners):
-            count = int(np.count_nonzero(owners == server))
-            self._charge_remote(worker, count, kind, server_id=int(server))
+        if len(keys) <= 64:
+            # Group by server with a dict: sorting tiny batches costs more.
+            counts: Dict[int, int] = {}
+            for owner in owners.tolist():
+                counts[owner] = counts.get(owner, 0) + 1
+            for server in sorted(counts):
+                self._charge_remote(worker, counts[server], kind, server_id=server)
+            return
+        servers, group_counts = np.unique(owners, return_counts=True)
+        for server, count in zip(servers.tolist(), group_counts.tolist()):
+            self._charge_remote(worker, int(count), kind, server_id=int(server))
 
     @property
     def value_bytes(self) -> int:

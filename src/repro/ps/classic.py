@@ -41,6 +41,37 @@ class ClassicPS(ParameterServer):
         if len(keys) == 0:
             return
         owners = self.partitioner.owners(keys)
+        if len(keys) <= 64:
+            # Group by server with a dict; masking tiny batches costs more.
+            node_id = worker.node_id
+            n_local = 0
+            counts: dict[int, int] = {}
+            for owner in owners.tolist():
+                if owner == node_id:
+                    n_local += 1
+                else:
+                    counts[owner] = counts.get(owner, 0) + 1
+            self._charge_local(worker, n_local, kind)
+            if counts:
+                # Clocks are charged per serving node (in server order, as
+                # the scalar oracle does); the additive metrics are written
+                # once for the whole remote group.
+                n_remote = 0
+                for server in sorted(counts):
+                    count = counts[server]
+                    n_remote += count
+                    worker.clock.advance(count * self._remote_access_cost)
+                    self.cluster.node(server).server_clock.advance(
+                        count * self._server_occupancy
+                    )
+                self.metrics.record_access(f"{kind}.remote", node_id, n_remote)
+                self.metrics.increment("network.messages", 2 * n_remote,
+                                       node=node_id)
+                self.metrics.increment(
+                    "network.bytes", n_remote * self._cached_value_bytes,
+                    node=node_id,
+                )
+            return
         local_mask = owners == worker.node_id
         self._charge_local(worker, int(np.count_nonzero(local_mask)), kind)
         self._charge_remote_keys(worker, keys[~local_mask], kind)

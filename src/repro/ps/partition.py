@@ -24,14 +24,27 @@ class Partitioner(ABC):
             raise ValueError("num_servers must be positive")
         self.num_keys = int(num_keys)
         self.num_servers = int(num_servers)
+        self._owner_table: np.ndarray | None = None
 
     @abstractmethod
     def owner(self, key: int) -> int:
         """Server id of ``key``."""
 
-    @abstractmethod
     def owners(self, keys: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`owner` for an array of keys."""
+        """Vectorized :meth:`owner` for an array of keys.
+
+        Served from a precomputed key -> owner lookup table: ``owners`` sits
+        on the access-charging hot path, and one ``take`` beats re-evaluating
+        the partition formula on every call.
+        """
+        if self._owner_table is None:
+            all_keys = np.arange(self.num_keys, dtype=np.int64)
+            self._owner_table = self._compute_owners(all_keys)
+        return self._owner_table.take(np.asarray(keys, dtype=np.int64))
+
+    @abstractmethod
+    def _compute_owners(self, keys: np.ndarray) -> np.ndarray:
+        """Evaluate the partition formula for an array of (valid) keys."""
 
     def keys_of(self, server: int) -> np.ndarray:
         """All keys statically assigned to ``server``."""
@@ -61,8 +74,7 @@ class RangePartitioner(Partitioner):
         self._check_key(key)
         return min(key // self._range_size, self.num_servers - 1)
 
-    def owners(self, keys: np.ndarray) -> np.ndarray:
-        keys = np.asarray(keys, dtype=np.int64)
+    def _compute_owners(self, keys: np.ndarray) -> np.ndarray:
         return np.minimum(keys // self._range_size, self.num_servers - 1)
 
     def _check_key(self, key: int) -> None:
@@ -83,6 +95,5 @@ class HashPartitioner(Partitioner):
             raise KeyError(f"key {key} out of range [0, {self.num_keys})")
         return int(key % self.num_servers)
 
-    def owners(self, keys: np.ndarray) -> np.ndarray:
-        keys = np.asarray(keys, dtype=np.int64)
+    def _compute_owners(self, keys: np.ndarray) -> np.ndarray:
         return keys % self.num_servers

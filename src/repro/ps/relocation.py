@@ -13,6 +13,13 @@ per-key sequential consistency. Its weakness — reproduced here — is hot-spot
 contention: when several nodes localize the same key in quick succession, the
 key keeps moving, accesses find it gone, and workers either wait for an
 in-flight relocation or fall back to remote access.
+
+Charging is implemented twice: a vectorized batch fast path that partitions
+each key batch with NumPy masks and charges clocks/metrics once per group,
+and the original per-key scalar path kept behind ``batch_charging=False`` as
+a debugging/equivalence oracle. Both produce bit-identical simulated clocks
+and metrics (the batch path folds per-access costs with the exact
+left-to-right prefix sums of :mod:`repro.simulation.clock`).
 """
 
 from __future__ import annotations
@@ -22,9 +29,24 @@ from typing import Sequence
 import numpy as np
 
 from repro.ps.base import ParameterServer
+from repro.simulation.clock import fold_costs
 from repro.simulation.cluster import Cluster, WorkerContext
 from repro.ps.partition import Partitioner
 from repro.ps.storage import ParameterStore
+
+
+def first_occurrence_in_order(keys: np.ndarray) -> np.ndarray:
+    """Positions of the first occurrence of each distinct key, in batch order."""
+    _, first = np.unique(keys, return_index=True)
+    first.sort()
+    return first
+
+
+#: Batches at or below this size take the hybrid path: a Python loop over the
+#: keys (NumPy dispatch overhead dominates at this size) that still defers
+#: clock and metrics updates to one grouped write per batch. Above it, the
+#: mask-based NumPy path wins. Both are bit-identical to the scalar oracle.
+SMALL_BATCH = 64
 
 
 class RelocationPS(ParameterServer):
@@ -39,17 +61,32 @@ class RelocationPS(ParameterServer):
         partitioner: Partitioner | None = None,
         relocation_enabled: bool = True,
         seed: int = 0,
+        batch_charging: bool = True,
     ) -> None:
         super().__init__(store, cluster, partitioner, seed)
         #: ``relocation_enabled=False`` degrades this PS to a classic PS
         #: (the paper uses exactly this configuration as its classic baseline).
         self.relocation_enabled = relocation_enabled
+        #: Vectorized batch charging (the fast path). ``False`` selects the
+        #: per-key scalar reference path; both are bit-identical.
+        self.batch_charging = bool(batch_charging)
         all_keys = np.arange(store.num_keys, dtype=np.int64)
         #: Current owner node of every key; starts at the static partition.
         self.current_owner = self.partitioner.owners(all_keys).astype(np.int64)
         #: Simulated time at which the most recent relocation of a key
         #: completes at its new owner. Accesses before that time must wait.
         self.arrival_time = np.zeros(store.num_keys, dtype=np.float64)
+        # Fixed per-access cost constants (see ParameterServer.__init__).
+        message0 = self.network.message_cost(0)
+        message_value = self.network.message_cost(self._cached_value_bytes)
+        self._cost_two_messages = 1 * message0 + message_value
+        self._cost_three_messages = 2 * message0 + message_value
+        self._relocation_latency = self.network.relocation_cost(
+            self._cached_value_bytes
+        )
+        self._relocation_occupancy = self.network.relocation_occupancy(
+            self._cached_value_bytes
+        )
 
     # ------------------------------------------------------------- direct API
     def localize(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray) -> None:
@@ -59,6 +96,80 @@ class RelocationPS(ParameterServer):
         keys = np.asarray(keys, dtype=np.int64)
         if len(keys) == 0:
             return
+        if not self.batch_charging:
+            self._localize_scalar(worker, keys)
+            return
+        self._relocate_batch(worker.node_id, keys, worker_clock=worker.clock.now)
+
+    def _relocate_batch(self, node_id: int, keys: np.ndarray,
+                        worker_clock: float | None = None,
+                        sampling: bool = False) -> None:
+        """Batch relocation shared by :meth:`localize` and ``localize_async``.
+
+        ``worker_clock`` is the issuing worker's time for synchronous hints
+        (the communication thread starts no earlier than the worker); ``None``
+        means background-issued relocations that start at the thread's own
+        time. ``sampling`` additionally counts ``relocation.sampling``.
+        Bit-identical to the per-key scalar oracles.
+        """
+        # Within one call only the first occurrence of a key relocates (the
+        # second finds the key already owned by this node), and keys that are
+        # already local are free.
+        if len(keys) <= SMALL_BATCH:
+            seen = set()
+            moving_list = []
+            owners = self.current_owner.take(keys).tolist()
+            for key, owner in zip(keys.tolist(), owners):
+                if owner != node_id and key not in seen:
+                    seen.add(key)
+                    moving_list.append(key)
+            if not moving_list:
+                return
+            moving = np.asarray(moving_list, dtype=np.int64)
+        else:
+            ordered = keys[first_occurrence_in_order(keys)]
+            moving = ordered[self.current_owner[ordered] != node_id]
+        n = len(moving)
+        if n == 0:
+            return
+        background = self.cluster.node(node_id).background_clock
+        relocation_latency = self._relocation_latency
+        occupancy = self._relocation_occupancy
+        # The relocations are handled back to back by the node's communication
+        # thread: relocation k starts when relocation k-1 releases the thread,
+        # so the start times are an exact prefix sum of the occupancies.
+        if worker_clock is None:
+            first_start = background.now
+        else:
+            first_start = max(worker_clock, background.now)
+        if n <= SMALL_BATCH:
+            start = first_start
+            arrival_list = []
+            for _ in range(n):
+                after = start + occupancy
+                arrival_list.append(max(start + relocation_latency, after))
+                start = after
+            background.advance_to(start)
+            arrivals: np.ndarray | list = arrival_list
+        else:
+            starts = np.empty(n, dtype=np.float64)
+            starts[0] = first_start
+            starts[1:] = occupancy
+            np.add.accumulate(starts, out=starts)
+            background.advance_to(float(starts[-1]) + occupancy)
+            arrivals = np.maximum(starts + relocation_latency, starts + occupancy)
+        self.current_owner[moving] = node_id
+        self.arrival_time[moving] = arrivals
+        self.metrics.increment("relocation.count", n, node=node_id)
+        if sampling:
+            self.metrics.increment("relocation.sampling", n, node=node_id)
+        self.metrics.increment("network.messages", 3 * n, node=node_id)
+        self.metrics.increment(
+            "network.bytes", n * self._cached_value_bytes, node=node_id
+        )
+
+    def _localize_scalar(self, worker: WorkerContext, keys: np.ndarray) -> None:
+        """Per-key reference implementation of :meth:`localize`."""
         node_id = worker.node_id
         background = self.cluster.node(node_id).background_clock
         value_bytes = self.store.value_bytes()
@@ -99,6 +210,163 @@ class RelocationPS(ParameterServer):
         """Charge each access as local, wait-then-local, or routed-remote."""
         if len(keys) == 0:
             return
+        if not self.batch_charging:
+            self._charge_access_scalar(worker, keys, kind)
+            return
+        if len(keys) <= SMALL_BATCH:
+            self._charge_access_small(worker, keys, kind)
+            return
+        node_id = worker.node_id
+        owners = self.current_owner[keys]
+        local_mask = owners == node_id
+        n = len(keys)
+        n_local = int(np.count_nonzero(local_mask))
+        n_remote = n - n_local
+        value_bytes = self._cached_value_bytes
+
+        # Per-position worker-clock cost, in batch order.
+        costs = np.empty(n, dtype=np.float64)
+        if n_local:
+            costs[local_mask] = 1 * self._local_access_cost
+        routed_extra = 0
+        if n_remote:
+            remote_idx = np.flatnonzero(~local_mask)
+            remote_keys = keys[remote_idx]
+            remote_owners = owners[remote_idx]
+            homes = self.partitioner.owners(remote_keys)
+            # If the key still resides at its home node the access takes the
+            # same two messages as in a classic PS; if it has been relocated
+            # elsewhere the home node forwards the request (third message).
+            routed = remote_owners != homes
+            routed_extra = int(np.count_nonzero(routed))
+            costs[remote_idx] = np.where(
+                routed, self._cost_three_messages, self._cost_two_messages
+            )
+
+        # Fold the costs into the worker clock, pausing at in-flight
+        # relocations: a local key whose relocation has not arrived yet blocks
+        # the worker until the arrival time.
+        clock = worker.clock
+        waits = 0
+        wait_candidates: np.ndarray | tuple = ()
+        if n_local:
+            arrivals = self.arrival_time[keys]
+            wait_candidates = np.flatnonzero(local_mask & (arrivals > clock.now))
+        if len(wait_candidates) == 0:
+            clock.advance_sequence(costs)
+        else:
+            now = clock.now
+            segment_start = 0
+            for position in wait_candidates.tolist():
+                now = fold_costs(now, costs[segment_start:position])
+                arrival = float(arrivals[position])
+                if arrival > now:
+                    # The key is on its way here: wait for the relocation to
+                    # finish, then access through shared memory.
+                    now = arrival
+                    waits += 1
+                segment_start = position
+            now = fold_costs(now, costs[segment_start:])
+            clock.advance_to(now)
+
+        # The serving nodes' request threads are occupied once per remote
+        # access (grouped by current owner; each clock is independent, so the
+        # per-server fold is bit-identical to the interleaved per-key loop).
+        if n_remote:
+            server_occupancy = self._server_occupancy
+            servers, counts = np.unique(remote_owners, return_counts=True)
+            for server, count in zip(servers.tolist(), counts.tolist()):
+                self.cluster.node(server).server_clock.advance_repeated(
+                    server_occupancy, count
+                )
+
+        metrics = self.metrics
+        if n_local:
+            metrics.record_access(f"{kind}.local", node_id, n_local)
+        if waits:
+            metrics.increment("relocation.waits", waits, node=node_id)
+        if n_remote:
+            metrics.record_access(f"{kind}.remote", node_id, n_remote)
+            metrics.increment(
+                "network.messages", 2 * n_remote + routed_extra, node=node_id
+            )
+            metrics.increment(
+                "network.bytes", n_remote * value_bytes, node=node_id
+            )
+
+    def _charge_access_small(self, worker: WorkerContext, keys: np.ndarray,
+                             kind: str) -> None:
+        """Hybrid path for small batches: Python loop, grouped bookkeeping.
+
+        Performs the same sequence of clock additions as the scalar oracle
+        (so simulated times are bit-identical) but defers metrics and server
+        occupancy to one grouped update per batch.
+        """
+        node_id = worker.node_id
+        owners = self.current_owner.take(keys).tolist()
+        arrivals = self.arrival_time.take(keys).tolist()
+        local_cost = 1 * self._local_access_cost
+        clock = worker.clock
+        now = clock.now
+        n = len(owners)
+        if owners.count(node_id) == n and max(arrivals) <= now:
+            # Everything is already here and arrived (the localize-ahead
+            # steady state): one repeated fold, one metrics write.
+            clock.advance_repeated(local_cost, n)
+            self.metrics.record_access(f"{kind}.local", node_id, n)
+            return
+        n_local = 0
+        n_remote = 0
+        waits = 0
+        messages = 0
+        homes = None
+        cost_two = cost_three = 0.0
+        server_counts: dict[int, int] = {}
+        for i, owner in enumerate(owners):
+            if owner == node_id:
+                arrival = arrivals[i]
+                if arrival > now:
+                    # The key is on its way here: wait for the relocation to
+                    # finish, then access through shared memory.
+                    now = arrival
+                    waits += 1
+                now = now + local_cost
+                n_local += 1
+            else:
+                if homes is None:
+                    homes = self.partitioner.owners(keys).tolist()
+                    cost_two = self._cost_two_messages
+                    cost_three = self._cost_three_messages
+                if owner == homes[i]:
+                    now = now + cost_two
+                    messages += 2
+                else:
+                    now = now + cost_three
+                    messages += 3
+                n_remote += 1
+                server_counts[owner] = server_counts.get(owner, 0) + 1
+        clock.advance_to(now)
+
+        metrics = self.metrics
+        if n_local:
+            metrics.record_access(f"{kind}.local", node_id, n_local)
+        if waits:
+            metrics.increment("relocation.waits", waits, node=node_id)
+        if n_remote:
+            server_occupancy = self._server_occupancy
+            for server, count in server_counts.items():
+                self.cluster.node(server).server_clock.advance_repeated(
+                    server_occupancy, count
+                )
+            metrics.record_access(f"{kind}.remote", node_id, n_remote)
+            metrics.increment("network.messages", messages, node=node_id)
+            metrics.increment(
+                "network.bytes", n_remote * self._cached_value_bytes, node=node_id
+            )
+
+    def _charge_access_scalar(self, worker: WorkerContext, keys: np.ndarray,
+                              kind: str) -> None:
+        """Per-key reference implementation of :meth:`_charge_access`."""
         node_id = worker.node_id
         for key in keys:
             key = int(key)

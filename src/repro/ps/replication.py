@@ -18,6 +18,13 @@ co-located servers are reached through intra-process messages rather than
 shared memory, even local-partition accesses are charged a (small) messaging
 overhead; this reproduces the paper's observation that Petuum is slower than
 shared-memory systems even on a single node (Section 5.4).
+
+Node state is array-backed: each node holds a dense replica mask, a dense
+replica-value matrix, replica clocks, and a dense update buffer, so that
+``pull``/``push``/``_flush_node``/``_eager_refresh`` operate on whole key
+batches with NumPy masks. The original per-key scalar path is kept behind
+``batch_charging=False`` as a debugging/equivalence oracle; both paths
+produce bit-identical simulated clocks and metrics.
 """
 
 from __future__ import annotations
@@ -28,9 +35,10 @@ from typing import Dict, Sequence
 import numpy as np
 
 from repro.ps.base import ParameterServer
+from repro.ps.relocation import SMALL_BATCH, first_occurrence_in_order
 from repro.simulation.cluster import Cluster, WorkerContext
 from repro.ps.partition import Partitioner
-from repro.ps.storage import ParameterStore
+from repro.ps.storage import ParameterStore, scatter_add_rows
 
 
 class ReplicationProtocol(enum.Enum):
@@ -44,15 +52,20 @@ class ReplicationProtocol(enum.Enum):
 #: messaging instead of shared memory.
 INTRA_PROCESS_FACTOR = 10.0
 
+#: Replica-clock value of keys that have never been replicated (always stale).
+_NEVER = -10**9
+
 
 class _NodeReplicaState:
-    """Replica cache, clocks and update buffer of one node."""
+    """Replica cache, clocks and update buffer of one node (array-backed)."""
 
-    def __init__(self, value_length: int) -> None:
+    def __init__(self, num_keys: int, value_length: int) -> None:
         self.value_length = value_length
-        self.replicas: Dict[int, np.ndarray] = {}
-        self.replica_clock: Dict[int, int] = {}
-        self.update_buffer: Dict[int, np.ndarray] = {}
+        self.replica_mask = np.zeros(num_keys, dtype=bool)
+        self.replica_values = np.zeros((num_keys, value_length), dtype=np.float32)
+        self.replica_clock = np.full(num_keys, _NEVER, dtype=np.int64)
+        self.update_mask = np.zeros(num_keys, dtype=bool)
+        self.update_values = np.zeros((num_keys, value_length), dtype=np.float32)
         self.worker_clocks: Dict[int, int] = {}
 
     @property
@@ -61,16 +74,6 @@ class _NodeReplicaState:
         if not self.worker_clocks:
             return 0
         return min(self.worker_clocks.values())
-
-    def buffered_delta(self, key: int) -> np.ndarray | None:
-        return self.update_buffer.get(key)
-
-    def add_update(self, key: int, delta: np.ndarray) -> None:
-        buffered = self.update_buffer.get(key)
-        if buffered is None:
-            self.update_buffer[key] = delta.astype(np.float32).copy()
-        else:
-            buffered += delta
 
 
 class ReplicationPS(ParameterServer):
@@ -86,6 +89,7 @@ class ReplicationPS(ParameterServer):
         protocol: ReplicationProtocol = ReplicationProtocol.SSP,
         staleness: int = 1,
         seed: int = 0,
+        batch_charging: bool = True,
     ) -> None:
         super().__init__(store, cluster, partitioner, seed)
         if staleness < 0:
@@ -93,45 +97,120 @@ class ReplicationPS(ParameterServer):
         self.protocol = protocol
         self.staleness = int(staleness)
         self.name = f"replication-{protocol.value}"
+        #: Vectorized batch charging (the fast path). ``False`` selects the
+        #: per-key scalar reference path; both are bit-identical.
+        self.batch_charging = bool(batch_charging)
         self._nodes: Dict[int, _NodeReplicaState] = {
-            node_id: _NodeReplicaState(store.value_length)
+            node_id: _NodeReplicaState(store.num_keys, store.value_length)
             for node_id in range(cluster.num_nodes)
         }
+        # Fixed per-access cost constant (see ParameterServer.__init__).
+        self._intra_process_cost = (
+            1 * self.network.local_access_cost * INTRA_PROCESS_FACTOR
+        )
 
     # -------------------------------------------------------------- direct API
     def pull(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray) -> np.ndarray:
         keys = np.asarray(keys, dtype=np.int64)
         state = self._nodes[worker.node_id]
         worker_clock = state.worker_clocks.get(worker.worker_id, 0)
-        values = np.empty((len(keys), self.store.value_length), dtype=np.float32)
-        for i, key in enumerate(keys):
-            key = int(key)
-            replica = state.replicas.get(key)
-            fresh = (
-                replica is not None
-                and state.replica_clock.get(key, -10**9) >= worker_clock - self.staleness
+        if not self.batch_charging:
+            return self._pull_scalar(worker, state, keys, worker_clock)
+        n = len(keys)
+        if n == 0:
+            return np.empty((0, self.store.value_length), dtype=np.float32)
+        if n <= SMALL_BATCH:
+            return self._pull_small(worker, state, keys, worker_clock)
+
+        threshold = worker_clock - self.staleness
+        fresh = state.replica_mask[keys] & (state.replica_clock[keys] >= threshold)
+        stale_idx = np.flatnonzero(~fresh)
+        # Only the first occurrence of a stale key refreshes; by the time a
+        # duplicate comes up its replica clock equals the worker clock, so it
+        # reads the (just refreshed) replica like any fresh access.
+        refresh_pos = stale_idx[first_occurrence_in_order(keys[stale_idx])] \
+            if len(stale_idx) else stale_idx
+        n_refresh = len(refresh_pos)
+
+        intra_cost = self._intra_process_cost
+        costs = np.full(n, intra_cost, dtype=np.float64)
+        n_local_server = 0
+        n_remote = 0
+        if n_refresh:
+            refresh_costs, n_local_server, n_remote = self._refresh_batch(
+                worker, state, keys[refresh_pos], worker_clock
             )
-            if fresh:
-                values[i] = replica
-                self._charge_intra_process(worker, 1, "pull.replica")
-            else:
-                values[i] = self._refresh_replica(worker, state, key, worker_clock)
-        return values
+            costs[refresh_pos] = refresh_costs
+
+        worker.clock.advance_sequence(costs)
+        self.metrics.record_access_batch(worker.node_id, {
+            "pull.replica": n - n_refresh,
+            "pull.local_server": n_local_server,
+            "pull.remote": n_remote,
+        })
+        if n_remote:
+            self.metrics.increment("network.messages", 2 * n_remote,
+                                   node=worker.node_id)
+            self.metrics.increment("network.bytes",
+                                   n_remote * self._cached_value_bytes,
+                                   node=worker.node_id)
+        return state.replica_values[keys]
 
     def push(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray,
              deltas: np.ndarray) -> None:
         keys, deltas = self._validate_push(keys, deltas)
         state = self._nodes[worker.node_id]
         worker_clock = state.worker_clocks.get(worker.worker_id, 0)
-        for key, delta in zip(keys, deltas):
-            key = int(key)
-            if key not in state.replicas:
-                # Writing to a parameter that was never pulled: create the
-                # replica first (Petuum reads-before-writes via the cache).
-                self._refresh_replica(worker, state, key, worker_clock)
-            state.replicas[key] = state.replicas[key] + delta
-            state.add_update(key, delta)
-            self._charge_intra_process(worker, 1, "push.replica")
+        if not self.batch_charging:
+            self._push_scalar(worker, state, keys, deltas, worker_clock)
+            return
+        n = len(keys)
+        if n == 0:
+            return
+        if n <= SMALL_BATCH:
+            self._push_small(worker, state, keys, deltas, worker_clock)
+            return
+
+        # Writing to a parameter that was never pulled: create the replica
+        # first (Petuum reads-before-writes via the cache). Only the first
+        # occurrence of a missing key refreshes.
+        missing_idx = np.flatnonzero(~state.replica_mask[keys])
+        refresh_pos = missing_idx[first_occurrence_in_order(keys[missing_idx])] \
+            if len(missing_idx) else missing_idx
+        n_refresh = len(refresh_pos)
+
+        intra_cost = self._intra_process_cost
+        n_local_server = 0
+        n_remote = 0
+        if n_refresh:
+            refresh_costs, n_local_server, n_remote = self._refresh_batch(
+                worker, state, keys[refresh_pos], worker_clock
+            )
+            # Interleave the refresh cost of each missing key right before
+            # that key's push cost, exactly as the scalar loop charges them.
+            costs = np.full(n + n_refresh, intra_cost, dtype=np.float64)
+            costs[refresh_pos + np.arange(n_refresh)] = refresh_costs
+        else:
+            costs = np.full(n, intra_cost, dtype=np.float64)
+        worker.clock.advance_sequence(costs)
+
+        # Apply the deltas to the replica and buffer them for the next flush
+        # (duplicate keys accumulate in batch order).
+        scatter_add_rows(state.replica_values, keys, deltas)
+        scatter_add_rows(state.update_values, keys, deltas)
+        state.update_mask[keys] = True
+
+        self.metrics.record_access_batch(worker.node_id, {
+            "push.replica": n,
+            "pull.local_server": n_local_server,
+            "pull.remote": n_remote,
+        })
+        if n_remote:
+            self.metrics.increment("network.messages", 2 * n_remote,
+                                   node=worker.node_id)
+            self.metrics.increment("network.bytes",
+                                   n_remote * self._cached_value_bytes,
+                                   node=worker.node_id)
 
     def advance_clock(self, worker: WorkerContext) -> None:
         """Advance the worker's clock; flush and (ESSP) refresh at node level."""
@@ -148,6 +227,211 @@ class ReplicationPS(ParameterServer):
         if self.protocol is ReplicationProtocol.ESSP:
             self._eager_refresh(worker.node_id, state)
 
+    def _refresh_batch(self, worker: WorkerContext, state: _NodeReplicaState,
+                       refresh_keys: np.ndarray, worker_clock: int):
+        """(Re)fetch a batch of distinct keys from their owning servers.
+
+        Shared by the large-batch pull and push paths: fetches the global
+        values, overlays the node's not-yet-flushed updates (Petuum reads its
+        own writes), installs the refreshed replicas, and charges the serving
+        nodes' request threads. Returns ``(per-key worker costs,
+        n_local_server, n_remote)`` for the caller's clock fold and metrics.
+        """
+        owners = self.partitioner.owners(refresh_keys)
+        local_server = owners == worker.node_id
+        n_local_server = int(np.count_nonzero(local_server))
+        n_remote = len(refresh_keys) - n_local_server
+        refresh_costs = np.where(
+            local_server, self._intra_process_cost, self._remote_access_cost
+        )
+
+        refreshed = self.store.get(refresh_keys)
+        buffered = state.update_mask[refresh_keys]
+        if np.any(buffered):
+            buffered_keys = refresh_keys[buffered]
+            refreshed[buffered] = refreshed[buffered] \
+                + state.update_values[buffered_keys]
+        state.replica_values[refresh_keys] = refreshed
+        state.replica_mask[refresh_keys] = True
+        state.replica_clock[refresh_keys] = worker_clock
+
+        if n_remote:
+            occupancy = self._server_occupancy
+            servers, counts = np.unique(owners[~local_server],
+                                        return_counts=True)
+            for server, count in zip(servers.tolist(), counts.tolist()):
+                self.cluster.node(server).server_clock.advance_repeated(
+                    occupancy, count
+                )
+        return refresh_costs, n_local_server, n_remote
+
+    # ---------------------------------------------------- small-batch hybrid
+    def _pull_small(self, worker: WorkerContext, state: _NodeReplicaState,
+                    keys: np.ndarray, worker_clock: int) -> np.ndarray:
+        """Hybrid pull for small batches: Python loop, grouped bookkeeping.
+
+        Same clock-addition sequence as the scalar oracle (bit-identical
+        simulated times); metrics and server occupancy are written once per
+        batch.
+        """
+        node_id = worker.node_id
+        threshold = worker_clock - self.staleness
+        intra_cost = self._intra_process_cost
+        clock = worker.clock
+        now = clock.now
+        keys_list = keys.tolist()
+        has_replica = state.replica_mask.take(keys).tolist()
+        replica_clock = state.replica_clock.take(keys).tolist()
+        if all(has_replica) and min(replica_clock) >= threshold:
+            # Every key is a fresh replica (the steady state): one fancy
+            # index, one repeated clock fold, one metrics write.
+            values = state.replica_values[keys]
+            clock.advance_repeated(intra_cost, len(keys_list))
+            self.metrics.record_access("pull.replica", node_id, len(keys_list))
+            return values
+        values = np.empty((len(keys), self.store.value_length), dtype=np.float32)
+        n_replica = 0
+        n_local_server = 0
+        n_remote = 0
+        remote_cost = None
+        refreshed: set[int] = set()
+        server_counts: dict[int, int] = {}
+        for i, key in enumerate(keys_list):
+            if (has_replica[i] and replica_clock[i] >= threshold) \
+                    or key in refreshed:
+                values[i] = state.replica_values[key]
+                now = now + intra_cost
+                n_replica += 1
+                continue
+            # Stale or missing: (re)fetch from the owning server, overlaying
+            # the node's not-yet-flushed updates (Petuum reads its own writes).
+            owner = self.partitioner.owner(key)
+            if owner == node_id:
+                now = now + intra_cost
+                n_local_server += 1
+            else:
+                if remote_cost is None:
+                    remote_cost = self._remote_access_cost
+                now = now + remote_cost
+                n_remote += 1
+                server_counts[owner] = server_counts.get(owner, 0) + 1
+            value = self.store.get_single(key)
+            if state.update_mask[key]:
+                value = value + state.update_values[key]
+            state.replica_values[key] = value
+            state.replica_mask[key] = True
+            state.replica_clock[key] = worker_clock
+            refreshed.add(key)
+            values[i] = value
+        clock.advance_to(now)
+        self._finish_group_charge(node_id, server_counts,
+                                  n_replica, "pull.replica",
+                                  n_local_server, n_remote)
+        return values
+
+    def _push_small(self, worker: WorkerContext, state: _NodeReplicaState,
+                    keys: np.ndarray, deltas: np.ndarray,
+                    worker_clock: int) -> None:
+        """Hybrid push for small batches (see :meth:`_pull_small`)."""
+        node_id = worker.node_id
+        intra_cost = self._intra_process_cost
+        clock = worker.clock
+        now = clock.now
+        keys_list = keys.tolist()
+        has_replica = state.replica_mask[keys].tolist()
+        n_local_server = 0
+        n_remote = 0
+        remote_cost = None
+        created: set[int] = set()
+        server_counts: dict[int, int] = {}
+        for i, key in enumerate(keys_list):
+            if not has_replica[i] and key not in created:
+                # Writing to a parameter that was never pulled: create the
+                # replica first (Petuum reads-before-writes via the cache).
+                owner = self.partitioner.owner(key)
+                if owner == node_id:
+                    now = now + intra_cost
+                    n_local_server += 1
+                else:
+                    if remote_cost is None:
+                        remote_cost = self._remote_access_cost
+                    now = now + remote_cost
+                    n_remote += 1
+                    server_counts[owner] = server_counts.get(owner, 0) + 1
+                value = self.store.get_single(key)
+                if state.update_mask[key]:
+                    value = value + state.update_values[key]
+                state.replica_values[key] = value
+                state.replica_mask[key] = True
+                state.replica_clock[key] = worker_clock
+                created.add(key)
+            now = now + intra_cost
+        clock.advance_to(now)
+
+        # Apply the deltas to the replica and buffer them for the next flush
+        # (duplicate keys accumulate in batch order).
+        scatter_add_rows(state.replica_values, keys, deltas, keys_list)
+        scatter_add_rows(state.update_values, keys, deltas, keys_list)
+        state.update_mask[keys] = True
+        self._finish_group_charge(node_id, server_counts,
+                                  len(keys_list), "push.replica",
+                                  n_local_server, n_remote)
+
+    def _finish_group_charge(self, node_id: int, server_counts: dict,
+                             n_primary: int, primary_kind: str,
+                             n_local_server: int, n_remote: int) -> None:
+        """Grouped server occupancy + metrics shared by the hybrid paths."""
+        if n_remote:
+            occupancy = self._server_occupancy
+            for server, count in server_counts.items():
+                self.cluster.node(server).server_clock.advance_repeated(
+                    occupancy, count
+                )
+        self.metrics.record_access_batch(node_id, {
+            primary_kind: n_primary,
+            "pull.local_server": n_local_server,
+            "pull.remote": n_remote,
+        })
+        if n_remote:
+            self.metrics.increment("network.messages", 2 * n_remote,
+                                   node=node_id)
+            self.metrics.increment("network.bytes",
+                                   n_remote * self._cached_value_bytes,
+                                   node=node_id)
+
+    # --------------------------------------------------------- scalar oracle
+    def _pull_scalar(self, worker: WorkerContext, state: _NodeReplicaState,
+                     keys: np.ndarray, worker_clock: int) -> np.ndarray:
+        """Per-key reference implementation of :meth:`pull`."""
+        values = np.empty((len(keys), self.store.value_length), dtype=np.float32)
+        for i, key in enumerate(keys):
+            key = int(key)
+            fresh = (
+                state.replica_mask[key]
+                and state.replica_clock[key] >= worker_clock - self.staleness
+            )
+            if fresh:
+                values[i] = state.replica_values[key]
+                self._charge_intra_process(worker, 1, "pull.replica")
+            else:
+                values[i] = self._refresh_replica(worker, state, key, worker_clock)
+        return values
+
+    def _push_scalar(self, worker: WorkerContext, state: _NodeReplicaState,
+                     keys: np.ndarray, deltas: np.ndarray,
+                     worker_clock: int) -> None:
+        """Per-key reference implementation of :meth:`push`."""
+        for key, delta in zip(keys, deltas):
+            key = int(key)
+            if not state.replica_mask[key]:
+                # Writing to a parameter that was never pulled: create the
+                # replica first (Petuum reads-before-writes via the cache).
+                self._refresh_replica(worker, state, key, worker_clock)
+            state.replica_values[key] = state.replica_values[key] + delta
+            state.update_values[key] = state.update_values[key] + delta
+            state.update_mask[key] = True
+            self._charge_intra_process(worker, 1, "push.replica")
+
     # ------------------------------------------------------------- internals
     def _refresh_replica(self, worker: WorkerContext, state: _NodeReplicaState,
                          key: int, worker_clock: int) -> np.ndarray:
@@ -158,26 +442,26 @@ class ReplicationPS(ParameterServer):
         else:
             self._charge_remote(worker, 1, "pull", server_id=owner)
         value = self.store.get_single(key)
-        buffered = state.buffered_delta(key)
-        if buffered is not None:
-            value = value + buffered
-        state.replicas[key] = value
+        if state.update_mask[key]:
+            value = value + state.update_values[key]
+        state.replica_values[key] = value
+        state.replica_mask[key] = True
         state.replica_clock[key] = worker_clock
         return value.copy()
 
     def _flush_node(self, node_id: int, state: _NodeReplicaState) -> None:
         """Send the node's buffered updates to the owning servers."""
-        if not state.update_buffer:
+        if not state.update_mask.any():
             return
-        keys = np.fromiter(state.update_buffer.keys(), dtype=np.int64)
-        deltas = np.stack([state.update_buffer[int(k)] for k in keys])
+        keys = np.flatnonzero(state.update_mask).astype(np.int64)
+        deltas = state.update_values[keys]
         self.store.add(keys, deltas)
 
         owners = self.partitioner.owners(keys)
         background = self.cluster.node(node_id).background_clock
         payload_per_key = self.store.value_bytes()
-        for server in np.unique(owners):
-            server_keys = int(np.count_nonzero(owners == server))
+        servers, counts = np.unique(owners, return_counts=True)
+        for server, server_keys in zip(servers.tolist(), counts.tolist()):
             if int(server) == node_id:
                 continue  # local server: no network message
             # Flushes happen asynchronously on the node's communication
@@ -195,27 +479,24 @@ class ReplicationPS(ParameterServer):
         self.metrics.increment(
             "replication.flushed_keys", len(keys), node=node_id
         )
-        state.update_buffer.clear()
+        state.update_values[keys] = 0.0
+        state.update_mask[keys] = False
 
     def _eager_refresh(self, node_id: int, state: _NodeReplicaState) -> None:
         """ESSP: refresh every replica the node holds from the servers."""
-        if not state.replicas:
+        if not state.replica_mask.any():
             return
-        keys = np.fromiter(state.replicas.keys(), dtype=np.int64)
-        fresh_values = self.store.get(keys)
-        node_clock = state.clock
-        for key, value in zip(keys, fresh_values):
-            key = int(key)
-            state.replicas[key] = value
-            state.replica_clock[key] = node_clock
+        keys = np.flatnonzero(state.replica_mask).astype(np.int64)
+        state.replica_values[keys] = self.store.get(keys)
+        state.replica_clock[keys] = state.clock
 
         owners = self.partitioner.owners(keys)
         background = self.cluster.node(node_id).background_clock
         payload_per_key = self.store.value_bytes()
-        for server in np.unique(owners):
+        servers, counts = np.unique(owners, return_counts=True)
+        for server, server_keys in zip(servers.tolist(), counts.tolist()):
             if int(server) == node_id:
                 continue
-            server_keys = int(np.count_nonzero(owners == server))
             # Eager refreshes stream in the background; the transfer volume —
             # every replicated key, every clock, from every node — is what
             # over-communicates. It occupies both the requesting node's
@@ -241,7 +522,7 @@ class ReplicationPS(ParameterServer):
 
     def replica_count(self, node_id: int) -> int:
         """Number of replicas currently held by ``node_id`` (for tests/reports)."""
-        return len(self._nodes[node_id].replicas)
+        return int(np.count_nonzero(self._nodes[node_id].replica_mask))
 
     # --------------------------------------------------------------- charging
     def _charge_intra_process(self, worker: WorkerContext, count: int, kind: str) -> None:

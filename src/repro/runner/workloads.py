@@ -17,6 +17,7 @@ so every benchmark uses the same, documented configuration.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict
 
 from repro.data.corpus import generate_corpus
@@ -26,6 +27,35 @@ from repro.ml.kge import KGETask
 from repro.ml.matrix_factorization import MatrixFactorizationTask
 from repro.ml.task import TrainingTask
 from repro.ml.word2vec import WordVectorsTask
+
+
+# The synthetic datasets are deterministic in their parameters and treated as
+# read-only by the tasks, so benchmark sweeps that build one task per system
+# (a dozen times per figure) share a single generated dataset per (scale,
+# seed) instead of regenerating it.
+@lru_cache(maxsize=8)
+def _cached_knowledge_graph(num_entities, num_relations, num_triples,
+                            entity_exponent, seed):
+    return generate_knowledge_graph(
+        num_entities=num_entities, num_relations=num_relations,
+        num_triples=num_triples, entity_exponent=entity_exponent, seed=seed,
+    )
+
+
+@lru_cache(maxsize=8)
+def _cached_corpus(vocab_size, num_sentences, sentence_length, num_topics, seed):
+    return generate_corpus(
+        vocab_size=vocab_size, num_sentences=num_sentences,
+        sentence_length=sentence_length, num_topics=num_topics, seed=seed,
+    )
+
+
+@lru_cache(maxsize=8)
+def _cached_matrix(num_rows, num_cols, num_cells, rank, col_exponent, seed):
+    return generate_matrix(
+        num_rows=num_rows, num_cols=num_cols, num_cells=num_cells, rank=rank,
+        col_exponent=col_exponent, seed=seed,
+    )
 
 
 #: NuPS replica synchronization interval used by the scaled-down workloads.
@@ -51,9 +81,8 @@ NUPS_BENCH_OVERRIDES: Dict[str, object] = {
 def kge_task(scale: str = "bench", seed: int = 1, **task_kwargs) -> KGETask:
     """Knowledge graph embeddings on a synthetic Zipf-skewed graph."""
     if scale == "bench":
-        graph = generate_knowledge_graph(
-            num_entities=10000, num_relations=32, num_triples=8000,
-            entity_exponent=1.1, seed=seed,
+        graph = _cached_knowledge_graph(
+            10000, 32, 8000, 1.1, seed,
         )
         defaults = dict(dim=8, num_negatives=8)
     elif scale == "test":
@@ -70,10 +99,7 @@ def kge_task(scale: str = "bench", seed: int = 1, **task_kwargs) -> KGETask:
 def word_vectors_task(scale: str = "bench", seed: int = 2, **task_kwargs) -> WordVectorsTask:
     """Skip-gram word vectors on a synthetic Zipf-skewed, topic-structured corpus."""
     if scale == "bench":
-        corpus = generate_corpus(
-            vocab_size=3000, num_sentences=1500, sentence_length=10,
-            num_topics=10, seed=seed,
-        )
+        corpus = _cached_corpus(3000, 1500, 10, 10, seed)
         defaults = dict(dim=8, window=2, num_negatives=3, learning_rate=0.3)
     elif scale == "test":
         corpus = generate_corpus(
@@ -91,10 +117,7 @@ def matrix_factorization_task(scale: str = "bench", seed: int = 3,
                               **task_kwargs) -> MatrixFactorizationTask:
     """Latent-factor matrix factorization on a synthetic Zipf-1.1 matrix."""
     if scale == "bench":
-        matrix = generate_matrix(
-            num_rows=1000, num_cols=200, num_cells=40000, rank=8,
-            col_exponent=1.4, seed=seed,
-        )
+        matrix = _cached_matrix(1000, 200, 40000, 8, 1.4, seed)
         defaults: Dict[str, object] = {"learning_rate": 0.5}
     elif scale == "test":
         matrix = generate_matrix(

@@ -6,9 +6,34 @@ worker that issued them; background activities (replica synchronization, pool
 preparation) advance the clock of the background thread that runs them. The
 run time of an epoch is the maximum clock value across all workers, which
 mirrors how wall-clock epoch time is determined on a real cluster.
+
+The batch helpers (:meth:`SimulatedClock.advance_sequence`,
+:meth:`SimulatedClock.advance_repeated` and :func:`fold_costs`) replace a
+Python-level loop of ``advance`` calls with one NumPy prefix sum. They are
+*bit-identical* to the loop they replace: ``np.add.accumulate`` performs the
+same left-to-right sequence of IEEE-754 additions that repeated ``advance``
+calls would, so simulated epoch times do not change when the parameter
+servers switch to their vectorized fast paths.
 """
 
 from __future__ import annotations
+
+import numpy as np
+
+
+def fold_costs(start: float, costs: np.ndarray) -> float:
+    """Left-fold ``start + c_0 + c_1 + ...`` exactly as a sequential loop.
+
+    Equivalent (bit-for-bit) to ``for c in costs: start += c``.
+    """
+    n = len(costs)
+    if n == 0:
+        return float(start)
+    acc = np.empty(n + 1, dtype=np.float64)
+    acc[0] = start
+    acc[1:] = costs
+    np.add.accumulate(acc, out=acc)
+    return float(acc[-1])
 
 
 class SimulatedClock:
@@ -46,6 +71,35 @@ class SimulatedClock:
         """
         if timestamp > self._now:
             self._now = float(timestamp)
+        return self._now
+
+    def advance_sequence(self, costs: np.ndarray) -> float:
+        """Advance by every cost in ``costs``, in order, in one call.
+
+        Bit-identical to calling :meth:`advance` once per element (see
+        :func:`fold_costs`); used by the parameter servers' batch fast paths.
+        """
+        if len(costs) == 0:
+            return self._now
+        if np.min(costs) < 0:
+            raise ValueError("cannot advance clock by negative time")
+        self._now = fold_costs(self._now, costs)
+        return self._now
+
+    def advance_repeated(self, cost: float, count: int) -> float:
+        """Advance by ``cost``, ``count`` times (bit-identical to the loop)."""
+        if count <= 0:
+            return self._now
+        if cost < 0:
+            raise ValueError(f"cannot advance clock by negative time: {cost}")
+        if count <= 64:
+            # NumPy dispatch costs more than a short Python fold.
+            now = self._now
+            for _ in range(count):
+                now += cost
+            self._now = now
+        else:
+            self._now = fold_costs(self._now, np.full(count, cost, dtype=np.float64))
         return self._now
 
     def reset(self, start: float = 0.0) -> None:

@@ -21,6 +21,10 @@ class MetricsRegistry:
         self._per_node: Dict[int, Dict[str, float]] = defaultdict(
             lambda: defaultdict(float)
         )
+        # Interned ``kind -> "access.<kind>"`` labels: composing the label is
+        # on the hot path of every parameter access, so it is done once per
+        # distinct kind instead of once per call.
+        self._access_labels: Dict[str, str] = {}
 
     # ---------------------------------------------------------------- writing
     def increment(self, name: str, amount: float = 1.0, node: int | None = None) -> None:
@@ -35,8 +39,40 @@ class MetricsRegistry:
         ``kind`` is a dotted label such as ``"pull.local"``, ``"pull.remote"``,
         ``"push.replica"`` or ``"sample.local"``.
         """
-        self.increment(f"access.{kind}", count, node=node)
-        self.increment("access.total", count, node=node)
+        label = self._access_labels.get(kind)
+        if label is None:
+            label = "access." + kind
+            self._access_labels[kind] = label
+        counters = self._global
+        counters[label] += count
+        counters["access.total"] += count
+        node_counters = self._per_node[node]
+        node_counters[label] += count
+        node_counters["access.total"] += count
+
+    def record_access_batch(self, node: int, counts: Mapping[str, float]) -> None:
+        """Record several access kinds at once (one ``access.total`` update).
+
+        Equivalent to calling :meth:`record_access` once per ``(kind, count)``
+        pair; counters end up identical because all amounts are integral.
+        """
+        total = 0
+        labels = self._access_labels
+        counters = self._global
+        node_counters = self._per_node[node]
+        for kind, count in counts.items():
+            if not count:
+                continue
+            label = labels.get(kind)
+            if label is None:
+                label = "access." + kind
+                labels[kind] = label
+            counters[label] += count
+            node_counters[label] += count
+            total += count
+        if total:
+            counters["access.total"] += total
+            node_counters["access.total"] += total
 
     # ---------------------------------------------------------------- reading
     def get(self, name: str, node: int | None = None) -> float:

@@ -34,7 +34,7 @@ class NetworkModel:
     drive the paper's results in a realistic regime: synchronous remote
     access is much more expensive than one SGD step's computation, and
     asynchronous relocation handling is much cheaper than computation. See
-    DESIGN.md for the calibration rationale.
+    README.md ("Benchmarks") for how the scaled-down workloads are used.
 
     latency:
         One-way per-message latency in seconds, including serialization and

@@ -1,0 +1,241 @@
+"""Scalar/vector equivalence suite for the batch charging fast paths.
+
+The relocation, replication and NuPS parameter servers each have a vectorized
+batch fast path (the default) and the original per-key scalar path kept
+behind ``batch_charging=False``. The batch paths are built on exact
+left-to-right prefix sums (:mod:`repro.simulation.clock`), so the two paths
+must produce *bit-identical* simulated clocks and *identical* metrics
+counters on any workload. This suite replays one deterministic workload —
+with duplicate keys, relocation waits, stale replicas and sampling — on both
+paths, per PS architecture, and asserts exact equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.management import ManagementPlan
+from repro.core.nups import NuPS
+from repro.core.sampling.conformity import ConformityLevel
+from repro.core.sampling.distributions import CategoricalDistribution
+from repro.core.sampling.manager import SamplingConfig
+from repro.core.sampling.schemes import SchemeConfig
+from repro.ps.relocation import RelocationPS
+from repro.ps.replication import ReplicationProtocol, ReplicationPS
+from repro.ps.storage import ParameterStore
+from repro.simulation.cluster import Cluster, ClusterConfig
+
+NUM_KEYS = 160
+VALUE_LENGTH = 4
+NUM_NODES = 3
+WORKERS_PER_NODE = 2
+ROUNDS = 5
+CHUNK = 12
+
+
+def _make_cluster() -> Cluster:
+    return Cluster(ClusterConfig(num_nodes=NUM_NODES, workers_per_node=WORKERS_PER_NODE))
+
+
+def _make_store() -> ParameterStore:
+    return ParameterStore(NUM_KEYS, VALUE_LENGTH, seed=7, init_scale=0.1)
+
+
+def _workload(seed: int = 3):
+    """A deterministic per-(round, worker) op list with skewed, duplicate keys."""
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / np.arange(1, NUM_KEYS + 1) ** 1.2
+    probs = weights / weights.sum()
+    ops = []
+    for round_id in range(ROUNDS):
+        for node in range(NUM_NODES):
+            for worker in range(WORKERS_PER_NODE):
+                keys = rng.choice(NUM_KEYS, size=CHUNK, p=probs).astype(np.int64)
+                deltas = rng.normal(0, 0.01, size=(CHUNK, VALUE_LENGTH)).astype(np.float32)
+                ops.append((round_id, node, worker, keys, deltas))
+    return ops
+
+
+def _drive(ps, cluster, sampling: bool = False, dist_id: int | None = None):
+    """Replay the workload: localize-ahead, pull, push, clock, sampling."""
+    pulled = []
+    for _, node, worker_id, keys, deltas in _workload():
+        worker = cluster.worker(node, worker_id)
+        # Localize the chunk right before accessing it so that in-flight
+        # relocations force arrival waits on the batch path.
+        ps.localize(worker, keys)
+        pulled.append(ps.pull(worker, keys))
+        ps.push(worker, keys, deltas)
+        if sampling and dist_id is not None:
+            handle = ps.prepare_sample(worker, dist_id, 6)
+            result = ps.pull_sample(worker, handle, 4)
+            pulled.append(result.values)
+            ps.pull_sample(worker, handle)  # drain the rest
+        ps.advance_clock(worker)
+        ps.housekeeping(cluster.time)
+    ps.finish_epoch()
+    return pulled
+
+
+def _assert_identical(cluster_a: Cluster, cluster_b: Cluster,
+                      pulled_a, pulled_b, store_a, store_b) -> None:
+    for node_a, node_b in zip(cluster_a.nodes, cluster_b.nodes):
+        for clock_a, clock_b in zip(node_a.worker_clocks, node_b.worker_clocks):
+            assert clock_a.now == clock_b.now  # bit-identical, no tolerance
+        assert node_a.background_clock.now == node_b.background_clock.now
+        assert node_a.server_clock.now == node_b.server_clock.now
+    assert cluster_a.metrics.counters() == cluster_b.metrics.counters()
+    for node in range(cluster_a.num_nodes):
+        assert cluster_a.metrics.node_counters(node) == \
+            cluster_b.metrics.node_counters(node)
+    for values_a, values_b in zip(pulled_a, pulled_b):
+        np.testing.assert_array_equal(values_a, values_b)
+    np.testing.assert_array_equal(store_a.values, store_b.values)
+
+
+def _run_pair(factory, sampling: bool = False):
+    results = {}
+    for batch in (True, False):
+        cluster = _make_cluster()
+        store = _make_store()
+        ps = factory(store, cluster, batch)
+        dist_id = None
+        if sampling:
+            weights = 1.0 / np.arange(1, NUM_KEYS + 1) ** 0.9
+            dist_id = ps.register_distribution(
+                CategoricalDistribution(weights), ConformityLevel.BOUNDED
+            )
+        pulled = _drive(ps, cluster, sampling=sampling, dist_id=dist_id)
+        results[batch] = (cluster, pulled, store)
+    cluster_b, pulled_b, store_b = results[True]
+    cluster_s, pulled_s, store_s = results[False]
+    _assert_identical(cluster_b, cluster_s, pulled_b, pulled_s, store_b, store_s)
+
+
+class TestRelocationEquivalence:
+    def test_relocation_batch_matches_scalar(self):
+        _run_pair(lambda store, cluster, batch: RelocationPS(
+            store, cluster, batch_charging=batch
+        ))
+
+    def test_relocation_disabled_batch_matches_scalar(self):
+        _run_pair(lambda store, cluster, batch: RelocationPS(
+            store, cluster, relocation_enabled=False, batch_charging=batch
+        ))
+
+
+class TestReplicationEquivalence:
+    @pytest.mark.parametrize("protocol", [ReplicationProtocol.SSP,
+                                          ReplicationProtocol.ESSP])
+    @pytest.mark.parametrize("staleness", [0, 2])
+    def test_replication_batch_matches_scalar(self, protocol, staleness):
+        _run_pair(lambda store, cluster, batch: ReplicationPS(
+            store, cluster, protocol=protocol, staleness=staleness,
+            batch_charging=batch,
+        ))
+
+
+class TestNuPSEquivalence:
+    @staticmethod
+    def _factory(scheme_override=None):
+        def build(store, cluster, batch):
+            plan = ManagementPlan(NUM_KEYS, np.arange(8, dtype=np.int64))
+            config = SamplingConfig(
+                scheme_config=SchemeConfig(pool_size=16, use_frequency=2),
+                scheme_override=scheme_override,
+            )
+            return NuPS(store, cluster, plan=plan, sampling_config=config,
+                        sync_interval=1e-4, seed=5, batch_charging=batch)
+        return build
+
+    def test_nups_batch_matches_scalar(self):
+        _run_pair(self._factory(), sampling=True)
+
+    @pytest.mark.parametrize("scheme", ["independent", "sample_reuse",
+                                        "sample_reuse_postponing", "local"])
+    def test_nups_schemes_batch_matches_scalar(self, scheme):
+        _run_pair(self._factory(scheme_override=scheme), sampling=True)
+
+
+class TestLargeBatchEquivalence:
+    """Batches above SMALL_BATCH take the NumPy mask paths; cover them too."""
+
+    @staticmethod
+    def _drive_large(ps, cluster):
+        rng = np.random.default_rng(9)
+        weights = 1.0 / np.arange(1, NUM_KEYS + 1) ** 1.1
+        probs = weights / weights.sum()
+        for _ in range(3):
+            for node in range(NUM_NODES):
+                for worker_id in range(WORKERS_PER_NODE):
+                    worker = cluster.worker(node, worker_id)
+                    keys = rng.choice(NUM_KEYS, size=130, p=probs).astype(np.int64)
+                    deltas = rng.normal(0, 0.01, size=(130, VALUE_LENGTH)) \
+                        .astype(np.float32)
+                    ps.localize(worker, keys)
+                    ps.pull(worker, keys)
+                    ps.push(worker, keys, deltas)
+                    ps.advance_clock(worker)
+        ps.finish_epoch()
+
+    @pytest.mark.parametrize("factory", [
+        lambda store, cluster, batch: RelocationPS(store, cluster,
+                                                   batch_charging=batch),
+        lambda store, cluster, batch: ReplicationPS(store, cluster,
+                                                    staleness=1,
+                                                    batch_charging=batch),
+        lambda store, cluster, batch: NuPS(
+            store, cluster,
+            plan=ManagementPlan(NUM_KEYS, np.arange(8, dtype=np.int64)),
+            sync_interval=1e-4, seed=5, batch_charging=batch,
+        ),
+    ])
+    def test_large_batches_match_scalar(self, factory):
+        results = {}
+        for batch in (True, False):
+            cluster = _make_cluster()
+            store = _make_store()
+            ps = factory(store, cluster, batch)
+            self._drive_large(ps, cluster)
+            results[batch] = (cluster, store)
+        cluster_b, store_b = results[True]
+        cluster_s, store_s = results[False]
+        _assert_identical(cluster_b, cluster_s, [], [], store_b, store_s)
+
+
+class TestBatchDuplicatesAndWaits:
+    """Targeted micro-cases that stress the order-sensitive corners."""
+
+    def test_duplicate_keys_in_one_batch(self):
+        for batch in (True, False):
+            cluster = _make_cluster()
+            store = _make_store()
+            ps = RelocationPS(store, cluster, batch_charging=batch)
+            worker = cluster.worker(0, 0)
+            keys = np.array([5, 5, 150, 150, 5, 42], dtype=np.int64)
+            ps.localize(worker, keys)
+            ps.pull(worker, keys)
+            if batch:
+                reference = (
+                    cluster.metrics.counters(),
+                    worker.clock.now,
+                    cluster.node(0).background_clock.now,
+                )
+            else:
+                assert cluster.metrics.counters() == reference[0]
+                assert worker.clock.now == reference[1]
+                assert cluster.node(0).background_clock.now == reference[2]
+
+    def test_wait_happens_once_per_relocation(self):
+        cluster = _make_cluster()
+        store = _make_store()
+        ps = RelocationPS(store, cluster)
+        worker = cluster.worker(0, 0)
+        remote = ps.partitioner.keys_of(2)[:4]
+        ps.localize(worker, remote)
+        ps.pull(worker, remote)
+        assert cluster.metrics.get("relocation.waits") >= 1
+        waits = cluster.metrics.get("relocation.waits")
+        ps.pull(worker, remote)  # arrived now: no further waits
+        assert cluster.metrics.get("relocation.waits") == waits

@@ -94,6 +94,29 @@ class TestWrites:
         store.set([0], np.zeros((1, store.value_length), dtype=np.float32))
         assert store.version(0) == 2
 
+    def test_add_with_duplicate_keys_bumps_version_per_occurrence(self, store):
+        keys = np.array([4, 4, 4, 7], dtype=np.int64)
+        store.add(keys, np.ones((4, store.value_length), dtype=np.float32))
+        assert store.version(4) == 3
+        assert store.version(7) == 1
+
+    def test_set_with_duplicate_keys_bumps_version_per_occurrence(self, store):
+        """Regression: fancy-index += silently dropped duplicate keys, so
+        ``set`` undercounted versions relative to ``add``."""
+        keys = np.array([5, 5, 9], dtype=np.int64)
+        values = np.zeros((3, store.value_length), dtype=np.float32)
+        store.set(keys, values)
+        assert store.version(5) == 2
+        assert store.version(9) == 1
+
+    def test_large_batch_duplicate_keys_accumulate(self, store):
+        # Above the duplicate-free fast-path threshold: np.add.at semantics.
+        before = store.get_single(3).copy()
+        keys = np.full(100, 3, dtype=np.int64)
+        store.add(keys, np.ones((100, store.value_length), dtype=np.float32))
+        np.testing.assert_allclose(store.get_single(3), before + 100.0)
+        assert store.version(3) == 100
+
     def test_copy_is_independent(self, store):
         clone = store.copy()
         store.add([0], np.ones((1, store.value_length), dtype=np.float32))

@@ -12,6 +12,25 @@ from repro.core.sampling.distributions import (
 )
 
 
+class TestProbabilitiesOf:
+    """The vectorized batch probability lookup matches the scalar one."""
+
+    @pytest.mark.parametrize("dist", [
+        UniformDistribution(key_offset=10, support_size=5),
+        CategoricalDistribution([1.0, 3.0, 6.0], key_offset=4),
+        UnigramDistribution([5.0, 1.0, 2.0, 8.0], key_offset=0),
+    ])
+    def test_matches_scalar_probability(self, dist):
+        keys = np.array([0, 4, 5, 6, 9, 10, 12, 14, 15, 100], dtype=np.int64)
+        batch = dist.probabilities_of(keys)
+        scalar = np.array([dist.probability(int(k)) for k in keys])
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_empty_batch(self):
+        dist = UniformDistribution(0, 4)
+        assert len(dist.probabilities_of(np.empty(0, dtype=np.int64))) == 0
+
+
 class TestUniformDistribution:
     def test_probability_inside_and_outside_support(self):
         dist = UniformDistribution(key_offset=10, support_size=5)
