@@ -1,0 +1,91 @@
+"""Dynamic workloads: the scenario engine in five minutes.
+
+The static benchmarks freeze the workload's non-uniformity: the hot set,
+cluster speeds and network costs never change within a run. Real deployments
+drift. This example composes the scenario engine's perturbations onto a small
+experiment and shows how the PS architectures react:
+
+* **hot-set drift** — the Zipf permutation rotates mid-run: yesterday's cold
+  keys become hot. Relocation re-localizes, NuPS additionally re-targets its
+  replication plan (the re-management hook), the classic PS cannot react.
+* **stragglers** — heavy-tailed per-worker slowdowns stretch epoch times.
+* **worker churn** — workers pause mid-epoch; their shard is redistributed.
+* **degrading network** — latency grows / bandwidth shrinks per epoch.
+
+Run with::
+
+    PYTHONPATH=src python examples/dynamic_workloads.py
+"""
+
+from repro.runner.config import ExperimentConfig
+from repro.runner.experiment import run_experiment
+from repro.runner.reporting import format_table, localization_rate
+from repro.runner.systems import make_ps_factory
+from repro.runner.workloads import make_task
+from repro.scenarios import Scenario, HotSetDrift, make_scenario
+from repro.simulation.cluster import ClusterConfig
+
+SYSTEMS = ("classic", "lapse", "essp", "nups")
+EPOCHS = 4
+DRIFT_EPOCH = 2
+
+
+def build_scenario(name):
+    if name == "static":
+        return None
+    if name == "drift":
+        # Fire at the first round boundary of epoch 2 (mid-run, mid-epoch).
+        return Scenario("drift", [HotSetDrift(at=((DRIFT_EPOCH, 0),), shift=0.5)])
+    return make_scenario(name)
+
+
+def run(system, scenario_name):
+    task = make_task("matrix_factorization", scale="test")
+    overrides = {}
+    if system == "nups":
+        # The 100x-mean heuristic replicates nothing at this tiny scale;
+        # replicate the hottest 2% of keys so multi-technique management
+        # (and the drift re-management hook) have something to do.
+        from repro.core.management import ManagementPlan
+
+        overrides["plan"] = ManagementPlan.top_k_by_count(
+            task.access_counts(), max(4, task.num_keys() // 50)
+        )
+    config = ExperimentConfig(
+        cluster=ClusterConfig(num_nodes=4, workers_per_node=2),
+        epochs=EPOCHS, chunk_size=8, seed=0,
+        scenario=build_scenario(scenario_name),
+    )
+    return run_experiment(task, make_ps_factory(system, **overrides), config,
+                          system_name=system)
+
+
+def main():
+    for scenario_name in ("static", "drift", "stragglers", "churn",
+                          "degrading-network"):
+        print(f"\n=== scenario: {scenario_name} ===")
+        rows = []
+        for system in SYSTEMS:
+            result = run(system, scenario_name)
+            rows.append([
+                system,
+                result.total_time,
+                result.final_quality(),
+                " ".join(f"{localization_rate(r):.2f}" for r in result.records),
+            ])
+        print(format_table(
+            ["system", "time (s)", "final RMSE", "localization per epoch"],
+            rows,
+        ))
+    print(
+        "\nReading the tables: under 'drift' the localization of lapse/nups "
+        f"dips in epoch {DRIFT_EPOCH + 1} and recovers afterwards, while "
+        "classic stays flat (it has no locality to lose) — the adaptive "
+        "management techniques re-adapt to the new hot set. Stragglers and "
+        "the degrading network stretch run times without touching quality; "
+        "churn moves data between workers mid-epoch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,9 @@ simulated cluster:
 * :mod:`repro.data` — synthetic skewed dataset generators.
 * :mod:`repro.runner` — the experiment harness used by examples and
   benchmarks.
+* :mod:`repro.scenarios` — dynamic-workload scenarios: time-varying
+  perturbations (hot-set drift, stragglers, worker churn, degrading
+  networks) composed onto any experiment.
 * :mod:`repro.analysis` — skew and speedup analysis utilities.
 """
 
@@ -36,6 +39,7 @@ from repro.ps import (
     ReplicationProtocol,
     SingleNodePS,
 )
+from repro.scenarios import Scenario, make_scenario
 from repro.simulation import Cluster, ClusterConfig, NetworkModel
 
 __version__ = "0.1.0"
@@ -56,5 +60,7 @@ __all__ = [
     "Cluster",
     "ClusterConfig",
     "NetworkModel",
+    "Scenario",
+    "make_scenario",
     "__version__",
 ]

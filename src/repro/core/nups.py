@@ -138,6 +138,34 @@ class NuPS(RelocationPS, SamplingHost):
         keys, deltas = self._validate_push(keys, deltas)
         self._push(worker, keys, deltas, sampling=False)
 
+    def remanage(self, plan: ManagementPlan, now: Optional[float] = None) -> None:
+        """Install a new management plan mid-run (the re-management hook).
+
+        The paper fixes the technique per key before training starts and lists
+        dynamic switching as future work; this hook provides the minimal
+        dynamic variant the scenario engine needs: when the hot set drifts,
+        intent signaling (e.g. refreshed dataset statistics) can re-derive a
+        plan and re-target replication at the new hot spots. Pending replica
+        updates of the old plan are flushed into the store first (forced
+        sync), then the replica state is rebuilt for the new plan. Keys that
+        leave the replicated set fall back to relocation management; keys that
+        enter it are replicated from their current global values.
+        """
+        if plan.num_keys != self.store.num_keys:
+            raise ValueError(
+                "management plan covers a different key space than the store: "
+                f"{plan.num_keys} != {self.store.num_keys}"
+            )
+        now = self.cluster.time if now is None else float(now)
+        self.replica_manager.force_sync(now)
+        self.plan = plan
+        self.replica_manager = ReplicaManager(
+            self.store, self.cluster, plan,
+            sync_interval=self.replica_manager.sync_interval,
+            start_time=now,
+        )
+        self.metrics.increment("management.replans", 1)
+
     def housekeeping(self, now: float) -> None:
         """Run due replica synchronizations and sampling-scheme maintenance."""
         self.replica_manager.maybe_sync(now)

@@ -40,6 +40,7 @@ class ReplicaManager:
         cluster: Cluster,
         plan: ManagementPlan,
         sync_interval: Optional[float] = DEFAULT_SYNC_INTERVAL,
+        start_time: float = 0.0,
     ) -> None:
         if plan.num_keys != store.num_keys:
             raise ValueError(
@@ -49,7 +50,6 @@ class ReplicaManager:
         self.cluster = cluster
         self.plan = plan
         self.metrics = cluster.metrics
-        self.network = cluster.network
 
         self.replicated_keys = plan.replicated_keys
         self.num_replicated = len(self.replicated_keys)
@@ -78,12 +78,21 @@ class ReplicaManager:
         else:
             if sync_interval <= 0:
                 raise ValueError("sync_interval must be positive (or None to disable)")
-            self.schedule = PeriodicSchedule(sync_interval)
+            # ``start_time`` anchors the first firing for managers built
+            # mid-run (re-management): without it a fresh schedule would owe
+            # one sync per elapsed interval since time zero.
+            self.schedule = PeriodicSchedule(sync_interval, start=start_time)
         self.sync_interval = sync_interval
         self.syncs_performed = 0
         self.total_sync_payload_bytes = 0
 
     # ------------------------------------------------------------------ access
+    @property
+    def network(self):
+        """The cluster's current network model (tracked dynamically so that
+        time-varying network scenarios affect synchronization costs too)."""
+        return self.cluster.network
+
     @property
     def enabled(self) -> bool:
         """Whether any key is managed by replication."""

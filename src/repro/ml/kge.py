@@ -192,6 +192,13 @@ class KGETask(TrainingTask):
     def relation_key(self, relation: int) -> int:
         return self.graph.num_entities + int(relation)
 
+    def key_groups(self) -> List[tuple]:
+        """Entities and relations drift independently (see the base class)."""
+        return [
+            (0, self.graph.num_entities),
+            (self.graph.num_entities, self.num_keys()),
+        ]
+
     # ------------------------------------------------------------------ training
     def num_data_points(self) -> int:
         return self.graph.num_train
@@ -238,7 +245,7 @@ class KGETask(TrainingTask):
         compute_cost = self.network_compute_cost(ps)  # constant per chunk
         for subject, relation, obj in triples:
             self._train_triple(ps, worker, int(subject), int(relation), int(obj), stream)
-            worker.clock.advance(compute_cost)
+            worker.charge_compute(compute_cost)
         return len(triples)
 
     def network_compute_cost(self, ps: ParameterServer) -> float:

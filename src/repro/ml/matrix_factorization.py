@@ -80,6 +80,13 @@ class MatrixFactorizationTask(TrainingTask):
     def column_key(self, column: int) -> int:
         return self.dataset.num_rows + int(column)
 
+    def key_groups(self) -> List[tuple]:
+        """Row and column factors drift independently (see the base class)."""
+        return [
+            (0, self.dataset.num_rows),
+            (self.dataset.num_rows, self.num_keys()),
+        ]
+
     # ------------------------------------------------------------------ training
     def num_data_points(self) -> int:
         return self.dataset.num_train
@@ -137,7 +144,7 @@ class MatrixFactorizationTask(TrainingTask):
         compute_cost = ps.network.compute_per_step  # constant per chunk
         for (row, col), value in zip(cells, values):
             self._train_cell(ps, worker, int(row), int(col), float(value))
-            worker.clock.advance(compute_cost)
+            worker.charge_compute(compute_cost)
         return len(data_indices)
 
     def _train_cell(self, ps: ParameterServer, worker: WorkerContext,

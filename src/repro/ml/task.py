@@ -61,6 +61,17 @@ class TrainingTask(ABC):
         """
         return np.zeros(self.num_keys(), dtype=np.float64)
 
+    def key_groups(self) -> List[tuple]:
+        """Contiguous ``(start, stop)`` blocks of semantically uniform keys.
+
+        Tasks lay several embedding matrices into one flat key space (e.g.
+        entities then relations). The scenario engine's hot-set drift rotates
+        the workload-to-key mapping *within* each block, so a rotated mapping
+        never mixes key types and contiguous sampling-distribution supports
+        stay contiguous. The default is a single block covering all keys.
+        """
+        return [(0, self.num_keys())]
+
     # ----------------------------------------------------------------- training
     @abstractmethod
     def num_data_points(self) -> int:

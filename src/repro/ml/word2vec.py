@@ -128,6 +128,13 @@ class WordVectorsTask(TrainingTask):
     def output_key(self, word: int) -> int:
         return self.corpus.vocab_size + int(word)
 
+    def key_groups(self) -> List[tuple]:
+        """Input and output layers drift independently (see the base class)."""
+        return [
+            (0, self.corpus.vocab_size),
+            (self.corpus.vocab_size, self.num_keys()),
+        ]
+
     # ------------------------------------------------------------------ training
     def num_data_points(self) -> int:
         return len(self._centers)
@@ -219,7 +226,7 @@ class WordVectorsTask(TrainingTask):
             stream.push_updates(negatives.keys, neg_deltas)
 
         # One skip-gram pair is roughly one SGD step's worth of computation.
-        worker.clock.advance(
+        worker.charge_compute(
             ps.network.compute_per_step * num_pairs * (1 + self.num_negatives) / 4.0
         )
 

@@ -153,15 +153,29 @@ class ParameterServer(ABC):
                 f"{self.partitioner.num_keys} != {store.num_keys}"
             )
         self.metrics = cluster.metrics
-        self.network = cluster.network
         self.rng = np.random.default_rng(seed)
         self._distributions: Dict[int, object] = {}
         self._next_distribution_id = 0
-        # Store geometry and the network model are fixed for the lifetime of
-        # a PS, so the per-access cost constants are computed once. The batch
-        # fast paths are called tens of thousands of times per simulated
+        # Store geometry is fixed for the lifetime of a PS and the network
+        # model only changes at explicit scenario boundaries, so the
+        # per-access cost constants are computed once per network model. The
+        # batch fast paths are called tens of thousands of times per simulated
         # epoch; recomputing these on every call shows up in profiles.
         self._cached_value_bytes = store.value_bytes()
+        self.refresh_network()
+
+    def refresh_network(self) -> None:
+        """Re-derive cached per-access cost constants from the cluster's network.
+
+        Called after :meth:`~repro.simulation.cluster.Cluster.set_network`
+        swaps the cost model mid-experiment (time-varying network scenarios).
+        Subclasses that cache additional constants extend this. Note that the
+        base constructor invokes this override virtually before subclass
+        ``__init__`` bodies run, so overrides must only depend on base-class
+        attributes (``network``, ``_cached_value_bytes``) and module
+        constants.
+        """
+        self.network = self.cluster.network
         self._local_access_cost = self.network.local_access_cost
         self._remote_access_cost = self.network.remote_access_cost(
             self._cached_value_bytes

@@ -76,7 +76,10 @@ class RelocationPS(ParameterServer):
         #: Simulated time at which the most recent relocation of a key
         #: completes at its new owner. Accesses before that time must wait.
         self.arrival_time = np.zeros(store.num_keys, dtype=np.float64)
-        # Fixed per-access cost constants (see ParameterServer.__init__).
+
+    def refresh_network(self) -> None:
+        """Re-derive the cached cost constants (see the base class)."""
+        super().refresh_network()
         message0 = self.network.message_cost(0)
         message_value = self.network.message_cost(self._cached_value_bytes)
         self._cost_two_messages = 1 * message0 + message_value

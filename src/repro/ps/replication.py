@@ -104,7 +104,10 @@ class ReplicationPS(ParameterServer):
             node_id: _NodeReplicaState(store.num_keys, store.value_length)
             for node_id in range(cluster.num_nodes)
         }
-        # Fixed per-access cost constant (see ParameterServer.__init__).
+
+    def refresh_network(self) -> None:
+        """Re-derive the cached cost constants (see the base class)."""
+        super().refresh_network()
         self._intra_process_cost = (
             1 * self.network.local_access_cost * INTRA_PROCESS_FACTOR
         )

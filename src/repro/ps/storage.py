@@ -109,6 +109,33 @@ class ParameterStore:
         # (fancy-index += would silently drop duplicate keys).
         scatter_add_rows(self._versions, keys, 1)
 
+    def permute(self, new_key_of: Sequence[int] | np.ndarray) -> None:
+        """Relabel the key space: old key ``k`` becomes key ``new_key_of[k]``.
+
+        Values and version counters move with their key. Used by the scenario
+        engine's hot-set drift: rotating the workload-to-key mapping (and
+        moving the values along, so learning semantics are untouched) changes
+        *which physical keys are hot* without touching the dataset — the
+        management state of the parameter servers on top (owners, replicas,
+        plans) intentionally does not move, which is exactly what forces them
+        to re-adapt.
+        """
+        perm = np.asarray(new_key_of, dtype=np.int64)
+        if perm.shape != (self.num_keys,):
+            raise ValueError(
+                f"permutation must have shape ({self.num_keys},), got {perm.shape}"
+            )
+        check = np.zeros(self.num_keys, dtype=bool)
+        check[perm] = True
+        if not check.all():
+            raise ValueError("new_key_of is not a permutation of the key space")
+        values = np.empty_like(self._values)
+        versions = np.empty_like(self._versions)
+        values[perm] = self._values
+        versions[perm] = self._versions
+        self._values = values
+        self._versions = versions
+
     def version(self, key: int) -> int:
         """The number of writes applied to ``key`` so far."""
         self._validate_key(key)

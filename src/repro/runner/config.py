@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.simulation.cluster import ClusterConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.scenarios.base import Scenario
 
 
 @dataclass
@@ -34,6 +37,13 @@ class ExperimentConfig:
         Evaluate model quality every this many epochs.
     seed:
         Random seed for sharding, model initialization and training.
+    scenario:
+        Optional dynamic-workload scenario (see :mod:`repro.scenarios`): a
+        composition of time-varying perturbations — hot-set drift,
+        stragglers, worker churn, degrading networks — that the runner
+        invokes at epoch and round boundaries. ``None`` (the default) runs
+        the static experiment, bit-identical to a runner without scenario
+        support.
     """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
@@ -43,6 +53,7 @@ class ExperimentConfig:
     housekeeping_every_chunks: int = 1
     evaluate_every: int = 1
     seed: int = 0
+    scenario: Optional["Scenario"] = None
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -55,3 +66,8 @@ class ExperimentConfig:
             raise ValueError("evaluate_every must be >= 1")
         if self.time_budget is not None and self.time_budget <= 0:
             raise ValueError("time_budget must be positive when set")
+        if self.scenario is not None and not hasattr(self.scenario, "bind"):
+            raise TypeError(
+                "scenario must be a repro.scenarios.Scenario (or expose a "
+                f"compatible bind method), got {type(self.scenario).__name__}"
+            )

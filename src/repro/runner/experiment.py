@@ -30,12 +30,16 @@ PSFactory = Callable[..., ParameterServer]
 
 @dataclass
 class EpochRecord:
-    """Quality and timing of one training epoch."""
+    """Quality, timing and activity of one training epoch."""
 
     epoch: int
     sim_time: float
     epoch_duration: float
     quality: Dict[str, float]
+    #: Per-epoch *deltas* of the cluster's metric counters (what happened
+    #: during this epoch, not cumulatively). Benchmarks use these to trace
+    #: how e.g. the localization rate reacts to mid-run perturbations.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -126,7 +130,13 @@ def run_experiment(
     cluster = Cluster(config.cluster)
     store = task.create_store(seed=config.seed)
     ps = ps_factory(store, cluster, task)
-    task.register_sampling(ps)
+    # A dynamic-workload scenario wraps the PS (key remapping for hot-set
+    # drift) and receives callbacks at epoch and round boundaries. Without a
+    # scenario the experiment runs on the raw PS, exactly as before.
+    runtime = config.scenario.bind(task, ps, cluster, config) \
+        if config.scenario is not None else None
+    train_ps = runtime.training_ps if runtime is not None else ps
+    task.register_sampling(train_ps)
 
     shards = task.create_shards(
         cluster.num_nodes, cluster.workers_per_node, seed=config.seed
@@ -138,33 +148,55 @@ def run_experiment(
         )
         for w in workers
     }
+    if runtime is not None:
+        runtime.on_experiment_start()
+
+    def evaluate() -> Dict[str, float]:
+        eval_store = runtime.logical_store(store) if runtime is not None else store
+        return task.evaluate(eval_store)
 
     result = ExperimentResult(
         system=system_name or ps.name,
         task=task.name,
         num_nodes=cluster.num_nodes,
         workers_per_node=cluster.workers_per_node,
-        initial_quality=task.evaluate(store),
+        initial_quality=evaluate(),
         quality_metric=task.quality_metric,
         higher_is_better=task.higher_is_better,
     )
 
     for epoch in range(config.epochs):
+        # Snapshot before the scenario's epoch-start hooks so that work they
+        # trigger (drift flushes, network changes) is attributed to this
+        # epoch's record rather than falling between epochs.
         epoch_start = cluster.time
-        _run_epoch(task, ps, cluster, shards, workers, worker_rngs, config)
-        ps.finish_epoch()
+        counters_before = cluster.metrics.counters()
+        if runtime is not None:
+            runtime.begin_epoch(epoch)
+        _run_epoch(task, train_ps, cluster, shards, workers, worker_rngs,
+                   config, runtime)
+        train_ps.finish_epoch()
         task.on_epoch_end(epoch)
+        if runtime is not None:
+            runtime.end_epoch(epoch)
 
         if (epoch + 1) % config.evaluate_every == 0 or epoch + 1 == config.epochs:
-            quality = task.evaluate(store)
+            quality = evaluate()
         else:
             quality = dict(result.records[-1].quality) if result.records else \
                 dict(result.initial_quality)
+        counters_after = cluster.metrics.counters()
+        epoch_metrics = {
+            name: value - counters_before.get(name, 0.0)
+            for name, value in counters_after.items()
+            if value != counters_before.get(name, 0.0)
+        }
         result.records.append(EpochRecord(
             epoch=epoch + 1,
             sim_time=cluster.time,
             epoch_duration=cluster.time - epoch_start,
             quality=quality,
+            metrics=epoch_metrics,
         ))
         if config.time_budget is not None and cluster.time >= config.time_budget:
             break
@@ -173,31 +205,149 @@ def run_experiment(
     return result
 
 
-def _run_epoch(task, ps, cluster, shards, workers, worker_rngs, config) -> None:
+class _WorkerQueue:
+    """Pending data of one worker: a FIFO of index arrays plus a cursor.
+
+    With a static workload the queue holds the worker's single shard array
+    and ``take``/``peek`` are plain slices — the same views the previous
+    position-based loop produced. Worker churn appends redistributed segments
+    from paused workers.
+    """
+
+    __slots__ = ("segments", "offset")
+
+    def __init__(self, shard: np.ndarray) -> None:
+        self.segments = [shard] if len(shard) else []
+        self.offset = 0
+
+    def __len__(self) -> int:
+        if not self.segments:
+            return 0
+        return sum(len(segment) for segment in self.segments) - self.offset
+
+    def take(self, count: int) -> np.ndarray:
+        """Remove and return up to ``count`` leading indices."""
+        if not self.segments:
+            return np.empty(0, dtype=np.int64)
+        head = self.segments[0]
+        end = self.offset + count
+        if end < len(head):
+            chunk = head[self.offset:end]
+            self.offset = end
+            return chunk
+        if end == len(head) or len(self.segments) == 1:
+            chunk = head[self.offset:]
+            self.segments.pop(0)
+            self.offset = 0
+            return chunk
+        parts = [head[self.offset:]]
+        taken = len(parts[0])
+        self.segments.pop(0)
+        self.offset = 0
+        while taken < count and self.segments:
+            head = self.segments[0]
+            use = min(len(head), count - taken)
+            if use == len(head):
+                parts.append(self.segments.pop(0))
+            else:
+                parts.append(head[:use])
+                self.offset = use
+            taken += use
+        return np.concatenate(parts)
+
+    def peek(self, count: int) -> np.ndarray:
+        """The next up-to-``count`` indices without removing them."""
+        if not self.segments:
+            return np.empty(0, dtype=np.int64)
+        head = self.segments[0]
+        if self.offset + count <= len(head) or len(self.segments) == 1:
+            return head[self.offset: self.offset + count]
+        parts = [head[self.offset:]]
+        seen = len(parts[0])
+        for segment in self.segments[1:]:
+            if seen >= count:
+                break
+            parts.append(segment[: count - seen])
+            seen += len(parts[-1])
+        return np.concatenate(parts)
+
+    def drain(self) -> np.ndarray:
+        """Remove and return everything that is still pending."""
+        remaining = self.take(len(self))
+        self.segments = []
+        self.offset = 0
+        return remaining
+
+    def append(self, indices: np.ndarray) -> None:
+        if len(indices):
+            self.segments.append(indices)
+
+
+class _EpochState:
+    """The per-epoch work queues of all workers, with shard redistribution."""
+
+    def __init__(self, workers, shards, chunk_size: int) -> None:
+        self.chunk_size = int(chunk_size)
+        self.queues: Dict[tuple, _WorkerQueue] = {
+            (w.node_id, w.worker_id): _WorkerQueue(
+                shards[w.node_id][w.worker_id]
+            )
+            for w in workers
+        }
+
+    def pending(self, worker_key: tuple) -> int:
+        return len(self.queues[worker_key])
+
+    def has_pending(self) -> bool:
+        return any(len(queue) for queue in self.queues.values())
+
+    def take_chunk(self, worker_key: tuple) -> np.ndarray:
+        return self.queues[worker_key].take(self.chunk_size)
+
+    def peek_chunk(self, worker_key: tuple) -> np.ndarray:
+        return self.queues[worker_key].peek(self.chunk_size)
+
+    def redistribute(self, worker_key: tuple, active_keys) -> None:
+        """Split ``worker_key``'s remaining work over the ``active_keys``."""
+        receivers = [key for key in active_keys if key != worker_key]
+        if not receivers:
+            return  # nobody to take the work over; leave it queued
+        remaining = self.queues[worker_key].drain()
+        if len(remaining) == 0:
+            return
+        for receiver, part in zip(
+            receivers, np.array_split(remaining, len(receivers))
+        ):
+            self.queues[receiver].append(part)
+
+
+def _run_epoch(task, ps, cluster, shards, workers, worker_rngs, config,
+               runtime=None) -> None:
     """One epoch: every worker processes its full shard, chunk by chunk."""
-    positions = {
-        (w.node_id, w.worker_id): 0 for w in workers
-    }
+    state = _EpochState(workers, shards, config.chunk_size)
+    if runtime is not None:
+        runtime.attach_epoch_state(state)
     # Prefetch the very first chunk of every worker so that its parameters
     # can be relocated before processing starts.
     for worker in workers:
-        shard = shards[worker.node_id][worker.worker_id]
-        task.prefetch(ps, worker, shard[: config.chunk_size])
+        first_chunk = state.peek_chunk(worker.global_worker_id)
+        if len(first_chunk):
+            task.prefetch(ps, worker, first_chunk)
     rounds_since_housekeeping = 0
-    remaining = True
-    while remaining:
-        remaining = False
+    round_index = 0
+    while state.has_pending():
+        progressed = False
         for worker in workers:
-            key = (worker.node_id, worker.worker_id)
-            shard = shards[worker.node_id][worker.worker_id]
-            position = positions[key]
-            if position >= len(shard):
+            key = worker.global_worker_id
+            if runtime is not None and not runtime.is_active(key):
                 continue
-            chunk = shard[position: position + config.chunk_size]
-            positions[key] = position + len(chunk)
+            chunk = state.take_chunk(key)
+            if len(chunk) == 0:
+                continue
+            progressed = True
             # Localize the *next* chunk's parameters while this chunk is being
             # processed (asynchronous relocate-before-access).
-            next_chunk = shard[position + len(chunk): position + len(chunk) + config.chunk_size]
+            next_chunk = state.peek_chunk(key)
             if len(next_chunk):
                 task.prefetch(ps, worker, next_chunk)
             task.process_chunk(ps, worker, chunk, worker_rngs[key])
@@ -206,10 +356,17 @@ def _run_epoch(task, ps, cluster, shards, workers, worker_rngs, config) -> None:
             # to the paper's best-performing setting of advancing the clock
             # every ~10 data points.
             ps.advance_clock(worker)
-            if positions[key] < len(shard):
-                remaining = True
         rounds_since_housekeeping += 1
         if rounds_since_housekeeping >= config.housekeeping_every_chunks:
             ps.housekeeping(cluster.time)
             rounds_since_housekeeping = 0
+        if runtime is not None:
+            runtime.on_round(round_index)
+        round_index += 1
+        if not progressed:
+            # Every pending queue belongs to a paused worker and nothing was
+            # redistributed this round; bail out rather than spin forever.
+            break
     ps.housekeeping(cluster.time)
+    if runtime is not None:
+        runtime.detach_epoch_state()

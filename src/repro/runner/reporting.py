@@ -8,7 +8,25 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-from repro.runner.experiment import ExperimentResult
+from repro.runner.experiment import EpochRecord, ExperimentResult
+
+
+def localization_rate(record: EpochRecord) -> float:
+    """Share of an epoch's parameter accesses served locally.
+
+    Counts shared-memory and replica accesses (labels ending in ``.local``
+    or ``.replica``) against the epoch's total, from the record's per-epoch
+    metric deltas. The scenario benchmarks use this to trace how locality
+    reacts to hot-set drift; NaN when the epoch recorded no accesses.
+    """
+    metrics = record.metrics
+    local = sum(
+        value for name, value in metrics.items()
+        if name.startswith("access.")
+        and (name.endswith(".local") or name.endswith(".replica"))
+    )
+    total = metrics.get("access.total", 0.0)
+    return local / total if total else float("nan")
 
 
 def format_value(value: object, precision: int = 4) -> str:

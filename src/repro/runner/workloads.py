@@ -20,6 +20,8 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Dict
 
+import numpy as np
+
 from repro.data.corpus import generate_corpus
 from repro.data.knowledge_graph import generate_knowledge_graph
 from repro.data.matrix import generate_matrix
@@ -29,33 +31,52 @@ from repro.ml.task import TrainingTask
 from repro.ml.word2vec import WordVectorsTask
 
 
+def _freeze_arrays(dataset):
+    """Mark every array attribute of a cached dataset as read-only.
+
+    The cached datasets are shared across every task instance built for the
+    same (scale, seed) — a benchmark sweep hands one dataset to a dozen
+    systems. The tasks treat datasets as read-only by convention; freezing the
+    arrays turns a violation of that convention from silent cross-run
+    corruption into an immediate ``ValueError``.
+    """
+    for value in vars(dataset).values():
+        if isinstance(value, np.ndarray):
+            value.setflags(write=False)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, np.ndarray):
+                    item.setflags(write=False)
+    return dataset
+
+
 # The synthetic datasets are deterministic in their parameters and treated as
-# read-only by the tasks, so benchmark sweeps that build one task per system
-# (a dozen times per figure) share a single generated dataset per (scale,
-# seed) instead of regenerating it.
+# read-only by the tasks (enforced via ``_freeze_arrays``), so benchmark
+# sweeps that build one task per system (a dozen times per figure) share a
+# single generated dataset per (scale, seed) instead of regenerating it.
 @lru_cache(maxsize=8)
 def _cached_knowledge_graph(num_entities, num_relations, num_triples,
                             entity_exponent, seed):
-    return generate_knowledge_graph(
+    return _freeze_arrays(generate_knowledge_graph(
         num_entities=num_entities, num_relations=num_relations,
         num_triples=num_triples, entity_exponent=entity_exponent, seed=seed,
-    )
+    ))
 
 
 @lru_cache(maxsize=8)
 def _cached_corpus(vocab_size, num_sentences, sentence_length, num_topics, seed):
-    return generate_corpus(
+    return _freeze_arrays(generate_corpus(
         vocab_size=vocab_size, num_sentences=num_sentences,
         sentence_length=sentence_length, num_topics=num_topics, seed=seed,
-    )
+    ))
 
 
 @lru_cache(maxsize=8)
 def _cached_matrix(num_rows, num_cols, num_cells, rank, col_exponent, seed):
-    return generate_matrix(
+    return _freeze_arrays(generate_matrix(
         num_rows=num_rows, num_cols=num_cols, num_cells=num_cells, rank=rank,
         col_exponent=col_exponent, seed=seed,
-    )
+    ))
 
 
 #: NuPS replica synchronization interval used by the scaled-down workloads.

@@ -1,0 +1,232 @@
+"""The dynamic-workload scenario engine.
+
+A :class:`Scenario` composes time-varying perturbations onto any experiment:
+hot-set drift, stragglers, worker churn, degrading networks — or any custom
+:class:`Perturbation`. The experiment runner invokes the scenario at well
+defined points (experiment start, epoch start, every scheduling round, epoch
+end); perturbations react by mutating the simulated world through the
+:class:`ScenarioRuntime` helpers, never by reaching into the runner.
+
+Design notes
+------------
+* A ``Scenario`` is declarative and reusable; ``Scenario.bind`` creates the
+  per-run :class:`ScenarioRuntime` that holds all mutable state. Perturbations
+  may keep per-run state on themselves but must (re)initialize it in
+  ``on_start`` so a scenario object can be reused across sequential runs.
+* All randomness is seeded from the experiment seed plus a per-perturbation
+  seed, so scenario runs are exactly reproducible (see
+  ``tests/test_determinism.py``).
+* Hot-set drift needs the workload-to-key remapping layer from
+  :mod:`repro.scenarios.remap`; scenarios without drift run on the raw PS
+  with zero per-access overhead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.management import ManagementPlan
+from repro.scenarios.remap import KeyRemapper, RemappedParameterServer
+
+
+class Perturbation:
+    """One time-varying aspect of a scenario (base class: all hooks no-op)."""
+
+    #: Whether this perturbation rewires the workload-to-key mapping. Any
+    #: perturbation with this flag makes the runner train through the
+    #: remapping proxy.
+    needs_remap = False
+
+    def on_start(self, ctx: "ScenarioRuntime") -> None:
+        """Called once before the first epoch (initialize per-run state here)."""
+
+    def on_epoch_start(self, ctx: "ScenarioRuntime") -> None:
+        """Called at the start of every epoch (``ctx.epoch`` is set)."""
+
+    def on_round(self, ctx: "ScenarioRuntime") -> None:
+        """Called after every scheduling round (``ctx.round`` is set)."""
+
+    def on_epoch_end(self, ctx: "ScenarioRuntime") -> None:
+        """Called after every epoch (after PS epoch flush)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class Scenario:
+    """A named composition of perturbations applied to one experiment."""
+
+    def __init__(self, name: str, perturbations: Sequence[Perturbation],
+                 description: str = "") -> None:
+        self.name = str(name)
+        self.perturbations: List[Perturbation] = list(perturbations)
+        self.description = description
+
+    @property
+    def needs_remap(self) -> bool:
+        return any(p.needs_remap for p in self.perturbations)
+
+    def bind(self, task, ps, cluster, config) -> "ScenarioRuntime":
+        """Create the per-run runtime driving this scenario."""
+        return ScenarioRuntime(self, task, ps, cluster, config)
+
+    def describe(self) -> dict:
+        return {
+            "scenario": self.name,
+            "perturbations": [type(p).__name__ for p in self.perturbations],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Scenario({self.name!r}, {self.perturbations!r})"
+
+
+class ScenarioRuntime:
+    """Mutable per-run state of a scenario plus the operations it may perform.
+
+    The runner drives the lifecycle (``on_experiment_start`` /
+    ``begin_epoch`` / ``on_round`` / ``end_epoch``); perturbations call the
+    helper operations (``set_compute_scale``, ``set_network``,
+    ``pause_worker`` / ``resume_worker``, ``apply_drift``).
+    """
+
+    def __init__(self, scenario: Scenario, task, ps, cluster, config) -> None:
+        self.scenario = scenario
+        self.task = task
+        self.ps = ps
+        self.cluster = cluster
+        self.config = config
+        self.metrics = cluster.metrics
+        #: The cost model the cluster started with; network schedules derive
+        #: every stage from this base, so factors do not compound.
+        self.base_network = cluster.network
+        if scenario.needs_remap:
+            self.remapper: Optional[KeyRemapper] = KeyRemapper(
+                task.num_keys(), task.key_groups()
+            )
+            self.training_ps = RemappedParameterServer(ps, self.remapper)
+        else:
+            self.remapper = None
+            self.training_ps = ps
+        self.epoch = -1
+        self.round = -1
+        self.paused: set = set()
+        self._epoch_state = None
+
+    # -------------------------------------------------------------- lifecycle
+    def on_experiment_start(self) -> None:
+        for perturbation in self.scenario.perturbations:
+            perturbation.on_start(self)
+
+    def begin_epoch(self, epoch: int) -> None:
+        self.epoch = int(epoch)
+        self.round = -1
+        for perturbation in self.scenario.perturbations:
+            perturbation.on_epoch_start(self)
+
+    def on_round(self, round_index: int) -> None:
+        self.round = int(round_index)
+        for perturbation in self.scenario.perturbations:
+            perturbation.on_round(self)
+
+    def end_epoch(self, epoch: int) -> None:
+        for perturbation in self.scenario.perturbations:
+            perturbation.on_epoch_end(self)
+
+    def attach_epoch_state(self, state) -> None:
+        """Bind this epoch's work queues; redistributes shards of down workers."""
+        self._epoch_state = state
+        for key in sorted(self.paused):
+            state.redistribute(key, self._active_keys())
+
+    def detach_epoch_state(self) -> None:
+        self._epoch_state = None
+
+    # ------------------------------------------------------------- inspection
+    def worker_keys(self) -> List[Tuple[int, int]]:
+        """All ``(node_id, worker_id)`` pairs of the cluster, in order."""
+        return [worker.global_worker_id for worker in self.cluster.workers()]
+
+    def is_active(self, worker_key: Tuple[int, int]) -> bool:
+        return worker_key not in self.paused
+
+    def _active_keys(self) -> List[Tuple[int, int]]:
+        return [key for key in self.worker_keys() if key not in self.paused]
+
+    # ------------------------------------------------------------- operations
+    def set_compute_scale(self, node_id: int, worker_id: int, scale: float) -> None:
+        """Set one worker's compute-speed multiplier (stragglers)."""
+        self.cluster.set_compute_scale(node_id, worker_id, scale)
+
+    def set_network(self, model) -> None:
+        """Swap the cluster's network cost model and refresh the PS caches."""
+        self.cluster.set_network(model)
+        self.ps.refresh_network()
+        self.metrics.increment("scenario.network_changes", 1)
+
+    def pause_worker(self, node_id: int, worker_id: int) -> None:
+        """Take a worker down; its remaining shard is redistributed.
+
+        The pause persists across epochs until :meth:`resume_worker`. At least
+        one worker must stay active.
+        """
+        key = (int(node_id), int(worker_id))
+        if key in self.paused:
+            return
+        if len(self.paused) + 1 >= len(self.worker_keys()):
+            raise ValueError("cannot pause the last active worker")
+        self.paused.add(key)
+        if self._epoch_state is not None:
+            self._epoch_state.redistribute(key, self._active_keys())
+        self.metrics.increment("scenario.worker_pauses", 1, node=key[0])
+
+    def resume_worker(self, node_id: int, worker_id: int) -> None:
+        """Bring a paused worker back (it rejoins from the next redistribution
+        or epoch; already-redistributed work is not taken back)."""
+        key = (int(node_id), int(worker_id))
+        if key not in self.paused:
+            return
+        self.paused.discard(key)
+        self.metrics.increment("scenario.worker_resumes", 1, node=key[0])
+
+    def apply_drift(self, shift: float) -> None:
+        """Rotate the workload-to-key mapping by ``shift`` (hot-set drift).
+
+        Buffered PS state is flushed first (epoch-boundary semantics), then
+        the store rows move together with the mapping, and finally NuPS-style
+        servers that expose a ``remanage`` hook get a management plan
+        re-derived for the *new* physical hot set — modeling intent signaling
+        that reacts to drift. Static baselines receive no such signal.
+        """
+        if self.remapper is None:
+            raise RuntimeError(
+                "apply_drift requires a remapping perturbation "
+                "(needs_remap=True) in the scenario"
+            )
+        self.ps.finish_epoch()
+        sigma = self.remapper.rotation(shift)
+        self.ps.store.permute(sigma)
+        self.remapper.apply(sigma)
+        if hasattr(self.ps, "remanage") and self.ps.plan.num_replicated > 0:
+            counts = np.empty(self.remapper.num_keys, dtype=np.float64)
+            counts[self.remapper.physical_index] = self.task.access_counts()
+            plan = ManagementPlan.top_k_by_count(
+                counts, self.ps.plan.num_replicated
+            )
+            self.ps.remanage(plan, now=self.cluster.time)
+        self.metrics.increment("scenario.drifts", 1)
+
+    def logical_store(self, store):
+        """A logical-key view of ``store`` for evaluation.
+
+        Identity mapping: the store itself. After drifts: a read-only copy
+        whose row ``k`` holds the value of logical key ``k``.
+        """
+        if self.remapper is None or self.remapper.is_identity:
+            return store
+        from repro.ps.storage import ParameterStore
+
+        view = ParameterStore(store.num_keys, store.value_length)
+        view.values[...] = store.values[self.remapper.physical_index]
+        return view

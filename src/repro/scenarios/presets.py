@@ -1,0 +1,107 @@
+"""Named scenario presets used by benchmarks, examples and tests.
+
+Each preset builds a fresh :class:`~repro.scenarios.base.Scenario`; keyword
+arguments tune the underlying perturbations. ``make_scenario`` resolves a
+preset by name (the registry in :data:`SCENARIO_PRESETS`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.scenarios.base import Scenario
+from repro.scenarios.perturbations import (
+    HotSetDrift,
+    NetworkDegradation,
+    Stragglers,
+    WorkerChurn,
+)
+from repro.simulation.network import NetworkSchedule
+
+
+def drift_scenario(at=((2, 0),), shift: float = 0.5) -> Scenario:
+    """Hot-set drift: the Zipf permutation rotates at the given moments.
+
+    The default fires once, mid-run, at the first round boundary of epoch 2 —
+    late enough that every system has settled into its steady state, early
+    enough that re-adaptation is observable in the remaining epochs.
+    """
+    return Scenario(
+        "hot-set-drift",
+        [HotSetDrift(at=at, shift=shift)],
+        description="workload hot set rotates mid-run",
+    )
+
+
+def straggler_scenario(severity: float = 3.0, tail_index: float = 2.0,
+                       redraw_each_epoch: bool = True) -> Scenario:
+    """Heavy-tailed per-worker slowdowns, re-drawn every epoch."""
+    return Scenario(
+        "stragglers",
+        [Stragglers(severity=severity, tail_index=tail_index,
+                    redraw_each_epoch=redraw_each_epoch)],
+        description="heavy-tailed per-worker compute slowdowns",
+    )
+
+
+def churn_scenario(fraction: float = 0.25, pause_at_round: int = 1,
+                   resume_at_round: Optional[int] = None,
+                   epochs: Optional[Sequence[int]] = None) -> Scenario:
+    """Worker churn: workers pause mid-epoch, shards are redistributed."""
+    return Scenario(
+        "worker-churn",
+        [WorkerChurn(fraction=fraction, pause_at_round=pause_at_round,
+                     resume_at_round=resume_at_round, epochs=epochs)],
+        description="workers pause mid-epoch; their shards are redistributed",
+    )
+
+
+def degrading_network_scenario(start_epoch: int = 1, latency_growth: float = 2.0,
+                               bandwidth_decay: float = 0.5,
+                               steps: int = 3) -> Scenario:
+    """A steadily degrading interconnect (per-epoch latency/bandwidth stages)."""
+    return Scenario(
+        "degrading-network",
+        [NetworkDegradation(NetworkSchedule.degrading(
+            start_epoch=start_epoch, latency_growth=latency_growth,
+            bandwidth_decay=bandwidth_decay, steps=steps,
+        ))],
+        description="interconnect latency grows and bandwidth shrinks over time",
+    )
+
+
+def storm_scenario() -> Scenario:
+    """Everything at once: drift + stragglers + churn + degrading network."""
+    return Scenario(
+        "storm",
+        [
+            HotSetDrift(at=((2, 0),), shift=0.5),
+            Stragglers(severity=2.0, redraw_each_epoch=True),
+            WorkerChurn(fraction=0.2),
+            NetworkDegradation(NetworkSchedule.degrading(steps=2)),
+        ],
+        description="all perturbations combined (stress scenario)",
+    )
+
+
+SCENARIO_PRESETS: Dict[str, Callable[..., Scenario]] = {
+    "drift": drift_scenario,
+    "stragglers": straggler_scenario,
+    "churn": churn_scenario,
+    "degrading-network": degrading_network_scenario,
+    "storm": storm_scenario,
+}
+
+SCENARIO_NAMES = tuple(SCENARIO_PRESETS)
+
+
+def make_scenario(name: str, **kwargs) -> Scenario:
+    """Build a preset scenario by name."""
+    try:
+        factory = SCENARIO_PRESETS[name]
+    except KeyError:
+        valid = ", ".join(SCENARIO_NAMES)
+        raise ValueError(
+            f"unknown scenario {name!r}; expected one of: {valid}"
+        ) from None
+    return factory(**kwargs)

@@ -11,7 +11,7 @@ on a single machine.
 """
 
 from repro.simulation.clock import SimulatedClock
-from repro.simulation.network import NetworkModel
+from repro.simulation.network import NetworkModel, NetworkSchedule, NetworkStage
 from repro.simulation.metrics import MetricsRegistry
 from repro.simulation.cluster import Cluster, ClusterConfig, Node, WorkerContext
 from repro.simulation.events import PeriodicSchedule
@@ -19,6 +19,8 @@ from repro.simulation.events import PeriodicSchedule
 __all__ = [
     "SimulatedClock",
     "NetworkModel",
+    "NetworkSchedule",
+    "NetworkStage",
     "MetricsRegistry",
     "Cluster",
     "ClusterConfig",

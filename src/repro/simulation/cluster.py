@@ -82,10 +82,21 @@ class WorkerContext:
     node_id: int
     worker_id: int
     clock: SimulatedClock
+    #: Compute-speed multiplier of this worker: 1.0 is the nominal speed, a
+    #: straggler with ``compute_scale=3.0`` needs three times as long for the
+    #: same computation. Parameter-access costs are unaffected (they are paid
+    #: to the network, not to the worker's CPU). Scenario perturbations set
+    #: this; at the default of 1.0 ``charge_compute`` is bit-identical to
+    #: advancing the clock by the raw cost.
+    compute_scale: float = 1.0
 
     @property
     def global_worker_id(self) -> Tuple[int, int]:
         return (self.node_id, self.worker_id)
+
+    def charge_compute(self, seconds: float) -> None:
+        """Charge ``seconds`` of computation, scaled by the worker's speed."""
+        self.clock.advance(seconds * self.compute_scale)
 
 
 class Cluster:
@@ -145,6 +156,23 @@ class Cluster:
         """Reset all clocks to zero (metrics are left untouched)."""
         for node in self.nodes:
             node.reset_clocks()
+
+    # --------------------------------------------------------------- dynamics
+    def set_network(self, network) -> None:
+        """Install a new network cost model (time-varying network scenarios).
+
+        Parameter servers cache per-access cost constants derived from the
+        network model; after swapping the model, call
+        :meth:`~repro.ps.base.ParameterServer.refresh_network` on every PS
+        operating on this cluster so the cached constants follow.
+        """
+        self.network = network
+
+    def set_compute_scale(self, node_id: int, worker_id: int, scale: float) -> None:
+        """Set the compute-speed multiplier of one worker (1.0 = nominal)."""
+        if scale <= 0:
+            raise ValueError(f"compute_scale must be positive, got {scale}")
+        self._worker_contexts[(node_id, worker_id)].compute_scale = float(scale)
 
     def reset_metrics(self) -> None:
         self.metrics.reset()

@@ -12,7 +12,9 @@ Costs are returned in seconds of simulated time.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import Sequence, Tuple
 
 
 #: Number of bytes used per parameter-vector element (float32 on the wire).
@@ -143,6 +145,31 @@ class NetworkModel:
             raise ValueError("value_length must be non-negative")
         return value_length * BYTES_PER_VALUE
 
+    # ------------------------------------------------------------- schedules
+    def scaled(self, latency_factor: float = 1.0, bandwidth_factor: float = 1.0,
+               handling_factor: float = 1.0) -> "NetworkModel":
+        """A degraded (or improved) copy of this model.
+
+        ``latency_factor`` multiplies the per-message latency,
+        ``bandwidth_factor`` multiplies the usable bandwidth (0.5 halves it),
+        and ``handling_factor`` multiplies the per-message CPU handling cost.
+        Shared-memory access and computation costs are unchanged — a degrading
+        interconnect does not slow down local work, which is exactly why it
+        shifts the balance between the PS architectures.
+        """
+        if latency_factor < 0:
+            raise ValueError("latency_factor must be non-negative")
+        if bandwidth_factor <= 0:
+            raise ValueError("bandwidth_factor must be positive")
+        if handling_factor < 0:
+            raise ValueError("handling_factor must be non-negative")
+        return dataclasses.replace(
+            self,
+            latency=self.latency * latency_factor,
+            bandwidth=self.bandwidth * bandwidth_factor,
+            message_handling_cost=self.message_handling_cost * handling_factor,
+        )
+
     def allreduce_cost(self, payload_bytes: int, num_nodes: int) -> float:
         """Cost of a sparse all-reduce of ``payload_bytes`` across nodes.
 
@@ -156,3 +183,71 @@ class NetworkModel:
             return 0.0
         rounds = (num_nodes - 1).bit_length()
         return rounds * self.message_cost(payload_bytes)
+
+
+@dataclass(frozen=True)
+class NetworkStage:
+    """One stage of a :class:`NetworkSchedule`: factors active from an epoch on."""
+
+    from_epoch: int
+    latency_factor: float = 1.0
+    bandwidth_factor: float = 1.0
+    handling_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.from_epoch < 0:
+            raise ValueError("from_epoch must be non-negative")
+
+
+class NetworkSchedule:
+    """A piecewise-constant schedule of network conditions over epochs.
+
+    Each stage names the epoch from which its latency/bandwidth factors apply
+    (relative to the experiment's base :class:`NetworkModel`); the factors of
+    the most recent stage at or before the queried epoch win. Epochs before
+    the first stage use the unmodified base model. Used by the scenario
+    engine's degrading-network perturbation.
+    """
+
+    def __init__(self, stages: Sequence[NetworkStage | Tuple]) -> None:
+        normalized = []
+        for stage in stages:
+            if not isinstance(stage, NetworkStage):
+                stage = NetworkStage(*stage)
+            normalized.append(stage)
+        self.stages = sorted(normalized, key=lambda s: s.from_epoch)
+
+    @classmethod
+    def degrading(cls, start_epoch: int = 1, latency_growth: float = 2.0,
+                  bandwidth_decay: float = 0.5, steps: int = 3) -> "NetworkSchedule":
+        """A steadily degrading interconnect: each step multiplies the latency
+        by ``latency_growth`` and the bandwidth by ``bandwidth_decay``."""
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        return cls([
+            NetworkStage(
+                from_epoch=start_epoch + step,
+                latency_factor=latency_growth ** (step + 1),
+                bandwidth_factor=bandwidth_decay ** (step + 1),
+            )
+            for step in range(steps)
+        ])
+
+    def stage_at(self, epoch: int) -> NetworkStage | None:
+        """The stage active at ``epoch`` (None before the first stage)."""
+        active = None
+        for stage in self.stages:
+            if stage.from_epoch <= epoch:
+                active = stage
+        return active
+
+    def model_at(self, base: NetworkModel, epoch: int) -> NetworkModel:
+        """The network model active at ``epoch``, derived from ``base``."""
+        stage = self.stage_at(epoch)
+        if stage is None:
+            return base
+        return base.scaled(
+            latency_factor=stage.latency_factor,
+            bandwidth_factor=stage.bandwidth_factor,
+            handling_factor=stage.handling_factor,
+        )
