@@ -1,0 +1,80 @@
+"""cProfile harness for the simulator's hot loop.
+
+Perf work on this codebase should start from data, not guesses: this harness
+profiles the simulator-throughput workload (the same one
+``bench_throughput.py`` measures) through any PS architecture and prints the
+top cumulative hot spots. Both execution modes are available — the
+round-fused engine (default) and the sequential per-worker chain — so a
+regression or an optimization candidate can be localized to one path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_profile.py                 # all systems, fused
+    PYTHONPATH=src python benchmarks/bench_profile.py replication     # one system
+    PYTHONPATH=src python benchmarks/bench_profile.py nups --mode sequential
+    PYTHONPATH=src python benchmarks/bench_profile.py classic --top 30 --sort tottime
+
+``REPRO_BENCH_FAST=1`` shrinks the workload like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+
+from bench_throughput import _drive, _system_factories, _workload
+
+DEFAULT_TOP = 20
+
+
+def profile_system(name: str, factory, batches, round_fusion: bool,
+                   top: int, sort: str) -> None:
+    mode = "round-fused" if round_fusion else "sequential"
+    print(f"\n=== {name} ({mode}) — top {top} by {sort} " + "=" * 20)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _drive(name, factory, batches, round_fusion)
+    profiler.disable()
+    pstats.Stats(profiler).sort_stats(sort).print_stats(top)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("systems", nargs="*",
+                        help="systems to profile (default: all)")
+    parser.add_argument("--mode", choices=["fused", "sequential"],
+                        default="fused")
+    parser.add_argument("--top", type=int, default=DEFAULT_TOP,
+                        help=f"entries to print (default {DEFAULT_TOP})")
+    parser.add_argument("--sort", default="cumulative",
+                        help="pstats sort key (default: cumulative)")
+    args = parser.parse_args()
+
+    factories = _system_factories()
+    unknown = [name for name in args.systems if name not in factories]
+    if unknown:
+        parser.error(f"unknown systems {unknown}; choose from {sorted(factories)}")
+    selected = args.systems or sorted(factories)
+
+    batches = _workload()
+    for name in selected:
+        profile_system(name, factories[name], batches,
+                       round_fusion=args.mode == "fused",
+                       top=args.top, sort=args.sort)
+
+
+def test_profile_harness(capsys):
+    """The harness profiles a system end to end and prints a report."""
+    import os
+    os.environ.setdefault("REPRO_BENCH_FAST", "1")
+    factories = _system_factories()
+    profile_system("classic", factories["classic"], _workload(),
+                   round_fusion=True, top=5, sort="cumulative")
+    output = capsys.readouterr().out
+    assert "classic (round-fused)" in output
+    assert "cumulative" in output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""CI guard: simulator throughput must not regress against the baseline.
+
+Compares a freshly measured ``BENCH_throughput.json`` report against the
+committed baseline on ``accesses_per_sec``. CI runners and developer boxes
+differ by large constant factors, so absolute rates are not comparable
+across machines; the guard therefore normalizes them away: it computes each
+system's fresh/baseline ratio and fails only when one system falls more
+than ``TOLERANCE``x below the *median* ratio across systems. A uniformly
+slower machine shifts every ratio equally and passes; an accidentally
+disabled fast path in one architecture drags that system's ratio far below
+the median and fails. The committed baseline itself is refreshed
+deliberately (by committing a new ``BENCH_throughput.json``), not by CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py FRESH.json
+    python benchmarks/check_throughput_regression.py FRESH.json BASELINE.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: A system whose fresh/baseline ratio is more than this factor below the
+#: median ratio fails the guard. Generous on purpose: the guard exists to
+#: catch order-of-magnitude regressions, not scheduler noise.
+TOLERANCE = 3.0
+
+
+def _median(values):
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return 0.5 * (ordered[middle - 1] + ordered[middle])
+
+
+def check(fresh_path: Path, baseline_path: Path) -> int:
+    fresh = json.loads(fresh_path.read_text())["systems"]
+    baseline = json.loads(baseline_path.read_text())["systems"]
+    failures = []
+    ratios = {}
+    for name in sorted(baseline):
+        fresh_rate = fresh.get(name, {}).get("accesses_per_sec")
+        if not fresh_rate:
+            failures.append(f"{name}: missing from the fresh report")
+            continue
+        ratios[name] = fresh_rate / baseline[name]["accesses_per_sec"]
+    if not ratios:
+        print("no comparable systems between the two reports")
+        return 1
+
+    median_ratio = _median(ratios.values())
+    print(f"{'system':14s} {'baseline/s':>12s} {'fresh/s':>12s} "
+          f"{'ratio':>7s} {'vs median':>10s}")
+    for name, ratio in sorted(ratios.items()):
+        relative = ratio / median_ratio
+        marker = ""
+        if relative * TOLERANCE < 1.0:
+            failures.append(
+                f"{name}: fresh/baseline ratio {ratio:.2f}x is more than "
+                f"{TOLERANCE:g}x below the median ratio {median_ratio:.2f}x "
+                "— this system regressed relative to the others"
+            )
+            marker = "  << REGRESSION"
+        print(f"{name:14s} {baseline[name]['accesses_per_sec']:>12,d} "
+              f"{fresh[name]['accesses_per_sec']:>12,d} {ratio:>6.2f}x "
+              f"{relative:>9.2f}x{marker}")
+    if failures:
+        print("\nthroughput regression guard FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nthroughput regression guard passed (median ratio "
+          f"{median_ratio:.2f}x; per-system tolerance 1/{TOLERANCE:g} of it)")
+    return 0
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    return check(Path(argv[1]), Path(argv[2]))
+
+
+def _report(tmp_path, name, **rates):
+    path = tmp_path / f"{name}.json"
+    path.write_text(json.dumps(
+        {"systems": {system: {"accesses_per_sec": rate}
+                     for system, rate in rates.items()}}
+    ))
+    return path
+
+
+def test_guard_passes_on_identical_reports(tmp_path):
+    path = _report(tmp_path, "report", classic=1000, nups=500)
+    assert check(path, path) == 0
+
+
+def test_guard_ignores_uniform_machine_speed(tmp_path):
+    baseline = _report(tmp_path, "baseline", classic=10_000, nups=5_000,
+                       replication=2_000)
+    fresh = _report(tmp_path, "fresh", classic=1_000, nups=500,
+                    replication=200)  # 10x slower box, same shape
+    assert check(fresh, baseline) == 0
+
+
+def test_guard_fails_when_one_system_collapses(tmp_path):
+    baseline = _report(tmp_path, "baseline", classic=10_000, nups=5_000,
+                       replication=2_000)
+    fresh = _report(tmp_path, "fresh", classic=10_000, nups=5_000,
+                    replication=500)  # replication alone lost 4x
+    assert check(fresh, baseline) == 1
+
+
+def test_guard_fails_on_missing_system(tmp_path):
+    baseline = _report(tmp_path, "baseline", classic=10_000, nups=5_000)
+    fresh = _report(tmp_path, "fresh", classic=10_000)
+    assert check(fresh, baseline) == 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

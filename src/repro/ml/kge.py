@@ -28,7 +28,7 @@ from repro.core.sampling.distributions import UniformDistribution
 from repro.data.knowledge_graph import KnowledgeGraph
 from repro.ml.negative_sampling import NegativeSampleStream
 from repro.ml.optimizer import AdaGrad
-from repro.ml.task import TrainingTask
+from repro.ml.task import TrainingTask, sequential_process_round
 from repro.ps.base import ParameterServer
 from repro.ps.storage import ParameterStore
 from repro.simulation.cluster import WorkerContext
@@ -228,6 +228,20 @@ class KGETask(TrainingTask):
             self.graph.num_entities + triples[:, 1],
         ]))
         ps.localize(worker, direct_keys)
+
+    def process_round(self, ps: ParameterServer, items) -> None:
+        """Round execution for KGE: sequential by design.
+
+        Every training step draws negatives through the PS sampling API, and
+        sampling state — pool cursors, RNG streams, repurposing buffers — is
+        shared and strictly order-dependent: which keys the next step
+        receives depends on every sample drawn before it, across workers.
+        Reordering or batching across workers would therefore change the
+        drawn negatives, not just the bookkeeping, so the round engine keeps
+        the sequential per-worker order here (direct-access traffic still
+        benefits from the PS-level batch fast paths within each step).
+        """
+        sequential_process_round(self, ps, items)
 
     def process_chunk(self, ps: ParameterServer, worker: WorkerContext,
                       data_indices: np.ndarray, rng: np.random.Generator) -> int:

@@ -26,8 +26,9 @@ import numpy as np
 
 from repro.data.matrix import MatrixDataset
 from repro.ml.optimizer import BoldDriver, UpdateNormClipper
-from repro.ml.task import TrainingTask
+from repro.ml.task import TrainingTask, sequential_process_round
 from repro.ps.base import ParameterServer
+from repro.ps.rounds import duplicate_key_positions
 from repro.ps.storage import ParameterStore
 from repro.simulation.cluster import WorkerContext
 
@@ -151,8 +152,12 @@ class MatrixFactorizationTask(TrainingTask):
                     row: int, col: int, value: float) -> None:
         keys = np.asarray([row, self.column_key(col)], dtype=np.int64)
         factors = ps.pull(worker, keys)
-        row_factor, col_factor = factors[0], factors[1]
+        deltas = self._cell_update(factors[0], factors[1], value)
+        ps.push(worker, keys, deltas)
 
+    def _cell_update(self, row_factor: np.ndarray, col_factor: np.ndarray,
+                     value: float) -> np.ndarray:
+        """The SGD update of one cell (shared by both execution paths)."""
         prediction = float(row_factor.dot(col_factor))
         error = value - prediction
         self._epoch_squared_error += error * error
@@ -165,7 +170,94 @@ class MatrixFactorizationTask(TrainingTask):
         deltas = np.empty((2, len(delta_row)), dtype=np.float32)
         deltas[0] = delta_row
         deltas[1] = delta_col
-        ps.push(worker, keys, deltas)
+        return deltas
+
+    def process_round(self, ps: ParameterServer, items) -> None:
+        """Round-fused processing: batched value traffic, replayed charging.
+
+        Charging is value-independent, so each worker's exact per-point cost
+        sequence (pull, push, compute) replays from one owner lookup per
+        chunk through the PS's :meth:`direct_point_charger`. Value movement
+        follows the conflict-group plan at data-point granularity: a point
+        whose keys no other point in the round touches reads from one
+        hoisted gather and writes to one deferred scatter-add; conflicted
+        points (e.g. consecutive cells of the same column, whose SGD steps
+        chain through the column factor) access live store rows in walk
+        order. The per-cell arithmetic is the sequential path's, executed in
+        the sequential order — results are bit-identical. PSs without a
+        point charger (replication's freshness-dependent costs, NuPS's
+        replica routing) take the sequential path unchanged.
+        """
+        charger_factory = getattr(ps, "direct_point_charger", None)
+        charger = charger_factory() if charger_factory is not None else None
+        if charger is None:
+            sequential_process_round(self, ps, items)
+            return
+
+        num_rows = self.dataset.num_rows
+        train_cells = self.dataset.train_cells
+        train_values = self.dataset.train_values
+        keys_per_item = []
+        values_per_item = []
+        for item in items:
+            indices = np.asarray(item.chunk, dtype=np.int64)
+            cells = train_cells[indices]
+            keys2d = np.empty((len(indices), 2), dtype=np.int64)
+            keys2d[:, 0] = cells[:, 0]
+            keys2d[:, 1] = num_rows + cells[:, 1]
+            keys_per_item.append(keys2d)
+            values_per_item.append(train_values[indices].tolist())
+
+        # Conflict-group plan: a point is fused when its keys appear nowhere
+        # else in the round (row keys never collide with column keys, so
+        # within-point duplicates cannot occur).
+        all_keys = np.concatenate([keys2d.ravel() for keys2d in keys_per_item])
+        conflicted = duplicate_key_positions(all_keys) \
+            .reshape(-1, 2).any(axis=1).tolist()
+        num_fused = len(conflicted) - sum(conflicted)
+        fused_keys = np.empty(2 * num_fused, dtype=np.int64)
+        cursor = 0
+        point = 0
+        for keys2d in keys_per_item:
+            for local_point in range(len(keys2d)):
+                if not conflicted[point]:
+                    fused_keys[cursor:cursor + 2] = keys2d[local_point]
+                    cursor += 2
+                point += 1
+        gathered = ps.store.get(fused_keys) if num_fused else None
+        fused_deltas = np.empty((2 * num_fused, self.rank), dtype=np.float32) \
+            if num_fused else None
+
+        store = ps.store
+        live_values = store.values
+        compute_cost = ps.network.compute_per_step
+        cursor = 0
+        point = 0
+        for item, keys2d, cell_values in zip(items, keys_per_item,
+                                             values_per_item):
+            worker = item.worker
+            if item.next_chunk is not None:
+                self.prefetch(ps, worker, item.next_chunk)
+            charger.charge_chunk(worker, keys2d, compute_cost)
+            for local_point, value in enumerate(cell_values):
+                if conflicted[point]:
+                    point_keys = keys2d[local_point]
+                    factors = live_values[point_keys]  # fancy index: a copy
+                    deltas = self._cell_update(factors[0], factors[1], value)
+                    store.add_distinct(point_keys, deltas)
+                else:
+                    factors = gathered[cursor:cursor + 2]
+                    deltas = self._cell_update(factors[0], factors[1], value)
+                    fused_deltas[cursor:cursor + 2] = deltas
+                    cursor += 2
+                point += 1
+            ps.advance_clock(worker)
+        if num_fused:
+            # Each fused key is touched exactly once, so the deferred
+            # scatter lands one addition per row — bit-identical to the
+            # per-point pushes it replaces.
+            store.add_distinct(fused_keys, fused_deltas)
+        charger.finish()
 
     def _clip(self, update: np.ndarray) -> np.ndarray:
         if self._clipper is None:

@@ -13,13 +13,54 @@ PS housekeeping, producing quality-over-time and quality-over-epoch curves.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from repro.ps.base import ParameterServer
 from repro.ps.storage import ParameterStore
 from repro.simulation.cluster import WorkerContext
+
+
+class RoundWorkItem:
+    """One worker's share of a scheduling round.
+
+    ``chunk`` holds the data indices to process now; ``next_chunk`` the
+    indices the runner wants prefetched (localize-ahead) while the current
+    chunk is being processed — ``None`` when the worker's queue is empty.
+    """
+
+    __slots__ = ("worker", "chunk", "next_chunk", "rng")
+
+    def __init__(self, worker: WorkerContext, chunk: np.ndarray,
+                 next_chunk, rng: np.random.Generator) -> None:
+        self.worker = worker
+        self.chunk = chunk
+        self.next_chunk = next_chunk
+        self.rng = rng
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoundWorkItem(worker=({self.worker.node_id},"
+            f"{self.worker.worker_id}), chunk={len(self.chunk)})"
+        )
+
+
+def sequential_process_round(task: "TrainingTask", ps: ParameterServer,
+                             items: Sequence[RoundWorkItem]) -> None:
+    """The reference round execution: one worker after the other.
+
+    For each item, in worker order: prefetch the next chunk (asynchronous
+    relocate-before-access), process the current chunk, advance the
+    bounded-staleness clock. This is exactly the loop the runner used before
+    round fusion; tasks' :meth:`TrainingTask.process_round` overrides must be
+    bit-identical to it.
+    """
+    for item in items:
+        if item.next_chunk is not None and len(item.next_chunk):
+            task.prefetch(ps, item.worker, item.next_chunk)
+        task.process_chunk(ps, item.worker, item.chunk, item.rng)
+        ps.advance_clock(item.worker)
 
 
 class TrainingTask(ABC):
@@ -105,6 +146,32 @@ class TrainingTask(ABC):
         samples through the sampling API; ``localize`` hints are issued ahead
         of time through :meth:`prefetch`.
         """
+
+    def prefetch_round(self, ps: ParameterServer,
+                       pairs: Sequence[tuple]) -> None:
+        """Issue the localize hints of one round for several workers.
+
+        ``pairs`` is a sequence of ``(worker, data_indices)`` in worker
+        order. The default delegates to :meth:`prefetch` per worker, which is
+        exactly what the sequential driver does (hint issue order matters:
+        relocations queue on per-node communication threads).
+        """
+        for worker, data_indices in pairs:
+            self.prefetch(ps, worker, data_indices)
+
+    def process_round(self, ps: ParameterServer,
+                      items: Sequence[RoundWorkItem]) -> None:
+        """Process one scheduling round across all active workers.
+
+        The contract is :func:`sequential_process_round` — for each worker in
+        order: prefetch the next chunk, process the current chunk, advance
+        the clock — and any override must be *bit-identical* to it (clocks,
+        metrics, and model values). Tasks whose access pattern allows it
+        override this with a round-fused implementation that batches PS
+        traffic across workers (see
+        :meth:`repro.ml.matrix_factorization.MatrixFactorizationTask.process_round`).
+        """
+        sequential_process_round(self, ps, items)
 
     def on_epoch_end(self, epoch: int) -> None:
         """Hook called after every epoch (e.g. for learning-rate schedules)."""

@@ -30,7 +30,7 @@ from repro.core.sampling.distributions import UnigramDistribution
 from repro.data.corpus import Corpus
 from repro.ml.negative_sampling import NegativeSampleStream
 from repro.ml.optimizer import UpdateNormClipper
-from repro.ml.task import TrainingTask
+from repro.ml.task import TrainingTask, sequential_process_round
 from repro.ps.base import ParameterServer
 from repro.ps.storage import ParameterStore
 from repro.simulation.cluster import WorkerContext
@@ -167,6 +167,17 @@ class WordVectorsTask(TrainingTask):
             [self._centers[data_indices]] + context_keys
         ))
         ps.localize(worker, direct_keys)
+
+    def process_round(self, ps: ParameterServer, items) -> None:
+        """Round execution for word vectors: sequential by design.
+
+        Like KGE, every center word draws negative context words through the
+        PS sampling API, whose shared pool/RNG state is strictly
+        order-dependent across workers; batching across the round would
+        change which negatives are drawn. The round engine therefore keeps
+        the sequential per-worker order here.
+        """
+        sequential_process_round(self, ps, items)
 
     def process_chunk(self, ps: ParameterServer, worker: WorkerContext,
                       data_indices: np.ndarray, rng: np.random.Generator) -> int:

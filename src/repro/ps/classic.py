@@ -15,6 +15,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.ps.base import ParameterServer
+from repro.ps.rounds import RoundAccounting
 from repro.simulation.cluster import WorkerContext
 
 
@@ -34,16 +35,105 @@ class ClassicPS(ParameterServer):
         self._charge_partitioned(worker, keys, "push")
         self.store.add(keys, deltas)
 
+    # -------------------------------------------------------------- round API
+    def run_round(self, rounds: Sequence) -> list:
+        """Round-fused execution (see the base class for the contract).
+
+        Ownership is static, so the owner grouping of a pull is reused
+        verbatim by the push of the same keys (the dominant train-step
+        shape), and the additive metric counters of the whole round are
+        aggregated into one write per node. Worker and server clocks advance
+        at each segment's slot in the sequential path's exact per-call
+        grouping — classic server charges are ``count * occupancy`` products,
+        which cannot be summed across calls.
+        """
+        if len(rounds) <= 1:
+            return self._run_round_sequential(rounds)
+        acc = RoundAccounting()
+        results: list = []
+        for entry in rounds:
+            worker = entry.worker
+            values = None
+            counts = None
+            if entry.pull_keys is not None:
+                keys = entry.pull_keys
+                counts = self._charge_grouped_deferred(
+                    worker, self.partitioner.owners(keys), len(keys),
+                    "pull", acc
+                )
+                values = self.store.get(keys)
+            if entry.push_keys is not None:
+                keys, deltas = self._validate_push(entry.push_keys,
+                                                   entry.push_deltas)
+                if entry.push_keys is entry.pull_keys:
+                    self._charge_grouped_deferred(worker, None, len(keys),
+                                                  "push", acc, counts=counts)
+                else:
+                    self._charge_grouped_deferred(
+                        worker, self.partitioner.owners(keys), len(keys),
+                        "push", acc
+                    )
+                self.store.add(keys, deltas)
+            # localize and advance_clock are no-ops on a classic PS.
+            results.append(values)
+        acc.flush(self, 0.0)
+        return results
+
+    def _charge_grouped_deferred(self, worker: WorkerContext,
+                                 owners: np.ndarray | None, n: int, kind: str,
+                                 acc: RoundAccounting,
+                                 counts: list | None = None) -> list:
+        """One call's partitioned charging with metrics deferred to ``acc``.
+
+        Clock additions replicate the sequential grouping exactly: one local
+        advance, then one worker- and one server-advance per serving node in
+        ascending order. Returns the per-server counts so a same-keys
+        follow-up call can pass them back via ``counts`` (with ``owners``
+        omitted).
+        """
+        node_id = worker.node_id
+        if counts is None:
+            counts = np.bincount(owners,
+                                 minlength=self.cluster.num_nodes).tolist()
+        n_local = counts[node_id]
+        clock = worker.clock
+        if n_local:
+            clock.advance(n_local * self._local_access_cost)
+        n_remote = n - n_local
+        if n_remote:
+            remote_cost = self._remote_access_cost
+            occupancy = self._server_occupancy
+            for server, count in enumerate(counts):
+                if count and server != node_id:
+                    clock.advance(count * remote_cost)
+                    self.cluster.node(server).server_clock.advance(
+                        count * occupancy
+                    )
+        if n_local:
+            acc.add_access(node_id, f"{kind}.local", n_local)
+        if n_remote:
+            acc.add_access(node_id, f"{kind}.remote", n_remote)
+            acc.add_counter(node_id, "network.messages", 2 * n_remote)
+            acc.add_counter(node_id, "network.bytes",
+                            n_remote * self._cached_value_bytes)
+        return counts
+
+    def direct_point_charger(self):
+        """Per-point charge replay for the task-level round engine."""
+        return _ClassicPointCharger(self)
+
     # --------------------------------------------------------------- helpers
     def _charge_partitioned(self, worker: WorkerContext, keys: np.ndarray,
                             kind: str) -> None:
         """Charge local cost for home-partition keys, remote cost otherwise."""
-        if len(keys) == 0:
+        n = len(keys)
+        if n == 0:
             return
         owners = self.partitioner.owners(keys)
-        if len(keys) <= 64:
-            # Group by server with a dict; masking tiny batches costs more.
-            node_id = worker.node_id
+        node_id = worker.node_id
+        if n <= 8:
+            # Group by server with a dict; bincount on tiny batches costs
+            # more (these are the per-data-point task calls).
             n_local = 0
             counts: dict[int, int] = {}
             for owner in owners.tolist():
@@ -64,14 +154,103 @@ class ClassicPS(ParameterServer):
                     self.cluster.node(server).server_clock.advance(
                         count * self._server_occupancy
                     )
-                self.metrics.record_access(f"{kind}.remote", node_id, n_remote)
-                self.metrics.increment("network.messages", 2 * n_remote,
-                                       node=node_id)
-                self.metrics.increment(
-                    "network.bytes", n_remote * self._cached_value_bytes,
-                    node=node_id,
-                )
+                self._record_remote_group(node_id, kind, n_remote)
             return
-        local_mask = owners == worker.node_id
-        self._charge_local(worker, int(np.count_nonzero(local_mask)), kind)
-        self._charge_remote_keys(worker, keys[~local_mask], kind)
+        count_list = np.bincount(owners, minlength=self.cluster.num_nodes) \
+            .tolist()
+        n_local = count_list[node_id]
+        self._charge_local(worker, n_local, kind)
+        n_remote = n - n_local
+        if n_remote:
+            remote_cost = self._remote_access_cost
+            occupancy = self._server_occupancy
+            clock = worker.clock
+            for server, count in enumerate(count_list):
+                if count and server != node_id:
+                    clock.advance(count * remote_cost)
+                    self.cluster.node(server).server_clock.advance(
+                        count * occupancy
+                    )
+            self._record_remote_group(node_id, kind, n_remote)
+
+    def _record_remote_group(self, node_id: int, kind: str,
+                             n_remote: int) -> None:
+        self.metrics.record_access(f"{kind}.remote", node_id, n_remote)
+        self.metrics.increment("network.messages", 2 * n_remote, node=node_id)
+        self.metrics.increment(
+            "network.bytes", n_remote * self._cached_value_bytes, node=node_id,
+        )
+
+
+class _ClassicPointCharger:
+    """Exact per-point charge replay for a round of direct accesses.
+
+    For every data point the sequential task issues a pull and a push over
+    the same few keys plus a compute charge. This charger replays that exact
+    cost sequence — one local advance, then per serving node in ascending
+    order one worker- and one server-advance, twice (pull then push), then
+    the scaled compute cost — from one owner lookup per chunk, with additive
+    metric counters aggregated into one write per round.
+    """
+
+    __slots__ = ("ps", "acc")
+
+    def __init__(self, ps: ClassicPS) -> None:
+        self.ps = ps
+        self.acc = RoundAccounting()
+
+    def charge_chunk(self, worker: WorkerContext, keys2d: np.ndarray,
+                     compute_cost: float) -> None:
+        """Charge one worker's chunk: per point, pull + push + compute."""
+        ps = self.ps
+        node_id = worker.node_id
+        num_points, keys_per_point = keys2d.shape
+        owner_rows = ps.partitioner.owners(keys2d.ravel()) \
+            .reshape(num_points, keys_per_point).tolist()
+        local_cost = ps._local_access_cost
+        remote_cost = ps._remote_access_cost
+        occupancy = ps._server_occupancy
+        compute = compute_cost * worker.compute_scale
+        nodes = ps.cluster.nodes
+        clock = worker.clock
+        now = clock.now
+        local_side = 0
+        remote_side = 0
+        for row in owner_rows:
+            n_local = 0
+            groups: dict = {}
+            for owner in row:
+                if owner == node_id:
+                    n_local += 1
+                else:
+                    groups[owner] = groups.get(owner, 0) + 1
+            if groups:
+                servers = sorted(groups) if len(groups) > 1 else groups
+                for _ in range(2):  # the pull call, then the push call
+                    if n_local:
+                        now += n_local * local_cost
+                    for server in servers:
+                        count = groups[server]
+                        now += count * remote_cost
+                        nodes[server].server_clock.advance(count * occupancy)
+                remote_side += keys_per_point - n_local
+            else:
+                now += n_local * local_cost
+                now += n_local * local_cost
+            local_side += n_local
+            now += compute
+        clock.advance_to(now)
+        acc = self.acc
+        if local_side:
+            acc.add_access(node_id, "pull.local", local_side)
+            acc.add_access(node_id, "push.local", local_side)
+        if remote_side:
+            acc.add_access(node_id, "pull.remote", remote_side)
+            acc.add_access(node_id, "push.remote", remote_side)
+            acc.add_counter(node_id, "network.messages", 4 * remote_side)
+            acc.add_counter(node_id, "network.bytes",
+                            2 * remote_side * ps._cached_value_bytes)
+
+    def finish(self) -> None:
+        """Write the round's aggregated counters."""
+        self.acc.flush(self.ps, 0.0)

@@ -29,6 +29,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.ps.base import ParameterServer
+from repro.ps.rounds import RoundAccounting
 from repro.simulation.clock import fold_costs
 from repro.simulation.cluster import Cluster, WorkerContext
 from repro.ps.partition import Partitioner
@@ -37,6 +38,18 @@ from repro.ps.storage import ParameterStore
 
 def first_occurrence_in_order(keys: np.ndarray) -> np.ndarray:
     """Positions of the first occurrence of each distinct key, in batch order."""
+    if len(keys) <= 64:
+        # A set walk beats np.unique's sort at this size; positions come out
+        # ascending either way.
+        seen: set = set()
+        first_list = []
+        for position, key in enumerate(keys.tolist()):
+            if key not in seen:
+                seen.add(key)
+                first_list.append(position)
+        if len(first_list) == len(keys):
+            return np.arange(len(keys), dtype=np.int64)
+        return np.asarray(first_list, dtype=np.int64)
     _, first = np.unique(keys, return_index=True)
     first.sort()
     return first
@@ -106,7 +119,7 @@ class RelocationPS(ParameterServer):
 
     def _relocate_batch(self, node_id: int, keys: np.ndarray,
                         worker_clock: float | None = None,
-                        sampling: bool = False) -> None:
+                        sampling: bool = False, acc=None) -> None:
         """Batch relocation shared by :meth:`localize` and ``localize_async``.
 
         ``worker_clock`` is the issuing worker's time for synchronous hints
@@ -146,12 +159,16 @@ class RelocationPS(ParameterServer):
         else:
             first_start = max(worker_clock, background.now)
         if n <= SMALL_BATCH:
+            # ``max(start + latency, start + occupancy)`` equals
+            # ``start + max(latency, occupancy)`` bit-for-bit (IEEE addition
+            # is monotone and both candidates are computed as plain sums).
+            effective = relocation_latency if relocation_latency >= occupancy \
+                else occupancy
             start = first_start
             arrival_list = []
             for _ in range(n):
-                after = start + occupancy
-                arrival_list.append(max(start + relocation_latency, after))
-                start = after
+                arrival_list.append(start + effective)
+                start = start + occupancy
             background.advance_to(start)
             arrivals: np.ndarray | list = arrival_list
         else:
@@ -163,6 +180,14 @@ class RelocationPS(ParameterServer):
             arrivals = np.maximum(starts + relocation_latency, starts + occupancy)
         self.current_owner[moving] = node_id
         self.arrival_time[moving] = arrivals
+        if acc is not None:
+            acc.add_counter(node_id, "relocation.count", n)
+            if sampling:
+                acc.add_counter(node_id, "relocation.sampling", n)
+            acc.add_counter(node_id, "network.messages", 3 * n)
+            acc.add_counter(node_id, "network.bytes",
+                            n * self._cached_value_bytes)
+            return
         self.metrics.increment("relocation.count", n, node=node_id)
         if sampling:
             self.metrics.increment("relocation.sampling", n, node=node_id)
@@ -207,6 +232,172 @@ class RelocationPS(ParameterServer):
         keys, deltas = self._validate_push(keys, deltas)
         self._charge_access(worker, keys, "push")
         self.store.add(keys, deltas)
+
+    # -------------------------------------------------------------- round API
+    def run_round(self, rounds: Sequence) -> list:
+        """Round-fused execution (see the base class for the contract).
+
+        Segments are walked in worker order against live ownership state, so
+        mid-round relocations from other workers' hints are seen exactly as
+        the sequential path sees them. The fusion: one charge plan per
+        segment serves both its pull and its push (ownership cannot change
+        between them), the sub-``SMALL_BATCH`` per-key Python loop is
+        replaced with a single wait-aware fold, and order-free bookkeeping —
+        additive metric counters, constant-increment server occupancy — is
+        deferred to one aggregated write per round.
+        """
+        if len(rounds) <= 1 or not self.batch_charging:
+            return self._run_round_sequential(rounds)
+        acc = RoundAccounting()
+        results: list = []
+        for entry in rounds:
+            worker = entry.worker
+            if entry.localize_keys is not None:
+                self._localize_deferred(worker, entry.localize_keys, acc)
+            values = None
+            charge_plan = None
+            if entry.pull_keys is not None:
+                charge_plan = self._charge_access_deferred(
+                    worker, entry.pull_keys, "pull", acc
+                )
+                values = self.store.get(entry.pull_keys)
+            if entry.push_keys is not None:
+                keys, deltas = self._validate_push(entry.push_keys,
+                                                   entry.push_deltas)
+                # Pushing the keys just pulled (the dominant train-step
+                # shape): the pull's charge plan is reused verbatim.
+                reuse = charge_plan if entry.push_keys is entry.pull_keys \
+                    else None
+                self._charge_access_deferred(worker, keys, "push", acc,
+                                             reuse=reuse)
+                self.store.add(keys, deltas)
+            if entry.advance:
+                self.advance_clock(worker)
+            results.append(values)
+        acc.flush(self, self._server_occupancy)
+        return results
+
+    def _localize_deferred(self, worker: WorkerContext, keys: np.ndarray,
+                           acc: RoundAccounting) -> None:
+        """:meth:`localize` with metric counters deferred to ``acc``."""
+        if not self.relocation_enabled or len(keys) == 0:
+            return
+        self._relocate_batch(worker.node_id, keys,
+                             worker_clock=worker.clock.now, acc=acc)
+
+    def _charge_access_deferred(self, worker: WorkerContext, keys: np.ndarray,
+                                kind: str, acc: RoundAccounting,
+                                reuse=None):
+        """One call's `_charge_access` with bookkeeping deferred to ``acc``.
+
+        Bit-identical to the sequential hybrid/vectorized/scalar paths.
+        Returns an opaque charge plan; a follow-up call over the *same* keys
+        (the pull-then-push shape of a training step) passes it back via
+        ``reuse`` to skip recomputing ownership state, which cannot have
+        changed in between — only ``localize`` moves keys, and the round
+        engine issues hints before the accesses. Waits are always re-checked
+        against the live clock, exactly as the sequential path would.
+        """
+        n = len(keys)
+        if n == 0:
+            return None
+        node_id = worker.node_id
+        clock = worker.clock
+        local_cost = 1 * self._local_access_cost
+        if reuse is not None:
+            costs_l, arrivals_l, local_l, n_local, n_remote, routed_extra, \
+                server_counts = reuse
+            if costs_l is None:
+                # All-local and fully arrived at pull time; arrivals only
+                # recede further into the past, so the plain fold applies.
+                clock.advance_repeated(local_cost, n)
+                acc.add_access(node_id, f"{kind}.local", n)
+                return reuse
+        else:
+            owners = self.current_owner.take(keys)
+            local_mask = owners == node_id
+            n_local = int(np.count_nonzero(local_mask))
+            n_remote = n - n_local
+            routed_extra = 0
+            server_counts = None
+            if n_remote == 0:
+                arrivals = self.arrival_time.take(keys)
+                if float(arrivals.max()) <= clock.now:
+                    # The localize-ahead steady state: one repeated fold.
+                    clock.advance_repeated(local_cost, n)
+                    acc.add_access(node_id, f"{kind}.local", n)
+                    return (None, None, None, n, 0, 0, None)
+                costs_l = [local_cost] * n
+                arrivals_l = arrivals.tolist()
+                local_l = None  # every position is local
+            else:
+                costs = np.empty(n, dtype=np.float64)
+                if n_local:
+                    costs[local_mask] = local_cost
+                    arrivals_l = self.arrival_time.take(keys).tolist()
+                    local_l = local_mask.tolist()
+                else:
+                    arrivals_l = None
+                    local_l = ()
+                remote_mask = ~local_mask if n_local else slice(None)
+                remote_owners = owners[remote_mask]
+                homes = self.partitioner.owners(keys[remote_mask])
+                routed = remote_owners != homes
+                routed_extra = int(np.count_nonzero(routed))
+                costs[remote_mask] = np.where(
+                    routed, self._cost_three_messages, self._cost_two_messages
+                )
+                costs_l = costs.tolist()
+                server_counts = {}
+                for owner in remote_owners.tolist():
+                    server_counts[owner] = server_counts.get(owner, 0) + 1
+
+        # Fold the costs into the worker clock (Python float additions are
+        # the same IEEE-754 doubles as NumPy's), waiting at in-flight
+        # relocations exactly like the sequential walk.
+        now = clock.now
+        waits = 0
+        if arrivals_l is None:
+            # No local key can be in flight: a plain left fold.
+            for cost in costs_l:
+                now += cost
+        elif local_l is None:
+            # Every position is local, some arrivals may be pending.
+            for cost, arrival in zip(costs_l, arrivals_l):
+                if arrival > now:
+                    now = arrival
+                    waits += 1
+                now += cost
+        else:
+            for position, cost in enumerate(costs_l):
+                if local_l[position]:
+                    arrival = arrivals_l[position]
+                    if arrival > now:
+                        now = arrival
+                        waits += 1
+                now += cost
+        clock.advance_to(now)
+
+        if n_local:
+            acc.add_access(node_id, f"{kind}.local", n_local)
+        if waits:
+            acc.add_counter(node_id, "relocation.waits", waits)
+        if n_remote:
+            acc.add_access(node_id, f"{kind}.remote", n_remote)
+            acc.add_counter(node_id, "network.messages",
+                            2 * n_remote + routed_extra)
+            acc.add_counter(node_id, "network.bytes",
+                            n_remote * self._cached_value_bytes)
+            for server, count in server_counts.items():
+                acc.add_server(server, count)
+        return (costs_l, arrivals_l, local_l, n_local, n_remote, routed_extra,
+                server_counts)
+
+    def direct_point_charger(self):
+        """Per-point charge replay for the task-level round engine."""
+        if not self.batch_charging:
+            return None  # the scalar oracle is the reference; do not fuse
+        return _RelocationPointCharger(self)
 
     # --------------------------------------------------------------- internals
     def _charge_access(self, worker: WorkerContext, keys: np.ndarray, kind: str) -> None:
@@ -421,3 +612,90 @@ class RelocationPS(ParameterServer):
     def owner_of(self, key: int) -> int:
         """Current owner node of ``key``."""
         return int(self.current_owner[int(key)])
+
+
+class _RelocationPointCharger:
+    """Exact per-point charge replay for a round of direct accesses.
+
+    Replays, per data point, the relocation PS's pull call, push call and
+    compute charge over the same keys: local keys wait for in-flight
+    relocations against the live running clock and cost one shared-memory
+    access; remote keys cost two or three messages depending on whether the
+    current owner is the home node, and occupy the owner's request thread
+    (a constant increment, so the per-server counts aggregate across the
+    round). Ownership state is read live at each worker's slot — after its
+    own localize hint, before any later worker's — exactly like the
+    sequential path.
+    """
+
+    __slots__ = ("ps", "acc")
+
+    def __init__(self, ps: RelocationPS) -> None:
+        self.ps = ps
+        self.acc = RoundAccounting()
+
+    def charge_chunk(self, worker: WorkerContext, keys2d: np.ndarray,
+                     compute_cost: float) -> None:
+        """Charge one worker's chunk: per point, pull + push + compute."""
+        ps = self.ps
+        node_id = worker.node_id
+        num_points, keys_per_point = keys2d.shape
+        flat = keys2d.ravel()
+        owners = ps.current_owner.take(flat)
+        local_mask = owners == node_id
+        n_local = int(np.count_nonzero(local_mask))
+        total = num_points * keys_per_point
+        n_remote = total - n_local
+        local_l = local_mask.tolist()
+        arrivals_l = ps.arrival_time.take(flat).tolist() if n_local else None
+        owners_l = None
+        homes_l = None
+        cost_two = cost_three = 0.0
+        if n_remote:
+            owners_l = owners.tolist()
+            homes_l = ps.partitioner.owners(flat).tolist()
+            cost_two = ps._cost_two_messages
+            cost_three = ps._cost_three_messages
+        local_cost = 1 * ps._local_access_cost
+        compute = compute_cost * worker.compute_scale
+        clock = worker.clock
+        now = clock.now
+        waits = 0
+        messages = 0
+        acc = self.acc
+        for point in range(num_points):
+            base = point * keys_per_point
+            for _call in range(2):  # the pull call, then the push call
+                for position in range(base, base + keys_per_point):
+                    if local_l[position]:
+                        arrival = arrivals_l[position]
+                        if arrival > now:
+                            now = arrival
+                            waits += 1
+                        now += local_cost
+                    else:
+                        owner = owners_l[position]
+                        if owner == homes_l[position]:
+                            now += cost_two
+                            messages += 2
+                        else:
+                            now += cost_three
+                            messages += 3
+                        acc.add_server(owner, 1)
+            now += compute
+        clock.advance_to(now)
+        if n_local:
+            acc.add_access(node_id, "pull.local", n_local)
+            acc.add_access(node_id, "push.local", n_local)
+        if waits:
+            acc.add_counter(node_id, "relocation.waits", waits)
+        if n_remote:
+            acc.add_access(node_id, "pull.remote", n_remote)
+            acc.add_access(node_id, "push.remote", n_remote)
+            acc.add_counter(node_id, "network.messages", messages)
+            acc.add_counter(node_id, "network.bytes",
+                            2 * n_remote * ps._cached_value_bytes)
+
+    def finish(self) -> None:
+        """Write the round's aggregated counters and server occupancy."""
+        self.acc.flush(self.ps, self.ps._server_occupancy)

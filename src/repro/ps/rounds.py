@@ -1,0 +1,161 @@
+"""Round-fused multi-worker execution: batch structure and conflict planning.
+
+A *scheduling round* executes, for every active worker in worker order, the
+call chain ``localize(hint) -> pull(keys) -> push(keys, deltas) ->
+advance_clock()``. The per-worker loop spends a large share of its time in
+per-call Python overhead (array coercion, repeated owner lookups, per-call
+metrics writes), so simulator throughput historically scaled with
+``num_nodes x workers_per_node`` Python iterations rather than with the
+round's total work.
+
+:meth:`repro.ps.base.ParameterServer.run_round` executes one whole round
+through a single entry point. The fused implementations rest on one
+observation: access *charging* is value-independent — costs depend on keys,
+ownership, and replica state, never on pushed values — so each segment's
+exact per-call cost sequence can be replayed at its slot (in worker order,
+against live state, waits re-checked on the live clock) while everything
+order-free is batched: one charge plan serves a pull and the push of the
+same keys, additive metric counters aggregate into one write per round
+(:class:`RoundAccounting`), and server occupancy charged as repeated
+additions of one constant sums across segments. All clock folds use the
+exact left-to-right additions of :mod:`repro.simulation.clock`, so fused
+execution is bit-identical to the sequential chain.
+
+Fusing *value* traffic additionally needs conflict-group planning: a pull
+must observe every earlier push to the same key, so only keys no other
+participant touches may move through hoisted gathers and deferred
+scatter-adds. :func:`duplicate_key_positions` plans this at data-point
+granularity for the task-level round engine (see
+``MatrixFactorizationTask.process_round``), where the conflict-free
+remainder is dominant thanks to localization. Conflicted traffic always
+keeps live, in-order value access — the planner only decides what may
+batch, never what is correct.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.simulation.cluster import WorkerContext
+
+__all__ = [
+    "WorkerRound",
+    "RoundAccounting",
+    "duplicate_key_positions",
+]
+
+
+class WorkerRound:
+    """One worker's operations within a scheduling round.
+
+    ``localize_keys`` is the relocation hint issued before the accesses (the
+    runner's prefetch of the *next* chunk); ``pull_keys``/``push_keys`` are
+    the direct accesses of the current chunk. Any of the three may be ``None``
+    to skip that operation. ``advance`` controls the trailing
+    ``advance_clock`` call.
+    """
+
+    __slots__ = ("worker", "localize_keys", "pull_keys", "push_keys",
+                 "push_deltas", "advance")
+
+    def __init__(
+        self,
+        worker: WorkerContext,
+        localize_keys: Optional[np.ndarray] = None,
+        pull_keys: Optional[np.ndarray] = None,
+        push_keys: Optional[np.ndarray] = None,
+        push_deltas: Optional[np.ndarray] = None,
+        advance: bool = True,
+    ) -> None:
+        self.worker = worker
+        self.localize_keys = _as_keys(localize_keys)
+        self.pull_keys = _as_keys(pull_keys)
+        self.push_keys = _as_keys(push_keys)
+        self.push_deltas = push_deltas
+        self.advance = bool(advance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        def _n(keys):
+            return 0 if keys is None else len(keys)
+        return (
+            f"WorkerRound(worker=({self.worker.node_id},{self.worker.worker_id}), "
+            f"localize={_n(self.localize_keys)}, pull={_n(self.pull_keys)}, "
+            f"push={_n(self.push_keys)})"
+        )
+
+
+def _as_keys(keys) -> Optional[np.ndarray]:
+    if keys is None:
+        return None
+    keys = np.asarray(keys, dtype=np.int64)
+    return keys if len(keys) else None
+
+
+class RoundAccounting:
+    """Deferred bookkeeping of a fused round.
+
+    Metric counters are additive integers, so per-call writes can be
+    aggregated into one batch write per node without changing totals. Server
+    request-thread occupancy in relocation/replication PSs is charged as
+    repeated additions of one constant, so per-server counts can likewise be
+    summed across segments: ``N`` additions of the same value produce the
+    same float regardless of how the sequential path grouped them.
+    """
+
+    __slots__ = ("access", "network", "server_counts")
+
+    def __init__(self) -> None:
+        self.access: dict = {}
+        self.network: dict = {}
+        self.server_counts: dict = {}
+
+    def add_access(self, node_id: int, kind: str, count: int) -> None:
+        if count:
+            acc = self.access.setdefault(node_id, {})
+            acc[kind] = acc.get(kind, 0) + count
+
+    def add_counter(self, node_id: int, name: str, amount: int) -> None:
+        if amount:
+            acc = self.network.setdefault(node_id, {})
+            acc[name] = acc.get(name, 0) + amount
+
+    def add_server(self, server_id: int, count: int) -> None:
+        if count:
+            counts = self.server_counts
+            counts[server_id] = counts.get(server_id, 0) + count
+
+    def flush(self, ps, server_occupancy: float) -> None:
+        """Apply the aggregated charges to the PS's cluster and metrics."""
+        for server_id, count in self.server_counts.items():
+            ps.cluster.node(server_id).server_clock.advance_repeated(
+                server_occupancy, count
+            )
+        for node_id, counts in self.access.items():
+            ps.metrics.record_access_batch(node_id, counts)
+        for node_id, counters in self.network.items():
+            for name, amount in counters.items():
+                ps.metrics.increment(name, amount, node=node_id)
+
+
+def duplicate_key_positions(keys: np.ndarray) -> np.ndarray:
+    """Boolean mask of positions whose key occurs more than once in ``keys``.
+
+    The task-level round engine plans at data-point granularity: a point
+    whose keys are touched by any other point in the round (flagged here)
+    keeps live value access in walk order, while the conflict-free remainder
+    shares one hoisted gather and one deferred scatter-add.
+    """
+    n = len(keys)
+    if n <= 1:
+        return np.zeros(n, dtype=bool)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    equal_next = sorted_keys[1:] == sorted_keys[:-1]
+    duplicated_sorted = np.zeros(n, dtype=bool)
+    duplicated_sorted[1:] = equal_next
+    duplicated_sorted[:-1] |= equal_next
+    duplicated = np.zeros(n, dtype=bool)
+    duplicated[order] = duplicated_sorted
+    return duplicated

@@ -100,6 +100,18 @@ class ParameterStore:
         scatter_add_rows(self._values, keys, deltas, keys_list)
         scatter_add_rows(self._versions, keys, 1, keys_list)
 
+    def add_distinct(self, keys: np.ndarray, deltas: np.ndarray) -> None:
+        """:meth:`add` for callers that guarantee distinct, in-range keys.
+
+        Fancy ``+=`` lands exactly one addition per row when the keys are
+        distinct — bit-identical to :meth:`add` — while skipping validation
+        and duplicate detection. Used by internal hot paths (replication
+        flushes, the round-fused engine) whose key sets come from
+        ``np.unique``/``flatnonzero``.
+        """
+        self._values[keys] += deltas
+        self._versions[keys] += 1
+
     def set(self, keys: Sequence[int] | np.ndarray, values: np.ndarray) -> None:
         """Overwrite the values of ``keys`` with ``values``."""
         keys = self._validate_keys(keys)

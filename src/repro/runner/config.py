@@ -44,6 +44,17 @@ class ExperimentConfig:
         invokes at epoch and round boundaries. ``None`` (the default) runs
         the static experiment, bit-identical to a runner without scenario
         support.
+    round_fusion:
+        Route each scheduling round through the task's
+        :meth:`~repro.ml.task.TrainingTask.process_round` hook (default), so
+        tasks and parameter servers with round-fused fast paths can batch the
+        round's PS traffic across workers. ``False`` forces the sequential
+        per-worker reference loop. Both settings produce bit-identical
+        :class:`~repro.runner.experiment.ExperimentResult`\\ s — the fused
+        engine routes conflicting accesses through the sequential path and
+        fuses only what commutes exactly (see :mod:`repro.ps.rounds`).
+        Scenario perturbations (drift, churn, stragglers, networks) compose
+        with either setting.
     """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
@@ -54,6 +65,7 @@ class ExperimentConfig:
     evaluate_every: int = 1
     seed: int = 0
     scenario: Optional["Scenario"] = None
+    round_fusion: bool = True
 
     def __post_init__(self) -> None:
         if self.epochs < 1:

@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.ml.task import TrainingTask
+from repro.ml.task import RoundWorkItem, TrainingTask, sequential_process_round
 from repro.ps.base import ParameterServer
 from repro.runner.config import ExperimentConfig
 from repro.simulation.cluster import Cluster
@@ -37,8 +37,10 @@ class EpochRecord:
     epoch_duration: float
     quality: Dict[str, float]
     #: Per-epoch *deltas* of the cluster's metric counters (what happened
-    #: during this epoch, not cumulatively). Benchmarks use these to trace
-    #: how e.g. the localization rate reacts to mid-run perturbations.
+    #: during this epoch, not cumulatively), snapshot via the registry's
+    #: dirty-set: a counter the epoch touched is included even when its net
+    #: delta is zero. Benchmarks use these to trace how e.g. the
+    #: localization rate reacts to mid-run perturbations.
     metrics: Dict[str, float] = field(default_factory=dict)
 
 
@@ -171,6 +173,7 @@ def run_experiment(
         # epoch's record rather than falling between epochs.
         epoch_start = cluster.time
         counters_before = cluster.metrics.counters()
+        cluster.metrics.drain_dirty()  # open this epoch's dirty scope
         if runtime is not None:
             runtime.begin_epoch(epoch)
         _run_epoch(task, train_ps, cluster, shards, workers, worker_rngs,
@@ -186,10 +189,12 @@ def run_experiment(
             quality = dict(result.records[-1].quality) if result.records else \
                 dict(result.initial_quality)
         counters_after = cluster.metrics.counters()
+        # Dirty-set snapshot rather than value diffing: a counter the epoch
+        # touched is reported even when its delta is zero (+1 then -1 within
+        # the epoch is activity, not absence of it).
         epoch_metrics = {
-            name: value - counters_before.get(name, 0.0)
-            for name, value in counters_after.items()
-            if value != counters_before.get(name, 0.0)
+            name: counters_after.get(name, 0.0) - counters_before.get(name, 0.0)
+            for name in sorted(cluster.metrics.drain_dirty())
         }
         result.records.append(EpochRecord(
             epoch=epoch + 1,
@@ -211,14 +216,19 @@ class _WorkerQueue:
     With a static workload the queue holds the worker's single shard array
     and ``take``/``peek`` are plain slices — the same views the previous
     position-based loop produced. Worker churn appends redistributed segments
-    from paused workers.
+    from paused workers; the concatenation a multi-segment ``peek`` builds is
+    cached and handed to the matching ``take``, so churn-redistributed
+    queues stop rebuilding the same array every round (the runner peeks each
+    chunk for prefetching one round before taking it).
     """
 
-    __slots__ = ("segments", "offset")
+    __slots__ = ("segments", "offset", "_peek_count", "_peek_cache")
 
     def __init__(self, shard: np.ndarray) -> None:
         self.segments = [shard] if len(shard) else []
         self.offset = 0
+        self._peek_count = -1
+        self._peek_cache = None
 
     def __len__(self) -> int:
         if not self.segments:
@@ -234,11 +244,20 @@ class _WorkerQueue:
         if end < len(head):
             chunk = head[self.offset:end]
             self.offset = end
+            self._invalidate_peek()
             return chunk
         if end == len(head) or len(self.segments) == 1:
             chunk = head[self.offset:]
             self.segments.pop(0)
             self.offset = 0
+            self._invalidate_peek()
+            return chunk
+        if self._peek_count == count:
+            # The runner peeked this chunk (to prefetch it) one round ago;
+            # reuse the concatenation instead of rebuilding it.
+            chunk = self._peek_cache
+            self._invalidate_peek()
+            self._consume(len(chunk))
             return chunk
         parts = [head[self.offset:]]
         taken = len(parts[0])
@@ -253,6 +272,7 @@ class _WorkerQueue:
                 parts.append(head[:use])
                 self.offset = use
             taken += use
+        self._invalidate_peek()
         return np.concatenate(parts)
 
     def peek(self, count: int) -> np.ndarray:
@@ -262,6 +282,8 @@ class _WorkerQueue:
         head = self.segments[0]
         if self.offset + count <= len(head) or len(self.segments) == 1:
             return head[self.offset: self.offset + count]
+        if self._peek_count == count:
+            return self._peek_cache
         parts = [head[self.offset:]]
         seen = len(parts[0])
         for segment in self.segments[1:]:
@@ -269,18 +291,41 @@ class _WorkerQueue:
                 break
             parts.append(segment[: count - seen])
             seen += len(parts[-1])
-        return np.concatenate(parts)
+        result = np.concatenate(parts)
+        self._peek_count = count
+        self._peek_cache = result
+        return result
 
     def drain(self) -> np.ndarray:
         """Remove and return everything that is still pending."""
         remaining = self.take(len(self))
         self.segments = []
         self.offset = 0
+        self._invalidate_peek()
         return remaining
 
     def append(self, indices: np.ndarray) -> None:
         if len(indices):
             self.segments.append(indices)
+            # A cached short peek may now be extendable; drop it.
+            self._invalidate_peek()
+
+    def _invalidate_peek(self) -> None:
+        self._peek_count = -1
+        self._peek_cache = None
+
+    def _consume(self, count: int) -> None:
+        """Advance the cursor past ``count`` elements without materializing."""
+        while count and self.segments:
+            head = self.segments[0]
+            available = len(head) - self.offset
+            if count >= available:
+                self.segments.pop(0)
+                self.offset = 0
+                count -= available
+            else:
+                self.offset += count
+                count = 0
 
 
 class _EpochState:
@@ -323,20 +368,33 @@ class _EpochState:
 
 def _run_epoch(task, ps, cluster, shards, workers, worker_rngs, config,
                runtime=None) -> None:
-    """One epoch: every worker processes its full shard, chunk by chunk."""
+    """One epoch: every worker processes its full shard, chunk by chunk.
+
+    Per scheduling round the driver collects every active worker's next
+    chunk into :class:`~repro.ml.task.RoundWorkItem`\\ s and hands the whole
+    round to the task. With ``config.round_fusion`` (the default) the task's
+    ``process_round`` hook runs — tasks and PSs with round-fused fast paths
+    batch the round's traffic there — otherwise the sequential per-worker
+    reference loop runs. Both are bit-identical; assembling the round first
+    only reorders per-worker queue bookkeeping, which has no simulation
+    state.
+    """
     state = _EpochState(workers, shards, config.chunk_size)
     if runtime is not None:
         runtime.attach_epoch_state(state)
     # Prefetch the very first chunk of every worker so that its parameters
     # can be relocated before processing starts.
+    first_pairs = []
     for worker in workers:
         first_chunk = state.peek_chunk(worker.global_worker_id)
         if len(first_chunk):
-            task.prefetch(ps, worker, first_chunk)
+            first_pairs.append((worker, first_chunk))
+    if first_pairs:
+        task.prefetch_round(ps, first_pairs)
     rounds_since_housekeeping = 0
     round_index = 0
     while state.has_pending():
-        progressed = False
+        items = []
         for worker in workers:
             key = worker.global_worker_id
             if runtime is not None and not runtime.is_active(key):
@@ -344,18 +402,19 @@ def _run_epoch(task, ps, cluster, shards, workers, worker_rngs, config,
             chunk = state.take_chunk(key)
             if len(chunk) == 0:
                 continue
-            progressed = True
-            # Localize the *next* chunk's parameters while this chunk is being
-            # processed (asynchronous relocate-before-access).
+            # Localize the *next* chunk's parameters while this chunk is
+            # being processed (asynchronous relocate-before-access).
             next_chunk = state.peek_chunk(key)
-            if len(next_chunk):
-                task.prefetch(ps, worker, next_chunk)
-            task.process_chunk(ps, worker, chunk, worker_rngs[key])
-            # Drive the bounded-staleness clock of replication PSs; a no-op
-            # for every other architecture. One clock per chunk corresponds
-            # to the paper's best-performing setting of advancing the clock
-            # every ~10 data points.
-            ps.advance_clock(worker)
+            items.append(RoundWorkItem(
+                worker, chunk,
+                next_chunk if len(next_chunk) else None,
+                worker_rngs[key],
+            ))
+        if items:
+            if config.round_fusion:
+                task.process_round(ps, items)
+            else:
+                sequential_process_round(task, ps, items)
         rounds_since_housekeeping += 1
         if rounds_since_housekeeping >= config.housekeeping_every_chunks:
             ps.housekeeping(cluster.time)
@@ -363,7 +422,7 @@ def _run_epoch(task, ps, cluster, shards, workers, worker_rngs, config,
         if runtime is not None:
             runtime.on_round(round_index)
         round_index += 1
-        if not progressed:
+        if not items:
             # Every pending queue belongs to a paused worker and nothing was
             # redistributed this round; bail out rather than spin forever.
             break

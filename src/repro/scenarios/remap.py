@@ -212,6 +212,41 @@ class RemappedParameterServer:
     def __getattr__(self, attribute):
         return getattr(self._inner, attribute)
 
+    # -------------------------------------------------------------- round API
+    def direct_point_charger(self):
+        """The task-level round engine must not bypass key translation.
+
+        The fused task paths read keys, values, and charges through the PS's
+        raw store and charger — all in *physical* key space. Returning
+        ``None`` (instead of delegating to the inner PS via ``__getattr__``)
+        sends tasks down the sequential path, whose every call goes through
+        this wrapper's translating ``pull``/``push``/``localize``.
+        """
+        return None
+
+    def run_round(self, rounds) -> list:
+        """Execute a round sequentially through the translating API.
+
+        Delegating to the inner PS would hand it untranslated logical keys;
+        running the per-worker chain through this wrapper keeps every access
+        in the right key space (and stays bit-identical to the unfused path
+        by construction).
+        """
+        results = []
+        for entry in rounds:
+            worker = entry.worker
+            if entry.localize_keys is not None:
+                self.localize(worker, entry.localize_keys)
+            values = None
+            if entry.pull_keys is not None:
+                values = self.pull(worker, entry.pull_keys)
+            if entry.push_keys is not None:
+                self.push(worker, entry.push_keys, entry.push_deltas)
+            if entry.advance:
+                self.advance_clock(worker)
+            results.append(values)
+        return results
+
     # ------------------------------------------------------------ direct API
     def pull(self, worker: WorkerContext, keys) -> np.ndarray:
         return self._inner.pull(worker, self._remapper.to_physical(keys))

@@ -25,11 +25,16 @@ class MetricsRegistry:
         # on the hot path of every parameter access, so it is done once per
         # distinct kind instead of once per call.
         self._access_labels: Dict[str, str] = {}
+        # Global counter names written since the last ``drain_dirty`` call.
+        # Value-diff snapshots cannot tell "touched but net zero" (e.g. +1
+        # then -1 within an epoch) from "untouched"; this set can.
+        self._dirty: set = set()
 
     # ---------------------------------------------------------------- writing
     def increment(self, name: str, amount: float = 1.0, node: int | None = None) -> None:
         """Add ``amount`` to counter ``name`` (and to the node's counter)."""
         self._global[name] += amount
+        self._dirty.add(name)
         if node is not None:
             self._per_node[node][name] += amount
 
@@ -46,6 +51,8 @@ class MetricsRegistry:
         counters = self._global
         counters[label] += count
         counters["access.total"] += count
+        self._dirty.add(label)
+        self._dirty.add("access.total")
         node_counters = self._per_node[node]
         node_counters[label] += count
         node_counters["access.total"] += count
@@ -60,6 +67,7 @@ class MetricsRegistry:
         labels = self._access_labels
         counters = self._global
         node_counters = self._per_node[node]
+        dirty = self._dirty
         for kind, count in counts.items():
             if not count:
                 continue
@@ -69,10 +77,23 @@ class MetricsRegistry:
                 labels[kind] = label
             counters[label] += count
             node_counters[label] += count
+            dirty.add(label)
             total += count
         if total:
             counters["access.total"] += total
             node_counters["access.total"] += total
+            dirty.add("access.total")
+
+    def drain_dirty(self) -> set:
+        """Names of global counters written since the last drain (and reset).
+
+        The experiment runner drains at epoch boundaries to attribute counter
+        activity to epochs: a counter that was written during the epoch shows
+        up in the epoch's delta even when its value ended where it started.
+        """
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty
 
     # ---------------------------------------------------------------- reading
     def get(self, name: str, node: int | None = None) -> float:
@@ -110,11 +131,13 @@ class MetricsRegistry:
         """Clear all counters."""
         self._global.clear()
         self._per_node.clear()
+        self._dirty.clear()
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Add all counters from ``other`` into this registry."""
         for name, value in other._global.items():
             self._global[name] += value
+            self._dirty.add(name)
         for node, counters in other._per_node.items():
             for name, value in counters.items():
                 self._per_node[node][name] += value

@@ -18,18 +18,21 @@ from repro.scenarios import make_scenario
 from repro.simulation.cluster import ClusterConfig
 
 
-def _config(seed=5, scenario=None, epochs=2):
+def _config(seed=5, scenario=None, epochs=2, round_fusion=True):
     return ExperimentConfig(
         cluster=ClusterConfig(num_nodes=2, workers_per_node=2),
         epochs=epochs, chunk_size=8, seed=seed, scenario=scenario,
+        round_fusion=round_fusion,
     )
 
 
-def _run(task_name: str, system: str, scenario_name=None) -> ExperimentResult:
+def _run(task_name: str, system: str, scenario_name=None,
+         round_fusion=True) -> ExperimentResult:
     scenario = make_scenario(scenario_name) if scenario_name else None
     task = make_task(task_name, scale="test")
     return run_experiment(
-        task, make_ps_factory(system), _config(scenario=scenario)
+        task, make_ps_factory(system),
+        _config(scenario=scenario, round_fusion=round_fusion)
     )
 
 
@@ -101,3 +104,22 @@ def test_compute_scale_default_is_bit_transparent():
         reference.advance(cost)
         scaled.charge_compute(cost)
     assert reference.now == scaled.clock.now
+
+
+@pytest.mark.parametrize("system", SYSTEMS_FULL)
+def test_round_fusion_flag_is_bit_transparent(system):
+    """round_fusion=True and =False agree bit-for-bit, same seed."""
+    _assert_identical(
+        _run("matrix_factorization", system, round_fusion=True),
+        _run("matrix_factorization", system, round_fusion=False),
+    )
+
+
+@pytest.mark.parametrize("scenario_name", ["drift", "churn"])
+def test_round_fusion_flag_transparent_under_scenarios(scenario_name):
+    _assert_identical(
+        _run("matrix_factorization", "lapse", scenario_name,
+             round_fusion=True),
+        _run("matrix_factorization", "lapse", scenario_name,
+             round_fusion=False),
+    )

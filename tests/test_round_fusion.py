@@ -1,0 +1,444 @@
+"""Round-fused execution engine: equivalence, planning, and satellites.
+
+The engine's contract is exact: ``run_round`` must be bit-identical to the
+sequential per-worker call chain on every architecture (clocks — per worker,
+background, and server — metrics, stored values, and returned pull values),
+and ``ExperimentConfig.round_fusion`` must not change a single bit of an
+:class:`~repro.runner.experiment.ExperimentResult` for any task, system, or
+scenario. This suite drives both paths on identical workloads and asserts
+exact equality, plus unit coverage for the conflict-group planner and the
+satellite fixes (worker-queue peek caching, dirty-set epoch metrics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.management import ManagementPlan
+from repro.core.nups import NuPS
+from repro.ps.classic import ClassicPS
+from repro.ps.local import SingleNodePS
+from repro.ps.relocation import RelocationPS
+from repro.ps.replication import ReplicationProtocol, ReplicationPS
+from repro.ps.rounds import WorkerRound, duplicate_key_positions
+from repro.ps.storage import ParameterStore
+from repro.runner.config import ExperimentConfig
+from repro.runner.experiment import _WorkerQueue, run_experiment
+from repro.runner.systems import make_ps_factory
+from repro.runner.workloads import make_task
+from repro.scenarios import make_scenario
+from repro.scenarios.base import Perturbation, Scenario
+from repro.simulation.cluster import Cluster, ClusterConfig
+from repro.simulation.metrics import MetricsRegistry
+
+NUM_KEYS = 120
+VALUE_LENGTH = 4
+
+
+# --------------------------------------------------------------------- planner
+class TestPlanner:
+    def test_duplicate_key_positions(self):
+        keys = np.array([5, 1, 5, 2, 1, 9], dtype=np.int64)
+        assert list(duplicate_key_positions(keys)) == [
+            True, True, True, False, True, False,
+        ]
+        assert not duplicate_key_positions(np.array([3], dtype=np.int64)).any()
+
+    def test_duplicate_key_positions_empty_and_all_duplicates(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert len(duplicate_key_positions(empty)) == 0
+        same = np.full(5, 7, dtype=np.int64)
+        assert duplicate_key_positions(same).all()
+
+
+# ------------------------------------------------------------ PS-level fusion
+def _cluster(num_nodes=3, workers_per_node=2) -> Cluster:
+    return Cluster(ClusterConfig(num_nodes=num_nodes,
+                                 workers_per_node=workers_per_node))
+
+
+def _ps_builders():
+    def classic(store, cluster):
+        return ClassicPS(store, cluster, seed=0)
+
+    def relocation(store, cluster):
+        return RelocationPS(store, cluster, seed=0)
+
+    def relocation_disabled(store, cluster):
+        return RelocationPS(store, cluster, relocation_enabled=False, seed=0)
+
+    def relocation_oracle(store, cluster):
+        return RelocationPS(store, cluster, seed=0, batch_charging=False)
+
+    def ssp(store, cluster):
+        return ReplicationPS(store, cluster,
+                             protocol=ReplicationProtocol.SSP, staleness=1,
+                             seed=0)
+
+    def essp(store, cluster):
+        return ReplicationPS(store, cluster,
+                             protocol=ReplicationProtocol.ESSP, staleness=1,
+                             seed=0)
+
+    def ssp_oracle(store, cluster):
+        return ReplicationPS(store, cluster,
+                             protocol=ReplicationProtocol.SSP, staleness=1,
+                             seed=0, batch_charging=False)
+
+    def nups(store, cluster):
+        plan = ManagementPlan(store.num_keys,
+                              np.arange(12, dtype=np.int64))
+        return NuPS(store, cluster, plan=plan, sync_interval=0.001, seed=0)
+
+    def nups_relocate_all(store, cluster):
+        return NuPS(store, cluster,
+                    plan=ManagementPlan.relocate_all(store.num_keys),
+                    sync_interval=None, seed=0)
+
+    return {
+        "classic": classic,
+        "relocation": relocation,
+        "relocation-disabled": relocation_disabled,
+        "relocation-oracle": relocation_oracle,
+        "ssp": ssp,
+        "essp": essp,
+        "ssp-oracle": ssp_oracle,
+        "nups": nups,
+        "nups-relocate-all": nups_relocate_all,
+    }
+
+
+def _round_workload(shape: str, rounds=4, batch=10, seed=11):
+    """Per-(round, worker) batches; ``shape`` controls cross-worker sharing."""
+    rng = np.random.default_rng(seed)
+    plans = []
+    for _ in range(rounds):
+        round_plan = []
+        for worker_index in range(6):
+            if shape == "disjoint":
+                lo = worker_index * (NUM_KEYS // 6)
+                keys = rng.integers(lo, lo + NUM_KEYS // 6,
+                                    size=batch).astype(np.int64)
+            elif shape == "shared":
+                weights = 1.0 / np.arange(1, NUM_KEYS + 1) ** 1.2
+                keys = rng.choice(NUM_KEYS, size=batch,
+                                  p=weights / weights.sum()).astype(np.int64)
+            else:  # tiny: 2-3 key batches, mixed sharing
+                size = int(rng.integers(2, 4))
+                keys = rng.integers(0, NUM_KEYS, size=size).astype(np.int64)
+            deltas = rng.normal(0, 0.01,
+                                size=(len(keys), VALUE_LENGTH)).astype(np.float32)
+            round_plan.append((keys, deltas))
+        plans.append(round_plan)
+    return plans
+
+
+def _drive_round_api(builder, plans, fused: bool):
+    cluster = _cluster()
+    store = ParameterStore(NUM_KEYS, VALUE_LENGTH, seed=2, init_scale=0.1)
+    ps = builder(store, cluster)
+    workers = list(cluster.workers())
+    pulled = []
+    for round_plan in plans:
+        if fused:
+            rounds = [
+                WorkerRound(worker, localize_keys=keys, pull_keys=keys,
+                            push_keys=keys, push_deltas=deltas)
+                for worker, (keys, deltas) in zip(workers, round_plan)
+            ]
+            pulled.extend(ps.run_round(rounds))
+        else:
+            for worker, (keys, deltas) in zip(workers, round_plan):
+                ps.localize(worker, keys)
+                pulled.append(ps.pull(worker, keys))
+                ps.push(worker, keys, deltas)
+                ps.advance_clock(worker)
+        ps.housekeeping(cluster.time)
+    ps.finish_epoch()
+    return cluster, store, pulled
+
+
+def _assert_cluster_identical(a: Cluster, b: Cluster) -> None:
+    for node_a, node_b in zip(a.nodes, b.nodes):
+        for clock_a, clock_b in zip(node_a.worker_clocks, node_b.worker_clocks):
+            assert clock_a.now == clock_b.now
+        assert node_a.background_clock.now == node_b.background_clock.now
+        assert node_a.server_clock.now == node_b.server_clock.now
+    assert a.metrics.counters() == b.metrics.counters()
+    for node in range(a.num_nodes):
+        assert a.metrics.node_counters(node) == b.metrics.node_counters(node)
+
+
+@pytest.mark.parametrize("shape", ["shared", "disjoint", "tiny"])
+@pytest.mark.parametrize("name", sorted(_ps_builders()))
+def test_run_round_bit_identical(name, shape):
+    """run_round == the sequential per-worker chain, to the last bit."""
+    builder = _ps_builders()[name]
+    plans = _round_workload(shape)
+    fused_cluster, fused_store, fused_pulled = _drive_round_api(
+        builder, plans, fused=True
+    )
+    seq_cluster, seq_store, seq_pulled = _drive_round_api(
+        builder, plans, fused=False
+    )
+    _assert_cluster_identical(fused_cluster, seq_cluster)
+    assert np.array_equal(fused_store.values, seq_store.values)
+    assert len(fused_pulled) == len(seq_pulled)
+    for fused_values, seq_values in zip(fused_pulled, seq_pulled):
+        assert np.array_equal(fused_values, seq_values)
+
+
+def test_run_round_partial_entries():
+    """Entries may skip localize/pull/push/advance independently."""
+    rng = np.random.default_rng(5)
+    for name in ("classic", "relocation", "ssp", "nups"):
+        builder = _ps_builders()[name]
+        cluster_a = _cluster()
+        cluster_b = _cluster()
+        store_a = ParameterStore(NUM_KEYS, VALUE_LENGTH, seed=2, init_scale=0.1)
+        store_b = ParameterStore(NUM_KEYS, VALUE_LENGTH, seed=2, init_scale=0.1)
+        ps_a = builder(store_a, cluster_a)
+        ps_b = builder(store_b, cluster_b)
+        workers_a = list(cluster_a.workers())
+        workers_b = list(cluster_b.workers())
+        keys = [rng.integers(0, NUM_KEYS, size=6).astype(np.int64)
+                for _ in workers_a]
+        deltas = [rng.normal(0, 0.01, size=(6, VALUE_LENGTH)).astype(np.float32)
+                  for _ in workers_a]
+        rounds = []
+        for i, worker in enumerate(workers_a):
+            rounds.append(WorkerRound(
+                worker,
+                localize_keys=keys[i] if i % 2 == 0 else None,
+                pull_keys=keys[i] if i % 3 != 0 else None,
+                push_keys=keys[i] if i % 3 != 1 else None,
+                push_deltas=deltas[i] if i % 3 != 1 else None,
+                advance=(i % 2 == 1),
+            ))
+        ps_a.run_round(rounds)
+        for i, worker in enumerate(workers_b):
+            if i % 2 == 0:
+                ps_b.localize(worker, keys[i])
+            if i % 3 != 0:
+                ps_b.pull(worker, keys[i])
+            if i % 3 != 1:
+                ps_b.push(worker, keys[i], deltas[i])
+            if i % 2 == 1:
+                ps_b.advance_clock(worker)
+        _assert_cluster_identical(cluster_a, cluster_b)
+        assert np.array_equal(store_a.values, store_b.values)
+
+
+def test_run_round_single_node_fallback():
+    """The base sequential fallback serves PSs without a fused override."""
+    cluster_a = Cluster(ClusterConfig(num_nodes=1, workers_per_node=3))
+    cluster_b = Cluster(ClusterConfig(num_nodes=1, workers_per_node=3))
+    store_a = ParameterStore(NUM_KEYS, VALUE_LENGTH, seed=2, init_scale=0.1)
+    store_b = ParameterStore(NUM_KEYS, VALUE_LENGTH, seed=2, init_scale=0.1)
+    ps_a = SingleNodePS(store_a, cluster_a)
+    ps_b = SingleNodePS(store_b, cluster_b)
+    rng = np.random.default_rng(9)
+    keys = [rng.integers(0, NUM_KEYS, size=5).astype(np.int64) for _ in range(3)]
+    deltas = [rng.normal(0, 0.01, size=(5, VALUE_LENGTH)).astype(np.float32)
+              for _ in range(3)]
+    ps_a.run_round([
+        WorkerRound(worker, pull_keys=keys[i], push_keys=keys[i],
+                    push_deltas=deltas[i])
+        for i, worker in enumerate(cluster_a.workers())
+    ])
+    for i, worker in enumerate(cluster_b.workers()):
+        ps_b.pull(worker, keys[i])
+        ps_b.push(worker, keys[i], deltas[i])
+        ps_b.advance_clock(worker)
+    _assert_cluster_identical(cluster_a, cluster_b)
+    assert np.array_equal(store_a.values, store_b.values)
+
+
+# ------------------------------------------------------- runner-level fusion
+def _experiment(task_name, system, round_fusion, scenario_name=None,
+                chunk_size=8, seed=5, epochs=2):
+    task = make_task(task_name, scale="test")
+    scenario = make_scenario(scenario_name) if scenario_name else None
+    config = ExperimentConfig(
+        cluster=ClusterConfig(num_nodes=2, workers_per_node=2),
+        epochs=epochs, chunk_size=chunk_size, seed=seed, scenario=scenario,
+        round_fusion=round_fusion,
+    )
+    return run_experiment(task, make_ps_factory(system), config)
+
+
+def _assert_results_identical(a, b) -> None:
+    assert a.initial_quality == b.initial_quality
+    assert a.epochs_completed == b.epochs_completed
+    for record_a, record_b in zip(a.records, b.records):
+        assert record_a.sim_time == record_b.sim_time
+        assert record_a.epoch_duration == record_b.epoch_duration
+        assert record_a.quality == record_b.quality
+        assert record_a.metrics == record_b.metrics
+    assert a.metrics == b.metrics
+
+
+MF_SYSTEMS = ["classic", "lapse", "ssp", "essp", "nups"]
+
+
+@pytest.mark.parametrize("system", MF_SYSTEMS)
+@pytest.mark.parametrize("chunk_size", [4, 32])
+def test_round_fusion_bit_identical_mf(system, chunk_size):
+    _assert_results_identical(
+        _experiment("matrix_factorization", system, True,
+                    chunk_size=chunk_size),
+        _experiment("matrix_factorization", system, False,
+                    chunk_size=chunk_size),
+    )
+
+
+@pytest.mark.parametrize("system", ["classic", "lapse", "nups"])
+def test_round_fusion_bit_identical_kge(system):
+    _assert_results_identical(
+        _experiment("kge", system, True),
+        _experiment("kge", system, False),
+    )
+
+
+@pytest.mark.parametrize("system", ["lapse", "nups"])
+def test_round_fusion_bit_identical_word_vectors(system):
+    _assert_results_identical(
+        _experiment("word_vectors", system, True),
+        _experiment("word_vectors", system, False),
+    )
+
+
+@pytest.mark.parametrize("scenario_name",
+                         ["drift", "churn", "stragglers",
+                          "degrading-network"])
+@pytest.mark.parametrize("system", ["lapse", "nups"])
+def test_round_fusion_composes_with_scenarios(system, scenario_name):
+    # Four epochs so that the drift preset (epoch 2) actually rewires the
+    # logical-to-physical mapping: post-drift epochs are where a fused path
+    # that bypassed the remapping proxy would diverge.
+    _assert_results_identical(
+        _experiment("matrix_factorization", system, True,
+                    scenario_name=scenario_name, epochs=4),
+        _experiment("matrix_factorization", system, False,
+                    scenario_name=scenario_name, epochs=4),
+    )
+
+
+def test_round_fusion_respects_remapped_ps():
+    """Post-drift, the remapping proxy must keep fused paths translated.
+
+    Regression: the proxy's ``__getattr__`` used to leak the inner PS's
+    ``direct_point_charger``/``run_round``, letting the fused MF walk access
+    the raw store with logical keys once the mapping was no longer the
+    identity. The fused drift run must keep relocating effectively after the
+    drift, exactly like the sequential one.
+    """
+    fused = _experiment("matrix_factorization", "lapse", True,
+                        scenario_name="drift", epochs=4)
+    sequential = _experiment("matrix_factorization", "lapse", False,
+                             scenario_name="drift", epochs=4)
+    _assert_results_identical(fused, sequential)
+    last = fused.records[-1].metrics
+    local = last.get("access.pull.local", 0.0) + last.get("access.push.local", 0.0)
+    remote = last.get("access.pull.remote", 0.0) + last.get("access.push.remote", 0.0)
+    # Relocation re-adapts after the drift: locality dominates again.
+    assert local > remote
+
+
+# --------------------------------------------------- satellite: queue caching
+class TestWorkerQueuePeekCache:
+    def _queue_with_segments(self):
+        queue = _WorkerQueue(np.arange(5, dtype=np.int64))
+        queue.append(np.arange(100, 104, dtype=np.int64))
+        queue.append(np.arange(200, 203, dtype=np.int64))
+        return queue
+
+    def test_peek_is_cached_and_reused_by_take(self):
+        queue = self._queue_with_segments()
+        peeked = queue.peek(8)
+        assert queue.peek(8) is peeked  # second peek: no new allocation
+        taken = queue.take(8)
+        assert taken is peeked  # the take consumes the cached view
+        assert list(taken) == [0, 1, 2, 3, 4, 100, 101, 102]
+        assert list(queue.take(10)) == [103, 200, 201, 202]
+        assert len(queue) == 0
+
+    def test_append_invalidates_cache(self):
+        queue = self._queue_with_segments()
+        short = queue.peek(20)  # 12 elements: everything pending
+        assert len(short) == 12
+        queue.append(np.array([7], dtype=np.int64))
+        extended = queue.peek(20)
+        assert len(extended) == 13
+        assert list(queue.take(20)) == list(extended)
+
+    def test_take_with_different_count_ignores_cache(self):
+        queue = self._queue_with_segments()
+        queue.peek(8)
+        assert list(queue.take(6)) == [0, 1, 2, 3, 4, 100]
+        assert list(queue.peek(3)) == [101, 102, 103]
+
+    def test_behavior_matches_uncached_reference(self):
+        rng = np.random.default_rng(3)
+        queue = _WorkerQueue(rng.integers(0, 50, size=7).astype(np.int64))
+        mirror = []  # flat reference
+        mirror.extend(queue.peek(100).tolist())
+        for _ in range(6):
+            count = int(rng.integers(1, 5))
+            if rng.random() < 0.4:
+                extra = rng.integers(0, 50, size=int(rng.integers(1, 4))) \
+                    .astype(np.int64)
+                queue.append(extra)
+                mirror.extend(extra.tolist())
+            assert queue.peek(count).tolist() == mirror[:count]
+            assert queue.take(count).tolist() == mirror[:count]
+            del mirror[:count]
+            assert len(queue) == len(mirror)
+
+
+# --------------------------------------------- satellite: dirty-set snapshots
+class _TouchNetZero(Perturbation):
+    """Increments and immediately reverts a counter every epoch."""
+
+    def on_epoch_start(self, ctx) -> None:
+        ctx.metrics.increment("scenario.net_zero_probe", 1.0)
+        ctx.metrics.increment("scenario.net_zero_probe", -1.0)
+
+
+class TestDirtySetEpochMetrics:
+    def test_registry_drain_dirty(self):
+        registry = MetricsRegistry()
+        registry.increment("a", 2.0)
+        registry.record_access("pull.local", node=0, count=3)
+        assert registry.drain_dirty() == {"a", "access.pull.local",
+                                          "access.total"}
+        assert registry.drain_dirty() == set()
+        registry.increment("b", 1.0)
+        registry.increment("b", -1.0)
+        assert registry.get("b") == 0.0
+        assert registry.drain_dirty() == {"b"}
+
+    def test_reset_and_merge_track_dirty(self):
+        registry = MetricsRegistry()
+        registry.increment("a")
+        registry.reset()
+        assert registry.drain_dirty() == set()
+        other = MetricsRegistry()
+        other.increment("merged", 4.0)
+        registry.merge(other)
+        assert "merged" in registry.drain_dirty()
+
+    def test_epoch_record_includes_touched_net_zero_counter(self):
+        """+1 then -1 within an epoch is activity, not absence of it."""
+        scenario = Scenario("net-zero-probe", [_TouchNetZero()])
+        task = make_task("matrix_factorization", scale="test")
+        config = ExperimentConfig(
+            cluster=ClusterConfig(num_nodes=2, workers_per_node=2),
+            epochs=2, chunk_size=8, seed=1, scenario=scenario,
+        )
+        result = run_experiment(task, make_ps_factory("classic"), config)
+        for record in result.records:
+            assert record.metrics["scenario.net_zero_probe"] == 0.0
+            # Ordinary activity is still reported as nonzero deltas.
+            assert record.metrics["access.total"] > 0
