@@ -32,14 +32,21 @@ def _curve_rows(counts: np.ndarray):
 def _report(task, label):
     profile = task_access_profile(task)
     print_header(f"Figure 3 — {label}: accesses per parameter over one epoch")
+    curves = {}
     for kind in ("total", "direct", "sampling"):
         counts = profile[kind]
         if counts.sum() == 0:
             continue
+        rows = _curve_rows(counts)
+        curves[kind] = {
+            "percentile": list(PERCENTILES),
+            "accesses_at_rank": [row[1] for row in rows],
+            "cumulative_share": [row[2] for row in rows],
+        }
         print(f"\n[{kind} access] sorted access-count curve:")
         print(format_table(
             ["rank position", "accesses at rank", "cumulative share of accesses"],
-            _curve_rows(counts),
+            rows,
         ))
     report = skew_report(task, top_fraction=0.001)
     print("\nHeadline skew statistics:")
@@ -48,11 +55,20 @@ def _report(task, label):
         [[int(report["num_keys"]), report["top_share"],
           report["direct_share"], report["sampling_share"]]],
     ))
-    return report
+    return {"headline": report, "curves": curves}
+
+
+def run() -> dict:
+    """Structured Figure 3 results for the reproduction pipeline."""
+    return {
+        "kge": _report(kge_task("bench"), "KGE"),
+        "word_vectors": _report(word_vectors_task("bench"), "WV"),
+    }
 
 
 def test_fig03a_kge_skew(benchmark):
-    report = run_once(benchmark, lambda: _report(kge_task("bench"), "KGE"))
+    report = run_once(benchmark,
+                      lambda: _report(kge_task("bench"), "KGE"))["headline"]
     # Access is heavily skewed: the top 0.1% of keys get far more than 0.1%
     # of the accesses, and both access kinds are present.
     assert report["top_share"] > 0.02
@@ -60,6 +76,7 @@ def test_fig03a_kge_skew(benchmark):
 
 
 def test_fig03b_word_vectors_skew(benchmark):
-    report = run_once(benchmark, lambda: _report(word_vectors_task("bench"), "WV"))
+    report = run_once(benchmark,
+                      lambda: _report(word_vectors_task("bench"), "WV"))["headline"]
     assert report["top_share"] > 0.02
     assert report["sampling_share"] > 0.2

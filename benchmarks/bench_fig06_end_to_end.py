@@ -11,7 +11,7 @@ effective speedups over the single node).
 
 import pytest
 
-from common import print_header, run_once, run_systems
+from common import print_header, result_summary, run_once, run_systems, trained
 from repro.analysis.speedup import (
     effective_speedup_from_results,
     raw_speedup_from_results,
@@ -47,6 +47,22 @@ def _run(task_name):
         label = f"{speedup:6.2f}x" if speedup is not None else "   not reached"
         print(f"  {system:22s} {label}")
     return {r.system: r for r in results}
+
+
+def run() -> dict:
+    """Structured Figure 6 results (all three tasks) for the pipeline."""
+    figure = {}
+    for task_name in SYSTEMS_BY_TASK:
+        by_name = _run(task_name)
+        results = list(by_name.values())
+        figure[task_name] = {
+            "epoch_time": {s: r.mean_epoch_time() for s, r in by_name.items()},
+            "raw_speedup": raw_speedup_from_results(results),
+            "effective_speedup": effective_speedup_from_results(results),
+            "trained": {s: trained(r) for s, r in by_name.items()},
+            "summary": {s: result_summary(r) for s, r in by_name.items()},
+        }
+    return figure
 
 
 @pytest.mark.parametrize("task_name", list(SYSTEMS_BY_TASK))

@@ -27,6 +27,20 @@ def _run(task_name):
     return {r.system: r for r in results}
 
 
+def run() -> dict:
+    """Structured Figure 7 ablation results for the pipeline."""
+    figure = {}
+    for task_name in ("kge", "word_vectors"):
+        by_name = _run(task_name)
+        epoch_time = {s: r.mean_epoch_time() for s, r in by_name.items()}
+        figure[task_name] = {
+            "epoch_time": epoch_time,
+            "best_single_feature": min(epoch_time["relocation+replication"],
+                                       epoch_time["relocation+sampling"]),
+        }
+    return figure
+
+
 @pytest.mark.parametrize("task_name", ["kge", "word_vectors"])
 def test_fig07_ablation(benchmark, task_name):
     by_name = run_once(benchmark, lambda: _run(task_name))

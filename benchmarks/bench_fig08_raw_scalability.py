@@ -31,11 +31,34 @@ def _run():
     print_header("Figure 8 — raw scalability on KGE (speedup vs. single node, 1 epoch)")
     print(f"single-node epoch time: {baseline:.4f} simulated seconds")
     print(format_table(["system", "nodes", "epoch_time_s", "raw speedup"], rows))
-    return speedups
+    return speedups, baseline
+
+
+def run() -> dict:
+    """Structured Figure 8 results for the pipeline.
+
+    ``at_largest`` resolves the mode-dependent largest node count (8 fast,
+    16 full) so the claim registry stays mode-independent.
+    """
+    speedups, baseline = _run()
+    largest = max(NODE_COUNTS)
+    return {
+        "single_node_epoch_time": baseline,
+        "node_counts": list(NODE_COUNTS),
+        "largest_nodes": largest,
+        "speedup": {
+            system: {str(nodes): speedups[(system, nodes)]
+                     for nodes in NODE_COUNTS}
+            for system in SYSTEMS
+        },
+        "at_largest": {system: speedups[(system, largest)]
+                       for system in SYSTEMS},
+        "nups_curve": [speedups[("nups", nodes)] for nodes in NODE_COUNTS],
+    }
 
 
 def test_fig08_raw_scalability(benchmark):
-    speedups = run_once(benchmark, _run)
+    speedups, _ = run_once(benchmark, _run)
     largest = max(NODE_COUNTS)
     # NuPS scales: more nodes help, and at the largest node count it clearly
     # outperforms the single node and every other PS.

@@ -10,7 +10,7 @@ deteriorates quality drastically (Figure 10c).
 
 import pytest
 
-from common import NUPS_BENCH_OVERRIDES, print_header, run_once, run_system
+from common import NUPS_BENCH_OVERRIDES, print_header, run_once, run_system, trained
 from repro.runner.reporting import summary_table
 
 VARIANTS = [
@@ -43,6 +43,31 @@ def _run(task_name):
     print_header(f"Figure 10 — sampling schemes on {task_name}: epoch time and quality")
     print(summary_table(results))
     return by_label
+
+
+#: Stable short keys for the pipeline's result dict / claim paths.
+SHORT_KEYS = {
+    "single-node": "single-node",
+    "independent (CONFORM)": "independent",
+    "sample reuse U=16 (BOUNDED)": "reuse16",
+    "sample reuse U=64 (BOUNDED)": "reuse64",
+    "reuse + postponing (LONG-TERM)": "reuse_postponing",
+    "local sampling (NON-CONFORM)": "local",
+}
+
+
+def run() -> dict:
+    """Structured Figure 10 results for the pipeline."""
+    figure = {}
+    for task_name in ("kge", "word_vectors"):
+        by_label = _run(task_name)
+        figure[task_name] = {
+            "epoch_time": {SHORT_KEYS[label]: result.mean_epoch_time()
+                           for label, result in by_label.items()},
+            "trained": {SHORT_KEYS[label]: trained(result)
+                        for label, result in by_label.items()},
+        }
+    return figure
 
 
 @pytest.mark.parametrize("task_name", ["kge", "word_vectors"])

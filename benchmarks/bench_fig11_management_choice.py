@@ -44,6 +44,7 @@ def _run(task_name):
     heuristic_keys = heuristic_key_count(reference_task)
     rows = []
     outcomes = {}
+    structured = {}
     for factor in FACTORS:
         k = int(round(heuristic_keys * factor)) if factor else 0
         plan = ManagementPlan.top_k_by_count(counts, k)
@@ -57,6 +58,15 @@ def _run(task_name):
         )
         sync_frequency = result.metrics.get("replica.syncs", 0.0) / max(result.total_time, 1e-12)
         outcomes[factor] = result
+        structured[str(factor)] = {
+            "replicated_keys": plan.num_replicated,
+            "replicated_share": plan.replicated_share,
+            "replica_mb": plan.replicated_value_bytes(task.value_length()) / 1e6,
+            "replica_access_share": _replica_access_share(result.metrics),
+            "epoch_time": result.mean_epoch_time(),
+            "quality": result.final_quality(),
+            "syncs_per_s": sync_frequency,
+        }
         rows.append([
             f"{factor}x",
             plan.num_replicated,
@@ -76,12 +86,39 @@ def _run(task_name):
          "accesses to replicas", "epoch_time_s", "quality", "achieved syncs/s"],
         rows,
     ))
-    return outcomes
+    return outcomes, structured, heuristic_keys
+
+
+def run() -> dict:
+    """Structured Table 3 / Figure 11 results for the pipeline.
+
+    Claims reference the KGE and MF tasks only: those run in both fast and
+    full mode (WV joins the sweep in full mode).
+    """
+    figure = {}
+    for task_name in TASKS:
+        outcomes, structured, heuristic_keys = _run(task_name)
+        largest = outcomes[max(FACTORS)]
+        initial = largest.initial_quality[largest.quality_metric]
+        # "Still trains" mirrors the pytest assertion: quality must not be
+        # worse than the initialization even at the largest extent.
+        if largest.higher_is_better:
+            largest_trained = bool(largest.best_quality() >= initial)
+        else:
+            largest_trained = bool(largest.best_quality() <= initial)
+        figure[task_name] = {
+            "heuristic_keys": heuristic_keys,
+            "factors": [str(factor) for factor in FACTORS],
+            "per_factor": structured,
+            "largest_factor": str(max(FACTORS)),
+            "largest_trained": largest_trained,
+        }
+    return figure
 
 
 @pytest.mark.parametrize("task_name", TASKS)
 def test_fig11_management_choice(benchmark, task_name):
-    outcomes = run_once(benchmark, lambda: _run(task_name))
+    outcomes, _, _ = run_once(benchmark, lambda: _run(task_name))
     no_replication = outcomes[0]
     heuristic = outcomes[1]
     largest = outcomes[max(FACTORS)]

@@ -69,12 +69,32 @@ def _run(task_name):
         ["target syncs/epoch", "achieved syncs", "epoch_time_s", "quality after 1 epoch"],
         rows,
     ))
-    return outcomes
+    return outcomes, epoch_length
+
+
+def run() -> dict:
+    """Structured Figure 12 results for the pipeline."""
+    figure = {}
+    for task_name in TASKS:
+        outcomes, epoch_length = _run(task_name)
+        figure[task_name] = {
+            "calibrated_epoch_length": epoch_length,
+            "targets": [str(target) for target in SYNCS_PER_EPOCH],
+            "per_target": {
+                str(target): {
+                    "achieved_syncs": result.metrics.get("replica.syncs", 0.0),
+                    "epoch_time": result.mean_epoch_time(),
+                    "quality": result.final_quality(),
+                }
+                for target, result in outcomes.items()
+            },
+        }
+    return figure
 
 
 @pytest.mark.parametrize("task_name", TASKS)
 def test_fig12_replica_staleness(benchmark, task_name):
-    outcomes = run_once(benchmark, lambda: _run(task_name))
+    outcomes, _ = run_once(benchmark, lambda: _run(task_name))
     frequent = outcomes[max(SYNCS_PER_EPOCH)]
     never = outcomes[0]
     # Synchronizing frequently does not blow up the epoch time (the sparse

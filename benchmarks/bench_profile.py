@@ -29,14 +29,49 @@ DEFAULT_TOP = 20
 
 
 def profile_system(name: str, factory, batches, round_fusion: bool,
-                   top: int, sort: str) -> None:
+                   top: int, sort: str) -> pstats.Stats:
     mode = "round-fused" if round_fusion else "sequential"
     print(f"\n=== {name} ({mode}) — top {top} by {sort} " + "=" * 20)
     profiler = cProfile.Profile()
     profiler.enable()
     _drive(name, factory, batches, round_fusion)
     profiler.disable()
-    pstats.Stats(profiler).sort_stats(sort).print_stats(top)
+    stats = pstats.Stats(profiler).sort_stats(sort)
+    stats.print_stats(top)
+    return stats
+
+
+def run() -> dict:
+    """Profile the classic PS's round-fused hot loop (pipeline appendix).
+
+    The reproduction pipeline only needs proof that the profiling harness
+    attributes the hot loop to concrete functions; profiling one system in
+    one mode keeps the appendix cheap. The printed report is the same one
+    the CLI produces.
+    """
+    factories = _system_factories()
+    stats = profile_system("classic", factories["classic"], _workload(),
+                           round_fusion=True, top=DEFAULT_TOP,
+                           sort="cumulative")
+    entries = [
+        {
+            "function": f"{filename}:{line}({name})",
+            "ncalls": ncalls,
+            "tottime": tottime,
+            "cumtime": cumtime,
+        }
+        for (filename, line, name), (_, ncalls, tottime, cumtime, _)
+        in stats.stats.items()
+    ]
+    entries.sort(key=lambda entry: entry["cumtime"], reverse=True)
+    top_entries = entries[:DEFAULT_TOP]
+    return {
+        "system": "classic",
+        "mode": "round-fused",
+        "sort": "cumulative",
+        "num_entries": len(top_entries),
+        "top": top_entries,
+    }
 
 
 def main() -> None:

@@ -158,7 +158,13 @@ def check_drift_recovery(drift_results: dict) -> dict:
     return checks
 
 
-def main() -> int:
+def run() -> dict:
+    """Run the full scenario sweep; returns the ``BENCH_scenarios.json`` payload.
+
+    Used both by :func:`main` (which writes the JSON next to the repo root)
+    and by the reproduction pipeline (which embeds the payload in
+    ``REPRODUCTION.json`` without touching the committed baseline).
+    """
     print_header(
         f"Dynamic-workload scenarios — {TASK_NAME}, "
         f"{DEFAULT_NODES}x{WORKERS_PER_NODE} workers, {EPOCHS} epochs "
@@ -207,7 +213,7 @@ def main() -> int:
     for system, check in drift_checks.items():
         print(f"  {system}: {check}")
 
-    payload = {
+    return {
         "task": TASK_NAME,
         "epochs": EPOCHS,
         "drift_epoch": DRIFT_EPOCH,
@@ -219,6 +225,10 @@ def main() -> int:
         "results": results,
         "drift_checks": drift_checks,
     }
+
+
+def main() -> int:
+    payload = run()
     OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True))
     print(f"\nwrote {OUTPUT}")
     return 0

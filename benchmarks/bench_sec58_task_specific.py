@@ -65,6 +65,21 @@ def _run_single_node_specialized():
     return outcomes
 
 
+def run() -> dict:
+    """Structured Section 5.8 results for the pipeline."""
+    mf = _run_mf()
+    single_machine = _run_single_node_specialized()
+    return {
+        "mf": mf,
+        "single_machine": {
+            task_name: {"specialized": specialized, "nups": nups_time,
+                        "single_node": single_time}
+            for task_name, (specialized, nups_time, single_time)
+            in single_machine.items()
+        },
+    }
+
+
 def test_sec58_mf_dsgd_comparison(benchmark):
     outcomes = run_once(benchmark, _run_mf)
     # NuPS is competitive: within a small factor of the specialized systems.

@@ -79,6 +79,18 @@ def _run():
     return distances
 
 
+def run() -> dict:
+    """Structured Table 1 results for the pipeline."""
+    distances = _run()
+    return {
+        "tv_distance": distances,
+        "levels": {scheme: level.name
+                   for scheme, level in SCHEME_CONFORMITY.items()},
+        "num_keys": NUM_KEYS,
+        "num_samples": NUM_SAMPLES,
+    }
+
+
 def test_table1_conformity_levels(benchmark):
     distances = run_once(benchmark, _run)
     # Schemes with conformity guarantees match the target distribution.

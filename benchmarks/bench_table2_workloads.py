@@ -15,11 +15,20 @@ from repro.runner.workloads import TASK_FACTORIES
 def _run():
     rows = []
     reports = {}
+    structured = {}
     for name, factory in TASK_FACTORIES.items():
         task = factory("bench")
         report = skew_report(task)
         reports[name] = report
         model_mb = task.num_keys() * task.value_length() * 4 / 1e6
+        structured[name] = {
+            "keys": task.num_keys(),
+            "values": task.num_keys() * task.value_length(),
+            "model_mb": model_mb,
+            "data_points": task.num_data_points(),
+            "direct_share": report["direct_share"],
+            "sampling_share": report["sampling_share"],
+        }
         rows.append([
             task.name,
             task.num_keys(),
@@ -35,11 +44,17 @@ def _run():
          "direct access", "sampling access"],
         rows,
     ))
-    return reports
+    return reports, structured
+
+
+def run() -> dict:
+    """Structured Table 2 results for the pipeline."""
+    _, structured = _run()
+    return structured
 
 
 def test_table2_workload_characteristics(benchmark):
-    reports = run_once(benchmark, _run)
+    reports, _ = run_once(benchmark, _run)
     # KGE and WV have substantial sampling access; MF has none (Table 2).
     assert reports["kge"]["sampling_share"] > 0.2
     assert reports["word_vectors"]["sampling_share"] > 0.2

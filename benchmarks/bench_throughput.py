@@ -35,6 +35,7 @@ import json
 import os
 import time
 from pathlib import Path
+from typing import Optional
 
 import numpy as np
 
@@ -177,7 +178,7 @@ def _assert_equivalent(name: str, fused, sequential) -> None:
         raise AssertionError(f"{name}: round fusion changed stored values")
 
 
-def run_benchmark(output_path: Path = OUTPUT_PATH) -> dict:
+def run_benchmark(output_path: Optional[Path] = OUTPUT_PATH) -> dict:
     batches = _workload()
     results = {}
     sequential_results = {}
@@ -208,9 +209,19 @@ def run_benchmark(output_path: Path = OUTPUT_PATH) -> dict:
         "systems": results,
         "systems_sequential": sequential_results,
     }
-    output_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {output_path}")
+    if output_path is not None:
+        output_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {output_path}")
     return report
+
+
+def run() -> dict:
+    """Structured throughput report for the reproduction pipeline.
+
+    Does not write ``BENCH_throughput.json``: the committed baseline is the
+    CI regression guard's reference and is only refreshed deliberately.
+    """
+    return run_benchmark(output_path=None)
 
 
 def test_throughput_benchmark(tmp_path):

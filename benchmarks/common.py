@@ -8,9 +8,18 @@ simulated seconds, but the *shape* — which system wins, by roughly what
 factor, where crossovers happen — is what is being reproduced (see README.md,
 "Benchmarks").
 
-Run with::
+Each benchmark has two entry points:
 
-    pytest benchmarks/ --benchmark-only
+* **pytest** (prints the tables, asserts the shape)::
+
+      pytest benchmarks/ --benchmark-only
+
+* **``run() -> dict``** — a structured, JSON-serializable result consumed
+  by the one-command reproduction pipeline (``python -m repro reproduce``),
+  which executes every benchmark through :mod:`repro.report.pipeline` and
+  checks the paper-claim registry (:mod:`repro.report.claims`) against the
+  returned dicts. ``run()`` performs the same computation the pytest path
+  does (and prints the same tables), exactly once per case.
 
 Set ``REPRO_BENCH_FAST=1`` to cut epochs/sweeps further for a quick smoke run.
 """
@@ -156,6 +165,30 @@ def heuristic_key_count(task) -> int:
     if heuristic > 0:
         return heuristic
     return max(4, task.num_keys() // 150)
+
+
+def trained(result: ExperimentResult) -> bool:
+    """Whether an experiment improved model quality over the initialization."""
+    initial = result.initial_quality[result.quality_metric]
+    if result.higher_is_better:
+        return bool(result.best_quality() > initial)
+    return bool(result.best_quality() < initial)
+
+
+def result_summary(result: ExperimentResult) -> dict:
+    """JSON-serializable summary of one experiment (for ``run()`` payloads)."""
+    return {
+        "system": result.system,
+        "task": result.task,
+        "num_nodes": result.num_nodes,
+        "epochs": result.epochs_completed,
+        "mean_epoch_time": result.mean_epoch_time(),
+        "total_time": result.total_time,
+        "final_quality": result.final_quality(),
+        "best_quality": result.best_quality(),
+        "initial_quality": result.initial_quality.get(result.quality_metric),
+        "trained": trained(result),
+    }
 
 
 def print_header(title: str) -> None:

@@ -8,14 +8,24 @@ run without writing Python::
     python -m repro skew     --task word_vectors
     python -m repro systems                     # list available systems
     python -m repro tasks                       # list available workloads
+    python -m repro reproduce --fast            # full paper reproduction + claim report
 
 All experiments run on the simulated cluster; times are simulated seconds.
+
+``reproduce`` runs every benchmark in ``benchmarks/`` through the
+reproduction pipeline (:mod:`repro.report`), evaluates the paper-claim
+registry against the results, and writes ``REPRODUCTION.json`` and
+``REPRODUCTION.md``. It exits non-zero when a benchmark fails, a claim
+fails, or — with ``--check`` — a claim regresses against a committed
+report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis.skew import skew_report
@@ -72,6 +82,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("systems", help="list available parameter-server systems")
     subparsers.add_parser("tasks", help="list available workloads")
+
+    reproduce_parser = subparsers.add_parser(
+        "reproduce",
+        help="run the full paper reproduction and write REPRODUCTION.{json,md}",
+    )
+    reproduce_parser.add_argument(
+        "--fast", action="store_true",
+        help="smoke scale (REPRO_BENCH_FAST=1): fewer epochs and sweep points")
+    reproduce_parser.add_argument(
+        "--only", type=str, default=None, metavar="IDS",
+        help="comma-separated benchmark ids to run, e.g. fig06,table2 "
+             "(default: all; see --list)")
+    reproduce_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="benchmark worker processes (default: REPRO_BENCH_PARALLEL "
+             "or the CPU count)")
+    reproduce_parser.add_argument(
+        "--output-dir", type=Path, default=Path("."), metavar="DIR",
+        help="where to write REPRODUCTION.json / REPRODUCTION.md "
+             "(default: current directory)")
+    reproduce_parser.add_argument(
+        "--check", type=Path, default=None, metavar="JSON",
+        help="also fail if any claim regresses against this committed "
+             "REPRODUCTION.json")
+    reproduce_parser.add_argument(
+        "--list", action="store_true", dest="list_benchmarks",
+        help="list the registered benchmarks and their claims, then exit")
     return parser
 
 
@@ -123,6 +160,78 @@ def command_skew(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_reproduce(args: argparse.Namespace) -> int:
+    from repro.report.claims import claims_for, compare_verdicts
+    from repro.report.pipeline import REGISTRY, run_pipeline
+    from repro.report.render import write_reports
+
+    if args.list_benchmarks:
+        for spec in REGISTRY:
+            print(f"{spec.id:12s} {spec.title}  "
+                  f"[{len(claims_for(spec.id))} claims]")
+        return 0
+
+    only = ([part.strip() for part in args.only.split(",") if part.strip()]
+            if args.only else None)
+
+    committed = None
+    if args.check is not None:
+        # Read the committed report up front: a bad path must not surface
+        # only after minutes of benchmark execution.
+        try:
+            committed = json.loads(Path(args.check).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read --check report {args.check}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    def progress(entry) -> None:
+        status = entry["status"] if entry["status"] == "ok" else "FAILED"
+        print(f"  {entry['id']:12s} {status:7s} {entry['seconds']:8.1f}s",
+              file=sys.stderr)
+
+    mode = "fast" if args.fast else "full"
+    print(f"reproducing ({mode} mode) ...", file=sys.stderr)
+    try:
+        payload = run_pipeline(only=only, fast=args.fast, jobs=args.jobs,
+                               progress=progress)
+    except ValueError as exc:  # unknown --only ids
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:  # no benchmarks/ next to the package
+        print(f"error: {exc}", file=sys.stderr)
+        print("`reproduce` needs the repository's benchmarks/ directory; "
+              "run from a checkout (or an editable install).", file=sys.stderr)
+        return 2
+
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    written = write_reports(payload,
+                            args.output_dir / "REPRODUCTION.json",
+                            args.output_dir / "REPRODUCTION.md")
+    summary = payload["summary"]
+    print(f"wrote {written['json']} and {written['md']}", file=sys.stderr)
+    print(f"claims: {summary['claims_passed']}/{summary['claims_total']} "
+          f"passed; benchmarks: {summary['benchmarks_ok']}/"
+          f"{summary['benchmarks_total']} ok "
+          f"({summary['seconds_total']:.1f}s)", file=sys.stderr)
+
+    exit_code = 0
+    if summary["claims_failed"] or summary["benchmarks_failed"]:
+        exit_code = 1
+    if committed is not None:
+        regressions = compare_verdicts(committed, payload)
+        if regressions:
+            print("claim regressions against "
+                  f"{args.check}:", file=sys.stderr)
+            for regression in regressions:
+                print(f"  - {regression}", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"no claim regressions against {args.check}",
+                  file=sys.stderr)
+    return exit_code
+
+
 def command_systems(_: argparse.Namespace) -> int:
     for name in SYSTEM_NAMES:
         print(name)
@@ -141,6 +250,7 @@ COMMANDS = {
     "skew": command_skew,
     "systems": command_systems,
     "tasks": command_tasks,
+    "reproduce": command_reproduce,
 }
 
 

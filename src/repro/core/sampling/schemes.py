@@ -335,6 +335,23 @@ class LocalSamplingScheme(SamplingScheme):
              count: int) -> PullResult:
         handle.delivered += count
         keys = self._sample_local(worker.node_id, count)
+        # The cached alias table can serve keys that relocation has since
+        # moved away; the real implementation samples from the partition the
+        # node holds *right now* and never communicates. Re-check locality at
+        # pull time and redraw stale keys from the freshly rebuilt local
+        # support (relocation cannot interleave within one simulated pull, so
+        # one redraw suffices). Only an empty local support — the extreme
+        # corner case below — leaves remote accesses behind.
+        stale = ~self.host.keys_are_local(worker.node_id, keys)
+        if stale.any():
+            state = self._node_state.setdefault(worker.node_id,
+                                                _NodeLocalSamplerState())
+            self._refresh(worker.node_id, state)
+            if state.sampler is not None and len(state.keys):
+                rng = self.host.sampling_rng(worker.node_id)
+                indices = state.sampler.sample(rng, int(stale.sum()))
+                keys = np.array(keys, copy=True)
+                keys[stale] = state.keys[indices]
         values = self.host.pull_keys(worker, keys)
         return PullResult(keys=keys, values=values)
 

@@ -201,6 +201,7 @@ class TrainingTask(ABC):
         return [shuffled[part::num_parts] for part in range(num_parts)]
 
     def describe(self) -> Dict[str, object]:
+        """A short description of the workload (for reports and examples)."""
         return {
             "task": self.name,
             "num_keys": self.num_keys(),

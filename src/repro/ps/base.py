@@ -396,6 +396,7 @@ class ParameterServer(ABC):
 
     @property
     def value_bytes(self) -> int:
+        """Bytes per parameter value (drives the network-cost model)."""
         return self.store.value_bytes()
 
     def describe(self) -> Dict[str, object]:

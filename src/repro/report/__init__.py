@@ -1,0 +1,50 @@
+"""Paper-claim registry and one-command reproduction pipeline.
+
+The paper's evaluation (Sections 5.2-5.8, Figures 1-12, Tables 1-3) is
+reproduced by the scripts in ``benchmarks/``; this package turns those
+scripts from a pile of print-only harnesses into a self-verifying
+reproduction:
+
+* :mod:`repro.report.claims` declares, per figure/table, the paper's
+  headline claims as structured, machine-checkable assertions (orderings,
+  ratio bounds, thresholds, monotonicity, brackets) over the structured
+  ``run()`` output of each benchmark script;
+* :mod:`repro.report.pipeline` executes every benchmark through one
+  scheduler — fork-worker parallelism, fast/full modes, per-benchmark
+  timing and failure isolation — and evaluates the registered claims
+  against the results;
+* :mod:`repro.report.render` aggregates everything into
+  ``REPRODUCTION.json`` and renders ``REPRODUCTION.md``, a
+  figure-by-figure conformity report with expected-vs-observed claim
+  verdicts.
+
+Entry point: ``python -m repro reproduce [--fast] [--only fig06,table2]
+[--jobs N]`` (see :mod:`repro.cli`).
+"""
+
+from repro.report.claims import (
+    CLAIMS,
+    Claim,
+    ClaimVerdict,
+    claims_for,
+    compare_verdicts,
+    evaluate_claim,
+    evaluate_claims,
+)
+from repro.report.pipeline import REGISTRY, BenchmarkSpec, run_pipeline
+from repro.report.render import render_markdown, write_reports
+
+__all__ = [
+    "CLAIMS",
+    "Claim",
+    "ClaimVerdict",
+    "claims_for",
+    "compare_verdicts",
+    "evaluate_claim",
+    "evaluate_claims",
+    "REGISTRY",
+    "BenchmarkSpec",
+    "run_pipeline",
+    "render_markdown",
+    "write_reports",
+]

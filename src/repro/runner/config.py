@@ -1,4 +1,11 @@
-"""Experiment configuration."""
+"""Experiment configuration (the knobs behind the paper's Section 5 setup).
+
+:class:`ExperimentConfig` bundles everything one training experiment needs
+beyond the task and the PS factory: the simulated cluster shape (the
+paper's main setting is 8 nodes x 8 workers, Section 5.1), the epoch and
+simulated-time budgets, the scheduling granularity, an optional
+dynamic-workload scenario, and the round-fusion execution toggle.
+"""
 
 from __future__ import annotations
 

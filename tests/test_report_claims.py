@@ -1,0 +1,243 @@
+"""Unit tests for the paper-claim registry and its assertion kinds."""
+
+import pytest
+
+from repro.report.claims import (
+    CLAIMS,
+    Claim,
+    claims_for,
+    compare_verdicts,
+    evaluate_claim,
+    evaluate_claims,
+    resolve_path,
+)
+from repro.report.pipeline import REGISTRY, registered_but_unclaimed
+
+
+def make_claim(kind, **spec):
+    return Claim(claim_id=f"test.{kind}", benchmark="test",
+                 description=f"synthetic {kind} claim", kind=kind, spec=spec)
+
+
+class TestResolvePath:
+    def test_nested_dicts(self):
+        data = {"a": {"b": {"c": 3.0}}}
+        assert resolve_path(data, "a.b.c") == 3.0
+
+    def test_list_indexing(self):
+        assert resolve_path({"xs": [10, 20, 30]}, "xs.1") == 20
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            resolve_path({"a": 1}, "a.b")
+
+    def test_keys_with_special_characters(self):
+        data = {"epoch_time": {"relocation+replication": 1.5, "nups[0x]": 2.0}}
+        assert resolve_path(data, "epoch_time.relocation+replication") == 1.5
+        assert resolve_path(data, "epoch_time.nups[0x]") == 2.0
+
+
+class TestOrdering:
+    DATA = {"t": {"nups": 1.0, "classic": 3.0}}
+
+    def test_strict_less_passes(self):
+        claim = make_claim("ordering", left="t.nups", right="t.classic", op="<")
+        verdict = evaluate_claim(claim, self.DATA)
+        assert verdict.passed
+        assert "t.nups" in verdict.observed
+
+    def test_strict_less_fails_when_reversed(self):
+        claim = make_claim("ordering", left="t.classic", right="t.nups", op="<")
+        assert not evaluate_claim(claim, self.DATA).passed
+
+    def test_ratio_bound(self):
+        # 3.0 <= 3.5 * 1.0 passes; 3.0 <= 2.5 * 1.0 fails.
+        good = make_claim("ordering", left="t.classic", right="t.nups",
+                          op="<=", factor=3.5)
+        bad = make_claim("ordering", left="t.classic", right="t.nups",
+                         op="<=", factor=2.5)
+        assert evaluate_claim(good, self.DATA).passed
+        assert not evaluate_claim(bad, self.DATA).passed
+
+    def test_missing_path_is_a_failed_verdict_not_an_exception(self):
+        claim = make_claim("ordering", left="t.nups", right="t.missing", op="<")
+        verdict = evaluate_claim(claim, self.DATA)
+        assert not verdict.passed
+        assert verdict.error and "missing" in verdict.error
+
+    def test_none_value_fails(self):
+        claim = make_claim("ordering", left="t.a", right="t.b", op="<")
+        verdict = evaluate_claim(claim, {"t": {"a": None, "b": 1.0}})
+        assert not verdict.passed
+        assert verdict.error
+
+
+class TestThreshold:
+    def test_greater_than(self):
+        claim = make_claim("threshold", path="x", op=">", value=2.0)
+        assert evaluate_claim(claim, {"x": 2.5}).passed
+        assert not evaluate_claim(claim, {"x": 1.5}).passed
+
+    def test_equality_with_tolerance(self):
+        claim = make_claim("threshold", path="x", op="==", value=1.0,
+                           tolerance=0.01)
+        assert evaluate_claim(claim, {"x": 1.005}).passed
+        assert not evaluate_claim(claim, {"x": 1.05}).passed
+
+    def test_exact_equality(self):
+        claim = make_claim("threshold", path="x", op="==", value=0.0)
+        assert evaluate_claim(claim, {"x": 0.0}).passed
+        assert not evaluate_claim(claim, {"x": 1e-9}).passed
+
+    def test_none_fails_like_not_reached(self):
+        claim = make_claim("threshold", path="x", op=">", value=1.0)
+        verdict = evaluate_claim(claim, {"x": None})
+        assert not verdict.passed
+        assert verdict.error
+
+
+class TestMonotonic:
+    def test_nondecreasing_passes(self):
+        claim = make_claim("monotonic", path="xs", direction="nondecreasing")
+        assert evaluate_claim(claim, {"xs": [1.0, 1.0, 2.0, 5.0]}).passed
+
+    def test_nondecreasing_fails_on_dip(self):
+        claim = make_claim("monotonic", path="xs", direction="nondecreasing")
+        assert not evaluate_claim(claim, {"xs": [1.0, 0.5, 2.0]}).passed
+
+    def test_tolerance_forgives_small_dips(self):
+        claim = make_claim("monotonic", path="xs", direction="nondecreasing",
+                           tolerance=0.6)
+        assert evaluate_claim(claim, {"xs": [1.0, 0.5, 2.0]}).passed
+
+    def test_nonincreasing(self):
+        claim = make_claim("monotonic", path="xs", direction="nonincreasing")
+        assert evaluate_claim(claim, {"xs": [3.0, 2.0, 2.0]}).passed
+        assert not evaluate_claim(claim, {"xs": [3.0, 4.0]}).passed
+
+    def test_single_point_series_cannot_evaluate(self):
+        claim = make_claim("monotonic", path="xs", direction="nondecreasing")
+        verdict = evaluate_claim(claim, {"xs": [1.0]})
+        assert not verdict.passed
+        assert verdict.error
+
+
+class TestBracket:
+    def test_inclusive(self):
+        claim = make_claim("bracket", path="x", lo=0.0, hi=1.0)
+        assert evaluate_claim(claim, {"x": 0.0}).passed
+        assert evaluate_claim(claim, {"x": 1.0}).passed
+        assert not evaluate_claim(claim, {"x": 1.1}).passed
+
+    def test_strict(self):
+        claim = make_claim("bracket", path="x", lo=0.0, hi=1.0, strict=True)
+        assert evaluate_claim(claim, {"x": 0.5}).passed
+        assert not evaluate_claim(claim, {"x": 0.0}).passed
+        assert not evaluate_claim(claim, {"x": 1.0}).passed
+
+
+class TestAllTrue:
+    def test_scalar_paths(self):
+        claim = make_claim("all_true", paths=["a", "b"])
+        assert evaluate_claim(claim, {"a": True, "b": True}).passed
+        verdict = evaluate_claim(claim, {"a": True, "b": False})
+        assert not verdict.passed
+        assert "b" in verdict.observed
+
+    def test_dict_of_flags(self):
+        claim = make_claim("all_true", paths=["trained"])
+        assert evaluate_claim(
+            claim, {"trained": {"nups": True, "classic": True}}).passed
+        verdict = evaluate_claim(
+            claim, {"trained": {"nups": True, "classic": False}})
+        assert not verdict.passed
+        assert "trained.classic" in verdict.observed
+
+    def test_empty_collection_cannot_evaluate(self):
+        claim = make_claim("all_true", paths=["trained"])
+        verdict = evaluate_claim(claim, {"trained": {}})
+        assert not verdict.passed
+        assert verdict.error
+
+
+class TestEvaluateClaims:
+    def test_no_result_fails_every_claim_with_error(self):
+        verdicts = evaluate_claims("fig01", None)
+        assert verdicts, "fig01 must have registered claims"
+        assert all(not v.passed for v in verdicts)
+        assert all(v.error == "benchmark produced no result" for v in verdicts)
+
+    def test_unknown_kind_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            Claim(claim_id="x", benchmark="x", description="x",
+                  kind="not-a-kind", spec={})
+
+    def test_verdict_serializes(self):
+        claim = make_claim("threshold", path="x", op=">", value=0.0)
+        payload = evaluate_claim(claim, {"x": 1.0}).to_dict()
+        assert payload["id"] == "test.threshold"
+        assert payload["passed"] is True
+        assert payload["error"] is None
+
+
+class TestRegistry:
+    def test_claim_ids_unique(self):
+        ids = [claim.claim_id for claim in CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_every_benchmark_has_claims(self):
+        # The acceptance criterion: no benchmark left unchecked.
+        assert registered_but_unclaimed() == []
+
+    def test_every_claim_maps_to_a_registered_benchmark(self):
+        known = {spec.id for spec in REGISTRY}
+        assert {claim.benchmark for claim in CLAIMS} <= known
+
+    def test_claim_ids_are_namespaced_by_benchmark(self):
+        for claim in CLAIMS:
+            assert claim.claim_id.startswith(claim.benchmark + ".")
+
+    def test_claims_for_preserves_registration_order(self):
+        fig06 = claims_for("fig06")
+        assert [c.benchmark for c in fig06] == ["fig06"] * len(fig06)
+        assert len(fig06) == 12
+
+
+class TestCompareVerdicts:
+    @staticmethod
+    def payload(**verdicts):
+        by_benchmark = {}
+        for claim_id, passed in verdicts.items():
+            benchmark = claim_id.split(".", 1)[0]
+            by_benchmark.setdefault(benchmark, []).append(
+                {"id": claim_id, "passed": passed})
+        return {"benchmarks": [
+            {"id": benchmark, "claims": claims}
+            for benchmark, claims in by_benchmark.items()
+        ]}
+
+    def test_no_regressions_on_identical_reports(self):
+        report = self.payload(**{"fig01.a": True, "fig01.b": False})
+        assert compare_verdicts(report, report) == []
+
+    def test_pass_to_fail_is_a_regression(self):
+        committed = self.payload(**{"fig01.a": True})
+        fresh = self.payload(**{"fig01.a": False})
+        regressions = compare_verdicts(committed, fresh)
+        assert len(regressions) == 1 and "fig01.a" in regressions[0]
+
+    def test_fail_to_fail_is_not_a_regression(self):
+        committed = self.payload(**{"fig01.a": False})
+        fresh = self.payload(**{"fig01.a": False})
+        assert compare_verdicts(committed, fresh) == []
+
+    def test_skipped_benchmark_is_ignored(self):
+        committed = self.payload(**{"fig01.a": True, "table2.b": True})
+        fresh = self.payload(**{"table2.b": True})  # --only table2
+        assert compare_verdicts(committed, fresh) == []
+
+    def test_missing_claim_in_present_benchmark_is_a_regression(self):
+        committed = self.payload(**{"fig01.a": True, "fig01.b": True})
+        fresh = self.payload(**{"fig01.a": True})
+        regressions = compare_verdicts(committed, fresh)
+        assert len(regressions) == 1 and "fig01.b" in regressions[0]

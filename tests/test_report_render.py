@@ -1,0 +1,80 @@
+"""Golden-file and unit tests for the REPRODUCTION.md renderer."""
+
+import json
+from pathlib import Path
+
+from repro.report.render import render_markdown, write_reports
+
+DATA = Path(__file__).parent / "data"
+
+
+def fixture_payload():
+    return json.loads((DATA / "reproduction_fixture.json").read_text())
+
+
+class TestGoldenFile:
+    def test_fixed_payload_renders_byte_identically(self):
+        """Rendering is a pure function of the payload (no clocks, no env).
+
+        If this fails after an intentional renderer change, regenerate with::
+
+            PYTHONPATH=src python -c "
+            import json, pathlib
+            from repro.report.render import render_markdown
+            data = pathlib.Path('tests/data')
+            payload = json.loads((data / 'reproduction_fixture.json').read_text())
+            (data / 'REPRODUCTION.golden.md').write_text(render_markdown(payload))"
+        """
+        golden = (DATA / "REPRODUCTION.golden.md").read_text()
+        assert render_markdown(fixture_payload()) == golden
+
+    def test_rendering_is_deterministic(self):
+        payload = fixture_payload()
+        assert render_markdown(payload) == render_markdown(payload)
+
+
+class TestRenderedContent:
+    def test_failed_benchmark_shows_traceback_and_status(self):
+        rendered = render_markdown(fixture_payload())
+        assert "**FAILED**" in rendered
+        assert "RuntimeError: synthetic failure" in rendered
+
+    def test_claim_verdicts_visible(self):
+        rendered = render_markdown(fixture_payload())
+        assert "| pass |" in rendered
+        assert "| **FAIL** |" in rendered
+        assert "error: benchmark produced no result" in rendered
+
+    def test_pipe_characters_in_output_do_not_break_tables(self):
+        payload = fixture_payload()
+        payload["benchmarks"][0]["claims"][0]["observed"] = "a | b"
+        rendered = render_markdown(payload)
+        assert "a \\| b" in rendered
+
+    def test_all_pass_banner(self):
+        payload = fixture_payload()
+        for entry in payload["benchmarks"]:
+            entry["status"] = "ok"
+            entry["error"] = None
+            for verdict in entry["claims"]:
+                verdict["passed"] = True
+                verdict["error"] = None
+        payload["summary"].update(
+            benchmarks_ok=2, benchmarks_failed=[], claims_passed=3,
+            claims_failed=0)
+        rendered = render_markdown(payload)
+        assert "All registered paper claims hold" in rendered
+
+
+class TestWriteReports:
+    def test_writes_json_and_md(self, tmp_path):
+        payload = fixture_payload()
+        written = write_reports(payload, tmp_path / "REPRODUCTION.json",
+                                tmp_path / "REPRODUCTION.md")
+        round_tripped = json.loads(written["json"].read_text())
+        assert round_tripped["summary"]["claims_total"] == 3
+        assert written["md"].read_text() == render_markdown(payload)
+
+    def test_json_only(self, tmp_path):
+        written = write_reports(fixture_payload(), tmp_path / "r.json")
+        assert "md" not in written and written["json"].exists()
