@@ -6,7 +6,6 @@ node. NuPS scales up to near-linearly; Lapse and Petuum do not outperform the
 single node even at 16 nodes.
 """
 
-import pytest
 
 from common import FAST, print_header, run_once, run_system
 from repro.analysis.speedup import raw_speedup

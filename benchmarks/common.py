@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.runner.config import ExperimentConfig
 from repro.runner.experiment import ExperimentResult, run_experiment
@@ -65,6 +65,8 @@ TASK_FACTORIES: Dict[str, Callable] = {
 SYSTEM_OVERRIDES: Dict[str, Dict[str, object]] = {
     "nups": dict(NUPS_BENCH_OVERRIDES),
     "nups-tuned": dict(NUPS_BENCH_OVERRIDES),
+    "nups-adaptive": dict(NUPS_BENCH_OVERRIDES),
+    "nups-adaptive-tuned": dict(NUPS_BENCH_OVERRIDES),
     "relocation+replication": dict(NUPS_BENCH_OVERRIDES),
     "relocation+sampling": dict(NUPS_BENCH_OVERRIDES),
 }

@@ -1,0 +1,43 @@
+"""Adaptive parameter management: online hot-spot detection + re-management.
+
+The paper fixes NuPS's management plan before training from dataset
+statistics and explicitly lists "fine-grained dynamic switching" as future
+work (see :mod:`repro.core.management`). This subsystem closes that loop
+without an oracle: per-key access statistics are collected online from the
+parameter-server hot path (:mod:`repro.adaptive.stats`), pluggable policies
+turn them into a desired :class:`~repro.core.management.ManagementPlan`
+(:mod:`repro.adaptive.policy`), and an
+:class:`~repro.adaptive.controller.AdaptiveController` periodically diffs the
+current plan against the desired one and issues incremental transitions
+through ``NuPS.remanage``, charging replica creation/teardown traffic to the
+network model (:mod:`repro.adaptive.controller`).
+
+The subsystem is strictly opt-in: with ``ExperimentConfig.adaptive`` unset
+(and no controller attached), no statistics are collected and every run is
+bit-identical to a build without this package.
+"""
+
+from repro.adaptive.controller import (
+    AdaptiveConfig,
+    AdaptiveController,
+    install_adaptive,
+)
+from repro.adaptive.policy import (
+    HotSpotPolicy,
+    ManagementPolicy,
+    TopKPolicy,
+    make_policy,
+)
+from repro.adaptive.stats import AccessStats, SpaceSavingSketch
+
+__all__ = [
+    "AccessStats",
+    "AdaptiveConfig",
+    "AdaptiveController",
+    "HotSpotPolicy",
+    "ManagementPolicy",
+    "SpaceSavingSketch",
+    "TopKPolicy",
+    "install_adaptive",
+    "make_policy",
+]

@@ -1,0 +1,223 @@
+"""Online per-key access statistics for adaptive management.
+
+The management policies need two quantities the paper derives offline from
+dataset statistics: the *mean* per-key access frequency (the denominator of
+the 100x-mean hot-spot heuristic, Section 5.1) and the identity and frequency
+of the *hottest* keys. Collecting an exact per-key histogram online would
+cost O(num_keys) memory and O(batch) maintenance on the PS hot path — cheap
+in this simulator, but exactly the cost a real server cannot pay for billions
+of keys. :class:`AccessStats` therefore keeps cost O(hot set):
+
+* a scalar exponential-decay counter of total observed accesses (enough for
+  the mean: the key-space size is known), and
+* a bounded :class:`SpaceSavingSketch` — the Metwally et al. space-saving
+  top-k summary — holding frequency estimates for at most ``capacity`` keys.
+
+Both decay with a configurable half-life in *simulated* time, so the
+statistics track the recent workload and age out a hot set that has drifted
+away. Decay is applied lazily at adaptation boundaries (the controller calls
+:meth:`AccessStats.decay_to` before reading), which keeps the hot-path
+``observe`` a pure accumulate: feeding keys from the per-worker batch path or
+from round-fusion charge plans never touches clocks, metrics, or values, so
+runs with statistics collection disabled are bit-identical to runs without
+the subsystem, and enabled runs remain a deterministic function of the seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.data.zipf import empirical_skew_summary, frequency_histogram
+
+__all__ = ["AccessStats", "SpaceSavingSketch"]
+
+
+class SpaceSavingSketch:
+    """Bounded top-k frequency sketch (space-saving, batch variant).
+
+    Tracks at most ``capacity`` keys with over-estimating counters. A batch
+    of new keys that does not fit evicts the currently smallest counters:
+    each new key inherits the evicted counter's value plus its own batch
+    count — the classic space-saving property that a *tracked* counter never
+    under-estimates, applied per batch instead of per item. Eviction order is
+    deterministic: victims are the smallest ``(count, key)`` pairs, new keys
+    enter by decreasing batch count (ties by key), so equal streams produce
+    equal sketches.
+
+    Batch-overflow rule: when one batch carries more *new* distinct keys
+    than the sketch has slots, only the ``capacity`` hottest of them (by
+    batch count, ties by key) enter; the colder remainder of that batch is
+    dropped rather than chained through further evictions. Size ``capacity``
+    well above the per-batch novelty (the default 512 vs. key batches of at
+    most a few hundred) and the rule never triggers.
+    """
+
+    __slots__ = ("capacity", "_index", "_keys", "_counts", "_size")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._index: Dict[int, int] = {}
+        self._keys = np.zeros(self.capacity, dtype=np.int64)
+        self._counts = np.zeros(self.capacity, dtype=np.float64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ----------------------------------------------------------------- update
+    def update(self, keys: list, counts: list) -> None:
+        """Add ``counts[i]`` observations of ``keys[i]`` (keys distinct)."""
+        index = self._index
+        sketch_counts = self._counts
+        fresh: list = []
+        for key, count in zip(keys, counts):
+            slot = index.get(key)
+            if slot is not None:
+                sketch_counts[slot] += count
+            else:
+                fresh.append((key, count))
+        if not fresh:
+            return
+        size = self._size
+        sketch_keys = self._keys
+        free = self.capacity - size
+        if free:
+            for key, count in fresh[:free]:
+                sketch_keys[size] = key
+                sketch_counts[size] = count
+                index[key] = size
+                size += 1
+            self._size = size
+            fresh = fresh[free:]
+            if not fresh:
+                return
+        # Evict the smallest (count, key) counters, one per remaining fresh
+        # key; the hottest fresh keys take the smallest victims. Both orders
+        # are total, so the result is independent of dict/stream order.
+        fresh.sort(key=lambda pair: (-pair[1], pair[0]))
+        victims = np.lexsort((sketch_keys[:size], sketch_counts[:size]))
+        for (key, count), slot in zip(fresh, victims.tolist()):
+            evicted = int(sketch_keys[slot])
+            del index[evicted]
+            sketch_keys[slot] = key
+            sketch_counts[slot] += count  # inherit the evicted estimate
+            index[key] = slot
+
+    def scale(self, factor: float) -> None:
+        """Multiply every counter by ``factor`` (exponential decay)."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        self._counts[: self._size] *= factor
+
+    # ---------------------------------------------------------------- queries
+    def estimate(self, key: int) -> float:
+        """Frequency estimate of ``key`` (0.0 when not tracked)."""
+        slot = self._index.get(int(key))
+        return float(self._counts[slot]) if slot is not None else 0.0
+
+    def items(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(keys, estimates)`` sorted by decreasing estimate, ties by key.
+
+        The deterministic total order makes top-k selections reproducible
+        even when estimates tie exactly.
+        """
+        size = self._size
+        keys = self._keys[:size]
+        counts = self._counts[:size]
+        order = np.lexsort((keys, -counts))
+        return keys[order].copy(), counts[order].copy()
+
+    def min_estimate(self) -> float:
+        """The smallest tracked estimate (the sketch's error bound)."""
+        if self._size == 0:
+            return 0.0
+        return float(self._counts[: self._size].min())
+
+
+class AccessStats:
+    """Decayed access statistics observed from the PS hot path.
+
+    ``observe`` is the tap the parameter server calls with each direct-access
+    key batch (the same key arrays its charge plans are built from); it only
+    accumulates. ``decay_to`` ages the statistics to a simulated timestamp
+    with half-life ``half_life`` and is called by the controller at
+    adaptation boundaries, so decay granularity equals the adaptation period.
+    """
+
+    def __init__(self, num_keys: int, capacity: int = 512,
+                 half_life: float = 0.02) -> None:
+        if num_keys <= 0:
+            raise ValueError("num_keys must be positive")
+        if half_life <= 0:
+            raise ValueError("half_life must be positive")
+        self.num_keys = int(num_keys)
+        self.half_life = float(half_life)
+        self.sketch = SpaceSavingSketch(capacity)
+        #: Decayed total of observed accesses (same decay as the sketch).
+        self.total_observed = 0.0
+        #: Undecayed lifetime total (warm-up gating, reporting).
+        self.lifetime_observed = 0.0
+        self._time = 0.0
+
+    # ----------------------------------------------------------------- taps
+    def observe(self, keys: np.ndarray) -> None:
+        """Record one batch of accessed keys (hot path: accumulate only)."""
+        n = len(keys)
+        if n == 0:
+            return
+        self.total_observed += n
+        self.lifetime_observed += n
+        if n <= 32:
+            grouped: Dict[int, int] = {}
+            for key in keys.tolist():
+                grouped[key] = grouped.get(key, 0) + 1
+            self.sketch.update(list(grouped.keys()), list(grouped.values()))
+        else:
+            unique, counts = np.unique(np.asarray(keys), return_counts=True)
+            self.sketch.update(unique.tolist(), counts.tolist())
+
+    # ----------------------------------------------------------------- decay
+    def decay_to(self, now: float) -> None:
+        """Age the statistics to simulated time ``now`` (idempotent)."""
+        now = float(now)
+        if now <= self._time:
+            return
+        factor = 0.5 ** ((now - self._time) / self.half_life)
+        self.sketch.scale(factor)
+        self.total_observed *= factor
+        self._time = now
+
+    # --------------------------------------------------------------- queries
+    def mean_frequency(self) -> float:
+        """Decayed mean access frequency over the whole key space."""
+        return self.total_observed / self.num_keys
+
+    def hot_keys(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(keys, estimates)`` of the tracked hot set, hottest first."""
+        return self.sketch.items()
+
+    def skew_summary(self, top_fraction: float = 0.001) -> dict:
+        """Observed-skew summary in the style of Section 2.1.
+
+        Computed over the sketch's frequency histogram (the same
+        :func:`~repro.data.zipf.frequency_histogram` curve the offline skew
+        analysis reports), padded with zeros for untracked keys.
+        """
+        _, estimates = self.sketch.items()
+        histogram = np.zeros(self.num_keys, dtype=np.float64)
+        histogram[: len(estimates)] = frequency_histogram(estimates)
+        return empirical_skew_summary(histogram, top_fraction=top_fraction)
+
+    def describe(self) -> dict:
+        return {
+            "num_keys": self.num_keys,
+            "half_life": self.half_life,
+            "capacity": self.sketch.capacity,
+            "tracked": len(self.sketch),
+            "total_observed": self.total_observed,
+            "lifetime_observed": self.lifetime_observed,
+        }

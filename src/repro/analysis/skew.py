@@ -11,14 +11,17 @@ from typing import Dict
 
 import numpy as np
 
-from repro.data.zipf import empirical_skew_summary
+from repro.data.zipf import empirical_skew_summary, frequency_histogram
 from repro.ml.task import TrainingTask
 
 
 def access_frequency_curve(counts: np.ndarray) -> np.ndarray:
-    """Access counts sorted in decreasing order (the Figure 3 y-series)."""
-    counts = np.asarray(counts, dtype=np.float64)
-    return np.sort(counts)[::-1]
+    """Access counts sorted in decreasing order (the Figure 3 y-series).
+
+    Thin alias of :func:`repro.data.zipf.frequency_histogram`, the one
+    frequency-histogram helper shared with the online access statistics.
+    """
+    return frequency_histogram(counts)
 
 
 def task_access_profile(task: TrainingTask) -> Dict[str, np.ndarray]:

@@ -107,6 +107,12 @@ class NuPS(RelocationPS, SamplingHost):
             node_id: deque(maxlen=self.sampling_manager.config.scheme_config.repurpose_buffer_size)
             for node_id in range(cluster.num_nodes)
         }
+        #: Optional online access-statistics tap (see :mod:`repro.adaptive`).
+        #: ``None`` (the default) keeps the hot paths untouched: adaptive-off
+        #: runs are bit-identical to a build without the adaptive subsystem.
+        self.access_observer = None
+        #: Optional adaptive-management controller driven from housekeeping.
+        self.adaptive_controller = None
 
     # ----------------------------------------------------------------- factory
     @classmethod
@@ -143,20 +149,30 @@ class NuPS(RelocationPS, SamplingHost):
         """Install a new management plan mid-run (the re-management hook).
 
         The paper fixes the technique per key before training starts and lists
-        dynamic switching as future work; this hook provides the minimal
-        dynamic variant the scenario engine needs: when the hot set drifts,
-        intent signaling (e.g. refreshed dataset statistics) can re-derive a
-        plan and re-target replication at the new hot spots. Pending replica
-        updates of the old plan are flushed into the store first (forced
-        sync), then the replica state is rebuilt for the new plan. Keys that
-        leave the replicated set fall back to relocation management; keys that
-        enter it are replicated from their current global values.
+        dynamic switching as future work; this hook provides the dynamic
+        variant the scenario engine and the adaptive controller
+        (:mod:`repro.adaptive`) need: when the hot set drifts, intent
+        signaling (refreshed dataset statistics) or online hot-spot detection
+        can re-derive a plan and re-target replication at the new hot spots.
+        Pending replica updates of the old plan are flushed into the store
+        first (forced sync), then the replica state is rebuilt for the new
+        plan. Keys that leave the replicated set fall back to relocation
+        management; keys that enter it are replicated from their current
+        global values.
+
+        Re-managing to a plan with the *identical* replicated key set is a
+        no-op: no forced sync, no replica rebuild, no metrics — callers that
+        diff plans incrementally (the adaptive controller) can call this
+        unconditionally without perturbing the simulation.
         """
         if plan.num_keys != self.store.num_keys:
             raise ValueError(
                 "management plan covers a different key space than the store: "
                 f"{plan.num_keys} != {self.store.num_keys}"
             )
+        if np.array_equal(plan.replicated_keys, self.plan.replicated_keys):
+            self.plan = plan
+            return
         now = self.cluster.time if now is None else float(now)
         self.replica_manager.force_sync(now)
         self.plan = plan
@@ -167,12 +183,28 @@ class NuPS(RelocationPS, SamplingHost):
         )
         self.metrics.increment("management.replans", 1)
 
+    def attach_adaptive(self, controller) -> None:
+        """Wire an adaptive controller and its statistics tap into this PS.
+
+        Installed by :func:`repro.adaptive.controller.install_adaptive`. The
+        controller's :class:`~repro.adaptive.stats.AccessStats` becomes the
+        access observer fed from the direct-access paths, and the controller
+        itself runs from :meth:`housekeeping`.
+        """
+        if self.adaptive_controller is not None:
+            raise RuntimeError("an adaptive controller is already attached")
+        self.adaptive_controller = controller
+        self.access_observer = controller.stats
+
     def housekeeping(self, now: float) -> None:
-        """Run due replica synchronizations and sampling-scheme maintenance."""
+        """Run due replica synchronizations, sampling-scheme maintenance, and
+        adaptive-management steps."""
         self.replica_manager.maybe_sync(now)
         if self.integrate_sampling:
             for node_id in range(self.cluster.num_nodes):
                 self.sampling_manager.housekeeping(node_id, now)
+        if self.adaptive_controller is not None:
+            self.adaptive_controller.on_housekeeping(now)
 
     def finish_epoch(self) -> None:
         """Synchronize replicas so that all nodes agree at the epoch boundary."""
@@ -255,6 +287,8 @@ class NuPS(RelocationPS, SamplingHost):
         Returns ``(values, partition, charge_plan)`` so a same-keys push can
         reuse the management split and the relocated charge plan.
         """
+        if self.access_observer is not None:
+            self.access_observer.observe(keys)
         node_id = worker.node_id
         partition = self._split_managed(keys)
         replicated_idx, relocated_idx = partition
@@ -288,6 +322,8 @@ class NuPS(RelocationPS, SamplingHost):
                        deltas: np.ndarray, acc: RoundAccounting,
                        partition=None, charge_plan=None) -> None:
         """:meth:`_push` (direct access) with bookkeeping deferred to ``acc``."""
+        if self.access_observer is not None:
+            self.access_observer.observe(keys)
         node_id = worker.node_id
         if partition is None:
             partition = self._split_managed(keys)
@@ -416,6 +452,11 @@ class NuPS(RelocationPS, SamplingHost):
     def _pull(self, worker: WorkerContext, keys: np.ndarray, sampling: bool) -> np.ndarray:
         if len(keys) == 0:
             return np.empty((0, self.store.value_length), dtype=np.float32)
+        if not sampling and self.access_observer is not None:
+            # Online access statistics observe the direct-access stream (the
+            # frequencies the paper's management heuristics are defined on);
+            # sampling access is managed by the sampling subsystem.
+            self.access_observer.observe(keys)
         kind = "sample" if sampling else "pull"
         if self.plan.num_replicated == 0:
             # Relocation-only plan: every key takes the relocation path.
@@ -455,6 +496,8 @@ class NuPS(RelocationPS, SamplingHost):
               sampling: bool) -> None:
         if len(keys) == 0:
             return
+        if not sampling and self.access_observer is not None:
+            self.access_observer.observe(keys)
         kind = "sample_push" if sampling else "push"
         if self.plan.num_replicated == 0:
             self._charge_access(worker, keys, kind)
@@ -499,4 +542,6 @@ class NuPS(RelocationPS, SamplingHost):
         description.update(self.plan.describe())
         description["sync_interval"] = self.replica_manager.sync_interval
         description["integrate_sampling"] = self.integrate_sampling
+        if self.adaptive_controller is not None:
+            description["adaptive"] = self.adaptive_controller.describe()
         return description

@@ -150,6 +150,26 @@ class ReplicaManager:
         if self.enabled:
             self._sync_once(now)
 
+    def refresh_all(self) -> None:
+        """Reload every replica from the store's current values.
+
+        For callers that mutate the store *underneath* the replicas —
+        hot-set drift permutes rows after flushing buffered updates
+        (``ParameterStore.permute``) — so that replicated keys do not keep
+        serving the pre-mutation parameter values. Discards any buffered
+        updates (callers must flush first via :meth:`force_sync`; after a
+        permutation the buffers would credit the wrong keys anyway) and
+        charges nothing: like the initial replication at construction, this
+        models state copied as part of an already-charged transition.
+        """
+        if not self.enabled:
+            return
+        fresh = self.store.get(self.replicated_keys)
+        for node_id in range(self.cluster.num_nodes):
+            self._replicas[node_id][...] = fresh
+            self._buffers[node_id][...] = 0.0
+            self._dirty[node_id][:] = False
+
     def _sync_once(self, now: float) -> None:
         # Union of dirty slots across nodes: only updated parameters are
         # exchanged (sparse all-reduce, Section 3.2).

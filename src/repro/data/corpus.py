@@ -15,7 +15,7 @@ The generator produces sentences over a vocabulary with two properties:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 

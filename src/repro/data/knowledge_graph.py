@@ -16,7 +16,7 @@ A held-out test split supports filtered ranking evaluation as in LibKGE.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 

@@ -45,6 +45,21 @@ def zipf_sample(rng: np.random.Generator, num_items: int, size: int,
     return rng.choice(num_items, size=size, p=probabilities).astype(np.int64)
 
 
+def frequency_histogram(counts: np.ndarray) -> np.ndarray:
+    """Per-item frequencies sorted in decreasing order.
+
+    The canonical "accesses per parameter" histogram of Figure 3: position
+    ``i`` holds the frequency of the ``i``-th most frequently accessed item.
+    Shared by the offline skew analysis (:mod:`repro.analysis.skew`) and the
+    online access statistics (:mod:`repro.adaptive.stats`), which summarize
+    observed frequencies with exactly the same curve.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 1:
+        raise ValueError("counts must be one-dimensional")
+    return np.sort(counts)[::-1]
+
+
 def empirical_skew_summary(counts: np.ndarray, top_fraction: float = 0.0002) -> dict:
     """Summarize skew the way the paper does in Section 2.1.
 
@@ -57,7 +72,7 @@ def empirical_skew_summary(counts: np.ndarray, top_fraction: float = 0.0002) -> 
     if not 0 < top_fraction <= 1:
         raise ValueError("top_fraction must be in (0, 1]")
     total = counts.sum()
-    sorted_counts = np.sort(counts)[::-1]
+    sorted_counts = frequency_histogram(counts)
     top_k = max(1, int(round(top_fraction * len(counts))))
     top_share = sorted_counts[:top_k].sum() / total if total > 0 else 0.0
     return {

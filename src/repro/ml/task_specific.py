@@ -22,7 +22,7 @@ makes them fast or slow relative to a general-purpose PS:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 

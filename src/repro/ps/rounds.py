@@ -34,7 +34,7 @@ batch, never what is correct.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -629,6 +629,53 @@ CLAIMS += [
            paths=["drift_checks.classic.flat"]),
 ]
 
+# --- Adaptive management (dynamic switching; the paper's future work) -----
+_REF_ADPT = "Adaptive management (extends Section 3.2; see BENCH_adaptive.json)"
+CLAIMS += [
+    _claim("adaptive", "drift.adaptive_recovers",
+           "after hot-set drift with no oracle signal, adaptive NuPS "
+           "recovers >= 95% of the oracle-remanaged post-drift performance",
+           "threshold", _REF_ADPT,
+           path="drift.recovery.adaptive", op=">=", value=0.95),
+    _claim("adaptive", "drift.static_does_not_recover",
+           "static NuPS with a stale plan stays below 95% of the "
+           "oracle-remanaged post-drift performance",
+           "threshold", _REF_ADPT,
+           path="drift.recovery.static", op="<", value=0.95),
+    _claim("adaptive", "drift.quality_recovered",
+           "adaptive NuPS reaches >= 95% of the oracle-remanaged final "
+           "model quality",
+           "threshold", _REF_ADPT,
+           path="drift.quality_ratio.adaptive", op=">=", value=0.95),
+    _claim("adaptive", "drift.controller_adapted",
+           "recovery came from online adaptation: the controller issued "
+           "at least one re-management transition",
+           "threshold", _REF_ADPT,
+           path="drift.adaptations", op=">=", value=1),
+    _claim("adaptive", "stationary.time_within_noise",
+           "on a stationary workload adaptive NuPS matches static NuPS's "
+           "run time within 5%",
+           "bracket", _REF_ADPT,
+           path="stationary.time_ratio", lo=0.95, hi=1.05),
+    _claim("adaptive", "stationary.quality_within_noise",
+           "on a stationary workload adaptive NuPS matches static NuPS's "
+           "final quality within the workload's seed-level noise (~+-40% "
+           "relative MRR at bench scale)",
+           "bracket", _REF_ADPT,
+           path="stationary.quality_ratio", lo=0.8, hi=1.25),
+    _claim("adaptive", "storm.controller_adapts",
+           "under the storm preset (drift + stragglers + churn + degrading "
+           "network) the controller keeps issuing transitions",
+           "threshold", _REF_ADPT,
+           path="storm.adaptations", op=">=", value=1),
+    _claim("adaptive", "storm.adaptive_beats_static",
+           "under the storm preset adaptive NuPS finishes no later than "
+           "static NuPS (stale plans cost time even amid compound "
+           "perturbations)",
+           "threshold", _REF_ADPT,
+           path="storm.time_ratio_adaptive_vs_static", op="<=", value=1.0),
+]
+
 # --- Simulator throughput (engineering appendix) --------------------------
 _REF_THRU = "Simulator engineering (BENCH_throughput.json)"
 CLAIMS += [

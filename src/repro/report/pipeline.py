@@ -88,6 +88,9 @@ REGISTRY: List[BenchmarkSpec] = [
                   "section"),
     BenchmarkSpec("scenarios", "bench_scenarios",
                   "Appendix: dynamic-workload scenario sweep", "appendix"),
+    BenchmarkSpec("adaptive", "bench_adaptive",
+                  "Appendix: adaptive parameter management under drift",
+                  "appendix"),
     BenchmarkSpec("throughput", "bench_throughput",
                   "Appendix: simulator-throughput microbenchmark", "appendix"),
     BenchmarkSpec("profile", "bench_profile",

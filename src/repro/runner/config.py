@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.simulation.cluster import ClusterConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.adaptive.controller import AdaptiveConfig
     from repro.scenarios.base import Scenario
 
 
@@ -51,6 +52,15 @@ class ExperimentConfig:
         invokes at epoch and round boundaries. ``None`` (the default) runs
         the static experiment, bit-identical to a runner without scenario
         support.
+    adaptive:
+        Optional :class:`~repro.adaptive.controller.AdaptiveConfig` enabling
+        online adaptive parameter management (see :mod:`repro.adaptive`):
+        the runner attaches an adaptive controller to the experiment's
+        parameter server, which observes access skew from the hot path and
+        re-manages hot spots through ``remanage`` during training — no
+        oracle signal required. Requires a re-management-capable system
+        (NuPS). ``None`` (the default) collects no statistics and is
+        bit-identical to a runner without adaptive support.
     round_fusion:
         Route each scheduling round through the task's
         :meth:`~repro.ml.task.TrainingTask.process_round` hook (default), so
@@ -72,6 +82,7 @@ class ExperimentConfig:
     evaluate_every: int = 1
     seed: int = 0
     scenario: Optional["Scenario"] = None
+    adaptive: Optional["AdaptiveConfig"] = None
     round_fusion: bool = True
 
     def __post_init__(self) -> None:
@@ -89,4 +100,9 @@ class ExperimentConfig:
             raise TypeError(
                 "scenario must be a repro.scenarios.Scenario (or expose a "
                 f"compatible bind method), got {type(self.scenario).__name__}"
+            )
+        if self.adaptive is not None and not hasattr(self.adaptive, "policy"):
+            raise TypeError(
+                "adaptive must be a repro.adaptive.AdaptiveConfig (or expose "
+                f"a compatible policy attribute), got {type(self.adaptive).__name__}"
             )

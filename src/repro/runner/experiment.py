@@ -132,6 +132,16 @@ def run_experiment(
     cluster = Cluster(config.cluster)
     store = task.create_store(seed=config.seed)
     ps = ps_factory(store, cluster, task)
+    if config.adaptive is not None and getattr(ps, "adaptive_controller", None) is None:
+        # Online adaptive management: attach the statistics tap and the
+        # periodic controller to the raw PS (hot-set-drift scenarios remap
+        # keys *above* this layer, so the controller observes and re-manages
+        # physical keys — exactly the space management plans live in). A PS
+        # built by an adaptive system factory arrives with its controller
+        # already attached; the config then applies to plain factories.
+        from repro.adaptive.controller import install_adaptive
+
+        install_adaptive(ps, config.adaptive)
     # A dynamic-workload scenario wraps the PS (key remapping for hot-set
     # drift) and receives callbacks at epoch and round boundaries. Without a
     # scenario the experiment runs on the raw PS, exactly as before.

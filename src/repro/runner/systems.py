@@ -18,15 +18,18 @@ Name                        Paper system
 ``relocation+replication``  ablation: multi-technique management, no sampling
                             integration
 ``relocation+sampling``     ablation: relocation only, with sampling integration
+``nups-adaptive``           NuPS + online adaptive management (hot-spot
+                            heuristic re-derived from observed access skew)
+``nups-adaptive-tuned``     NuPS tuned + online adaptive management (top-k
+                            extent re-targeted from observed access skew)
 ==========================  ====================================================
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
-import numpy as np
-
+from repro.adaptive.controller import AdaptiveConfig, install_adaptive
 from repro.core.management import DEFAULT_HOT_SPOT_FACTOR, ManagementPlan
 from repro.core.nups import NuPS
 from repro.core.replica_manager import DEFAULT_SYNC_INTERVAL
@@ -140,6 +143,32 @@ def build_nups_tuned(store: ParameterStore, cluster: Cluster,
     return build_nups(store, cluster, task, **overrides)
 
 
+def build_nups_adaptive(store: ParameterStore, cluster: Cluster,
+                        task: TrainingTask, **overrides) -> ParameterServer:
+    """NuPS + online adaptive management (no oracle re-management needed).
+
+    Starts from the same dataset-statistics plan as ``nups`` and then lets
+    an :class:`~repro.adaptive.controller.AdaptiveController` track observed
+    access skew and re-manage hot spots during training. Pass an
+    ``adaptive_config`` override to tune the controller.
+    """
+    adaptive_config = overrides.pop("adaptive_config", None) \
+        or AdaptiveConfig(policy="hot-spot")
+    ps = build_nups(store, cluster, task, **overrides)
+    install_adaptive(ps, adaptive_config)
+    return ps
+
+
+def build_nups_adaptive_tuned(store: ParameterStore, cluster: Cluster,
+                              task: TrainingTask, **overrides) -> ParameterServer:
+    """NuPS tuned + online top-k re-targeting of the replication extent."""
+    adaptive_config = overrides.pop("adaptive_config", None) \
+        or AdaptiveConfig(policy="top-k")
+    ps = build_nups_tuned(store, cluster, task, **overrides)
+    install_adaptive(ps, adaptive_config)
+    return ps
+
+
 def build_relocation_replication(store: ParameterStore, cluster: Cluster,
                                  task: TrainingTask, **overrides) -> ParameterServer:
     """Ablation: multi-technique management without sampling integration."""
@@ -162,6 +191,8 @@ SYSTEM_BUILDERS: Dict[str, Callable[..., ParameterServer]] = {
     "lapse": build_lapse,
     "nups": build_nups,
     "nups-tuned": build_nups_tuned,
+    "nups-adaptive": build_nups_adaptive,
+    "nups-adaptive-tuned": build_nups_adaptive_tuned,
     "relocation+replication": build_relocation_replication,
     "relocation+sampling": build_relocation_sampling,
 }

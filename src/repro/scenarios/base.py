@@ -190,14 +190,17 @@ class ScenarioRuntime:
         self.paused.discard(key)
         self.metrics.increment("scenario.worker_resumes", 1, node=key[0])
 
-    def apply_drift(self, shift: float) -> None:
+    def apply_drift(self, shift: float, oracle_remanage: bool = True) -> None:
         """Rotate the workload-to-key mapping by ``shift`` (hot-set drift).
 
         Buffered PS state is flushed first (epoch-boundary semantics), then
-        the store rows move together with the mapping, and finally NuPS-style
-        servers that expose a ``remanage`` hook get a management plan
-        re-derived for the *new* physical hot set — modeling intent signaling
-        that reacts to drift. Static baselines receive no such signal.
+        the store rows move together with the mapping. With
+        ``oracle_remanage`` (the default), NuPS-style servers that expose a
+        ``remanage`` hook finally get a management plan re-derived for the
+        *new* physical hot set — modeling intent signaling that reacts to
+        drift. Static baselines receive no such signal, and with
+        ``oracle_remanage=False`` nobody does: recovering then requires
+        *online* hot-spot detection (see :mod:`repro.adaptive`).
         """
         if self.remapper is None:
             raise RuntimeError(
@@ -208,7 +211,19 @@ class ScenarioRuntime:
         sigma = self.remapper.rotation(shift)
         self.ps.store.permute(sigma)
         self.remapper.apply(sigma)
-        if hasattr(self.ps, "remanage") and self.ps.plan.num_replicated > 0:
+        # The store rows just moved underneath any eagerly replicated keys;
+        # reload the replicas so they keep serving the *values* they held
+        # before the relabeling (the drift contract: values move with their
+        # logical key, only management state goes stale). Without this, a
+        # replicated key that receives no further pushes would serve the
+        # pre-drift parameter forever on the no-oracle path (and on the
+        # oracle path whenever the re-derived plan's key set coincides with
+        # the current one, where remanage is a no-op).
+        manager = getattr(self.ps, "replica_manager", None)
+        if manager is not None:
+            manager.refresh_all()
+        if oracle_remanage and hasattr(self.ps, "remanage") \
+                and self.ps.plan.num_replicated > 0:
             counts = np.empty(self.remapper.num_keys, dtype=np.float64)
             counts[self.remapper.physical_index] = self.task.access_counts()
             plan = ManagementPlan.top_k_by_count(

@@ -37,25 +37,33 @@ class HotSetDrift(Perturbation):
     at the start of the epoch, an integer fires at that round boundary inside
     the epoch (mid-epoch drift). ``shift`` is the rotation distance as a
     fraction of each key group's size.
+
+    ``oracle_remanage`` controls the *intent signal*: with the default
+    ``True``, re-management-capable servers (NuPS) receive a management plan
+    re-derived from the post-drift dataset statistics — an oracle that knows
+    exactly where the hot set moved. With ``False`` no server is told
+    anything; only systems that detect the new hot spots themselves (online
+    adaptive management, :mod:`repro.adaptive`) can re-target replication.
     """
 
     needs_remap = True
 
     def __init__(self, at: Iterable[Tuple[int, Optional[int]]] = ((1, None),),
-                 shift: float = 0.5) -> None:
+                 shift: float = 0.5, oracle_remanage: bool = True) -> None:
         if not 0 < shift < 1:
             raise ValueError("shift must be a fraction in (0, 1)")
         self.at = [(int(epoch), None if rnd is None else int(rnd))
                    for epoch, rnd in at]
         self.shift = float(shift)
+        self.oracle_remanage = bool(oracle_remanage)
 
     def on_epoch_start(self, ctx: ScenarioRuntime) -> None:
         if (ctx.epoch, None) in self.at:
-            ctx.apply_drift(self.shift)
+            ctx.apply_drift(self.shift, oracle_remanage=self.oracle_remanage)
 
     def on_round(self, ctx: ScenarioRuntime) -> None:
         if (ctx.epoch, ctx.round) in self.at:
-            ctx.apply_drift(self.shift)
+            ctx.apply_drift(self.shift, oracle_remanage=self.oracle_remanage)
 
 
 class Stragglers(Perturbation):

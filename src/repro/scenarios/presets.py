@@ -19,16 +19,22 @@ from repro.scenarios.perturbations import (
 from repro.simulation.network import NetworkSchedule
 
 
-def drift_scenario(at=((2, 0),), shift: float = 0.5) -> Scenario:
+def drift_scenario(at=((2, 0),), shift: float = 0.5,
+                   oracle_remanage: bool = True) -> Scenario:
     """Hot-set drift: the Zipf permutation rotates at the given moments.
 
     The default fires once, mid-run, at the first round boundary of epoch 2 —
     late enough that every system has settled into its steady state, early
     enough that re-adaptation is observable in the remaining epochs.
+
+    ``oracle_remanage=False`` withholds the drift's intent signal from
+    re-management-capable servers: nobody re-derives their management plan
+    for them, so the preset recovers only for systems that detect the new
+    hot set online (``nups-adaptive``; see :mod:`repro.adaptive`).
     """
     return Scenario(
         "hot-set-drift",
-        [HotSetDrift(at=at, shift=shift)],
+        [HotSetDrift(at=at, shift=shift, oracle_remanage=oracle_remanage)],
         description="workload hot set rotates mid-run",
     )
 
@@ -70,12 +76,13 @@ def degrading_network_scenario(start_epoch: int = 1, latency_growth: float = 2.0
     )
 
 
-def storm_scenario() -> Scenario:
+def storm_scenario(oracle_remanage: bool = True) -> Scenario:
     """Everything at once: drift + stragglers + churn + degrading network."""
     return Scenario(
         "storm",
         [
-            HotSetDrift(at=((2, 0),), shift=0.5),
+            HotSetDrift(at=((2, 0),), shift=0.5,
+                        oracle_remanage=oracle_remanage),
             Stragglers(severity=2.0, redraw_each_epoch=True),
             WorkerChurn(fraction=0.2),
             NetworkDegradation(NetworkSchedule.degrading(steps=2)),

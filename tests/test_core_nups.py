@@ -8,8 +8,6 @@ from repro.core.nups import NuPS
 from repro.core.sampling.conformity import ConformityLevel
 from repro.core.sampling.distributions import UniformDistribution
 from repro.ps.base import SampleHandle
-from repro.ps.storage import ParameterStore
-from repro.simulation.cluster import Cluster, ClusterConfig
 
 
 class TestManagementIntegration:

@@ -1,0 +1,66 @@
+"""Smoke tests for the example scripts in ``examples/``.
+
+The examples are documentation that executes; nothing else in the test suite
+imports them, so API drift would rot them silently (an earlier revision
+shipped an example calling a helper that had been renamed). This suite runs
+every script end-to-end in a subprocess — with its ``--quick`` tiny preset
+where the script offers one — and asserts a clean exit plus a sanity marker
+in the output.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: Every example script with its tiny-preset arguments and an output marker
+#: that only appears after the script's real work has completed.
+EXAMPLES = {
+    "quickstart.py": ([], "replica synchronizations"),
+    "sampling_schemes.py": ([], "CONFORM"),
+    "dynamic_workloads.py": ([], "scenario: degrading-network"),
+    "kge_training.py": (["--quick", "--nodes", "2"], "effective speedup"),
+    "matrix_factorization.py": (["--quick", "--epochs", "2"], "raw speedups"),
+    "word_vectors.py": (["--quick", "--nodes", "2"], "single-node"),
+}
+
+
+def _run_example(script: str, args: list) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True, text=True, timeout=300, env=env,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def test_every_example_is_covered():
+    """A new example script must be added to the smoke table above."""
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXAMPLES)
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLES))
+def test_example_runs_clean(script):
+    args, marker = EXAMPLES[script]
+    result = _run_example(script, args)
+    assert result.returncode == 0, (
+        f"{script} exited with {result.returncode}\n"
+        f"stdout:\n{result.stdout[-2000:]}\nstderr:\n{result.stderr[-2000:]}"
+    )
+    assert marker in result.stdout, (
+        f"{script} ran but its output lacks the marker {marker!r}\n"
+        f"stdout:\n{result.stdout[-2000:]}"
+    )
+    assert not result.stderr.strip(), (
+        f"{script} wrote to stderr:\n{result.stderr[-2000:]}"
+    )

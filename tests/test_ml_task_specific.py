@@ -1,6 +1,5 @@
 """Tests for the task-specific baselines (Section 5.8 stand-ins)."""
 
-import numpy as np
 import pytest
 
 from repro.data.matrix import generate_matrix

@@ -6,7 +6,6 @@ import pytest
 from repro.core.sampling.distributions import UniformDistribution
 from repro.ps.classic import ClassicPS
 from repro.ps.local import SingleNodePS
-from repro.simulation.cluster import Cluster, ClusterConfig
 
 
 class TestSingleNodePS:

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.ps.replication import ReplicationProtocol, ReplicationPS
-from repro.simulation.cluster import Cluster, ClusterConfig
 
 
 def make_ps(store, cluster, protocol=ReplicationProtocol.SSP, staleness=1):

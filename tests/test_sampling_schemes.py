@@ -12,9 +12,8 @@ from repro.core.management import ManagementPlan
 from repro.core.nups import NuPS
 from repro.core.sampling.conformity import ConformityLevel
 from repro.core.sampling.distributions import CategoricalDistribution, UniformDistribution
-from repro.core.sampling.manager import SamplingConfig, SamplingManager
+from repro.core.sampling.manager import SamplingConfig
 from repro.core.sampling.schemes import (
-    DirectAccessRepurposingScheme,
     IndependentSamplingScheme,
     LocalSamplingScheme,
     PoolSampleReuseScheme,

@@ -27,7 +27,7 @@ from repro.scenarios import (
 )
 from repro.scenarios.presets import SCENARIO_NAMES
 from repro.simulation.cluster import Cluster, ClusterConfig
-from repro.simulation.network import NetworkModel, NetworkSchedule, NetworkStage
+from repro.simulation.network import NetworkSchedule, NetworkStage
 
 
 def small_config(epochs=3, scenario=None, seed=0, chunk_size=8):
