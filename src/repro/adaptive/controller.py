@@ -206,6 +206,8 @@ class AdaptiveController:
             metrics.increment("adaptive.replicas_dropped", n_removed)
         if occupancy:
             for node_id in range(num_nodes):
+                if node_id in cluster.failed:
+                    continue  # crashed nodes sit out the broadcast
                 background = cluster.node(node_id).background_clock
                 start = max(now, background.now)
                 background.advance_to(start + occupancy)

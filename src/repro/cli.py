@@ -38,6 +38,7 @@ from repro.runner.experiment import ExperimentResult, run_experiment
 from repro.runner.reporting import format_table, quality_over_time_table, summary_table
 from repro.runner.systems import SYSTEM_NAMES, make_ps_factory
 from repro.runner.workloads import NUPS_BENCH_OVERRIDES, TASK_FACTORIES, make_task
+from repro.scenarios.presets import SCENARIO_NAMES, make_scenario
 from repro.simulation.cluster import ClusterConfig
 
 
@@ -60,6 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument("--epochs", type=int, default=2,
                                help="training epochs (default: 2)")
         subparser.add_argument("--seed", type=int, default=0)
+        subparser.add_argument(
+            "--scenario", choices=SCENARIO_NAMES, default=None,
+            help="dynamic-workload scenario preset (drift, stragglers, "
+                 "crash-storm, ...; default: static workload)")
 
     run_parser = subparsers.add_parser("run", help="train one task on one system")
     add_experiment_arguments(run_parser)
@@ -103,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write REPRODUCTION.json / REPRODUCTION.md "
              "(default: current directory)")
     reproduce_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-benchmark wall-clock limit; a benchmark over it is "
+             "retried once, then reported as failed (default: "
+             "REPRO_BENCH_TIMEOUT or unlimited)")
+    reproduce_parser.add_argument(
         "--check", type=Path, default=None, metavar="JSON",
         help="also fail if any claim regresses against this committed "
              "REPRODUCTION.json")
@@ -113,13 +123,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_one(task_name: str, scale: str, system: str, nodes: int, workers: int,
-             epochs: int, seed: int) -> ExperimentResult:
+             epochs: int, seed: int,
+             scenario: Optional[str] = None) -> ExperimentResult:
     task = make_task(task_name, scale=scale)
     num_nodes = 1 if system == "single-node" else nodes
     overrides = dict(NUPS_BENCH_OVERRIDES) if system.startswith(("nups", "relocation")) else {}
     config = ExperimentConfig(
         cluster=ClusterConfig(num_nodes=num_nodes, workers_per_node=workers),
         epochs=epochs, chunk_size=8, seed=seed,
+        scenario=make_scenario(scenario) if scenario else None,
     )
     return run_experiment(task, make_ps_factory(system, **overrides), config,
                           system_name=system)
@@ -127,7 +139,7 @@ def _run_one(task_name: str, scale: str, system: str, nodes: int, workers: int,
 
 def command_run(args: argparse.Namespace) -> int:
     result = _run_one(args.task, args.scale, args.system, args.nodes,
-                      args.workers, args.epochs, args.seed)
+                      args.workers, args.epochs, args.seed, args.scenario)
     print(quality_over_time_table([result]))
     print()
     print(summary_table([result]))
@@ -139,7 +151,8 @@ def command_compare(args: argparse.Namespace) -> int:
     for system in args.systems:
         print(f"running {args.task} on {system} ...", file=sys.stderr)
         results.append(_run_one(args.task, args.scale, system, args.nodes,
-                                args.workers, args.epochs, args.seed))
+                                args.workers, args.epochs, args.seed,
+                                args.scenario))
     print(summary_table(results))
     if any(r.system == "single-node" for r in results) and len(results) > 1:
         print()
@@ -194,7 +207,7 @@ def command_reproduce(args: argparse.Namespace) -> int:
     print(f"reproducing ({mode} mode) ...", file=sys.stderr)
     try:
         payload = run_pipeline(only=only, fast=args.fast, jobs=args.jobs,
-                               progress=progress)
+                               progress=progress, timeout=args.timeout)
     except ValueError as exc:  # unknown --only ids
         print(f"error: {exc}", file=sys.stderr)
         return 2

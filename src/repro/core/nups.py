@@ -523,6 +523,30 @@ class NuPS(RelocationPS, SamplingHost):
         self._charge_access(worker, rel_keys, kind)
         self.store.add(rel_keys, deltas[relocated_idx])
 
+    # -------------------------------------------------------------- fault API
+    def recover_values(self, keys: np.ndarray) -> tuple:
+        """Recover replicated ``keys`` from a surviving node's replica.
+
+        Every node holds a replica of every replicated key, so a crash never
+        loses the current value of the hot set — any surviving replica (at
+        most one sync interval stale) restores it. Relocated keys carry no
+        redundancy and stay unmasked (checkpoint territory).
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        mask = self.plan.replicated_mask(keys)
+        values = np.zeros((len(keys), self.store.value_length), dtype=np.float32)
+        if mask.any() and self.replica_manager.enabled:
+            donor = self.cluster.active_nodes[0]
+            values[mask] = self.replica_manager.pull(donor, keys[mask])
+        else:
+            mask = np.zeros(len(keys), dtype=bool)
+        return values, mask
+
+    def on_node_restored(self, node_id: int, now: float) -> None:
+        """Rebuild the home map and repair the rejoining node's replica."""
+        super().on_node_restored(node_id, now)
+        self.replica_manager.refresh_node(node_id)
+
     # ------------------------------------------------------------------ reports
     def replica_access_share(self) -> float:
         """Share of all accesses that went to replicas (Table 3, right columns)."""

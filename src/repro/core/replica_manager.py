@@ -170,6 +170,23 @@ class ReplicaManager:
             self._buffers[node_id][...] = 0.0
             self._dirty[node_id][:] = False
 
+    def refresh_node(self, node_id: int) -> np.ndarray:
+        """Repair one node's replica from the store's current values.
+
+        Used when a crashed node rejoins: its replica (and any updates it
+        buffered before the crash) is gone, so it re-replicates from the
+        store. Returns the deltas the crash discarded from the node's buffer
+        (callers may account them as lost work); charges nothing — the
+        recovery transition is charged by the fault controller.
+        """
+        if not self.enabled:
+            return np.empty((0, self.store.value_length), dtype=np.float32)
+        dropped = self._buffers[node_id].copy()
+        self._replicas[node_id][...] = self.store.get(self.replicated_keys)
+        self._buffers[node_id][...] = 0.0
+        self._dirty[node_id][:] = False
+        return dropped
+
     def _sync_once(self, now: float) -> None:
         # Union of dirty slots across nodes: only updated parameters are
         # exchanged (sparse all-reduce, Section 3.2).
@@ -208,6 +225,8 @@ class ReplicaManager:
             self.network.message_handling_cost + self.network.transfer_cost(payload)
         )
         for node_id in range(self.cluster.num_nodes):
+            if node_id in self.cluster.failed:
+                continue  # a crashed node does not participate in the all-reduce
             background = self.cluster.node(node_id).background_clock
             start = max(now, background.now)
             background.advance_to(start + occupancy)

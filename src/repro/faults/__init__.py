@@ -1,0 +1,44 @@
+"""Fault injection and recovery for the simulated parameter-server cluster.
+
+The paper evaluates parameter management on healthy clusters only; this
+subsystem closes that gap with three layers that compose with every PS
+architecture and the scenario engine:
+
+* **Failure modes** — server crash/restart (:class:`ServerCrashes`,
+  :class:`~repro.faults.perturbations.WorkerKill`) injected from seeded
+  schedules via the cluster's ``fail_node``/``restore_node`` hooks, and
+  message loss/duplication/timeout via
+  :class:`~repro.faults.network.FaultyNetworkModel`.
+* **Recovery mechanisms** — periodic consistent checkpoints
+  (:class:`~repro.faults.checkpoint.CheckpointManager`), owner failover by
+  live re-partitioning (``ParameterServer.fail_over``), replica repair, and
+  retry-with-backoff semantics
+  (:class:`~repro.faults.proxy.FaultTolerantParameterServer`) for
+  architectures without native waiting.
+* **Measurement** — ``benchmarks/bench_faults.py`` sweeps crash count x
+  recovery mechanism x architecture and registers recovery-time, lost-work
+  and quality-under-failure claims.
+
+Fault-off runs are bit-identical to a build without this package: all hooks
+default to empty state (an empty failed set, no proxy, no controller), so no
+clock, metric or value ever moves unless a fault perturbation is active.
+"""
+
+from repro.faults.checkpoint import CheckpointManager
+from repro.faults.controller import FaultConfig, FaultController
+from repro.faults.errors import DeadOwnerError
+from repro.faults.network import FaultyNetworkModel
+from repro.faults.perturbations import LossyNetwork, ServerCrashes, WorkerKill
+from repro.faults.proxy import FaultTolerantParameterServer
+
+__all__ = [
+    "CheckpointManager",
+    "DeadOwnerError",
+    "FaultConfig",
+    "FaultController",
+    "FaultyNetworkModel",
+    "FaultTolerantParameterServer",
+    "LossyNetwork",
+    "ServerCrashes",
+    "WorkerKill",
+]

@@ -1,0 +1,16 @@
+"""Errors raised by the fault-tolerance subsystem."""
+
+from __future__ import annotations
+
+__all__ = ["DeadOwnerError"]
+
+
+class DeadOwnerError(RuntimeError):
+    """An access exhausted its retries against a crashed parameter owner.
+
+    Raised by :class:`~repro.faults.proxy.FaultTolerantParameterServer` when
+    a pull or push targets keys whose (pre-failover) owner is down and the
+    bounded retry-with-backoff budget cannot bridge the remaining recovery
+    time. The epoch loop catches it and drops the affected chunk — one
+    round of lost work, not a crashed experiment.
+    """

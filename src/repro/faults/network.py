@@ -1,0 +1,97 @@
+"""A lossy network model: message loss, duplication, and retransmit timeouts.
+
+Rather than flipping per-message coins (which would poison determinism and
+make fault-off runs diverge), loss is modeled in *expectation*: with loss
+rate ``p`` a message needs ``1 / (1 - p)`` attempts on average, each failed
+attempt costing one retransmit timeout before the sender retries. Because
+the base :class:`~repro.simulation.network.NetworkModel` defines its derived
+costs (``remote_access_cost``, ``relocation_cost``, ``allreduce_cost``) in
+terms of :meth:`message_cost`, overriding ``message_cost`` here propagates
+lossiness through every access path automatically. Duplicated messages do
+not delay the sender (the first copy already arrived) but occupy receiver
+threads, so duplication inflates the occupancy costs only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.simulation.network import NetworkModel
+
+__all__ = ["FaultyNetworkModel"]
+
+
+@dataclass(frozen=True)
+class FaultyNetworkModel(NetworkModel):
+    """A :class:`NetworkModel` whose messages are lost and duplicated.
+
+    Parameters
+    ----------
+    loss_rate:
+        Probability that a message is lost in transit (``0 <= p < 1``). Each
+        lost message costs one ``timeout`` before the retransmission.
+    duplication_rate:
+        Expected fraction of messages delivered twice. Duplicates inflate
+        server/receiver occupancy but not sender-visible latency.
+    timeout:
+        Retransmit timeout: how long a sender waits before declaring a
+        message lost and retrying.
+    """
+
+    loss_rate: float = 0.0
+    duplication_rate: float = 0.0
+    timeout: float = 1e-3
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(
+                f"loss_rate must be in [0, 1); got {self.loss_rate}"
+            )
+        if self.duplication_rate < 0.0:
+            raise ValueError(
+                f"duplication_rate must be non-negative; got {self.duplication_rate}"
+            )
+        if self.timeout < 0.0:
+            raise ValueError(f"timeout must be non-negative; got {self.timeout}")
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def wrap(
+        cls,
+        base: NetworkModel,
+        loss_rate: float = 0.0,
+        duplication_rate: float = 0.0,
+        timeout: float = 1e-3,
+    ) -> "FaultyNetworkModel":
+        """Build a lossy model sharing ``base``'s latency/bandwidth parameters."""
+        params = {
+            field.name: getattr(base, field.name)
+            for field in fields(NetworkModel)
+        }
+        return cls(
+            loss_rate=loss_rate,
+            duplication_rate=duplication_rate,
+            timeout=timeout,
+            **params,
+        )
+
+    # ------------------------------------------------------------------- costs
+    @property
+    def expected_attempts(self) -> float:
+        """Average transmissions per successfully delivered message."""
+        return 1.0 / (1.0 - self.loss_rate)
+
+    def message_cost(self, payload_bytes: int) -> float:
+        attempts = self.expected_attempts
+        base = super().message_cost(payload_bytes)
+        # attempts - 1 failed sends, each waiting out one retransmit timeout.
+        return attempts * base + (attempts - 1.0) * self.timeout
+
+    def server_occupancy(self, value_bytes: int) -> float:
+        factor = self.expected_attempts * (1.0 + self.duplication_rate)
+        return factor * super().server_occupancy(value_bytes)
+
+    def relocation_occupancy(self, value_bytes: int) -> float:
+        factor = self.expected_attempts * (1.0 + self.duplication_rate)
+        return factor * super().relocation_occupancy(value_bytes)

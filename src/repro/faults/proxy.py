@@ -1,0 +1,174 @@
+"""Retry-with-backoff semantics for architectures without native waiting.
+
+Relocation-based parameter servers track per-key arrival times, so an access
+to a key still in flight after a failover simply *waits* — crash recovery
+falls out of the existing machinery. Statically partitioned architectures
+(Classic, SSP/ESSP replication) have no such notion: their accesses resolve
+owners through the partitioner and would happily read a key whose new owner
+has not received its state yet. The
+:class:`FaultTolerantParameterServer` proxy closes that gap: every pull and
+push first passes a gate that checks whether any requested key's ownership
+moved in a still-unfinished recovery. If so, the worker retries with
+exponential backoff; if the retry budget cannot bridge the remaining
+recovery time, the access fails with a
+:class:`~repro.faults.errors.DeadOwnerError` that the epoch loop turns into
+one dropped chunk.
+
+The proxy is only installed when a fault perturbation is active, and its
+gate returns immediately while no node is down — a fault-free run through
+the proxy is bit-identical to one without it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.errors import DeadOwnerError
+from repro.ps.base import PullResult, SampleHandle
+from repro.simulation.cluster import WorkerContext
+
+__all__ = ["FaultTolerantParameterServer"]
+
+
+class FaultTolerantParameterServer:
+    """Wraps a parameter server with dead-owner retry/timeout semantics."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        #: Attached lazily by ``ScenarioRuntime.ensure_fault_controller``.
+        self.controller = None
+
+    # ----------------------------------------------------------- delegation
+    @property
+    def inner(self):
+        return self._inner
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    @property
+    def store(self):
+        return self._inner.store
+
+    @property
+    def network(self):
+        return self._inner.network
+
+    @property
+    def cluster(self):
+        return self._inner.cluster
+
+    @property
+    def metrics(self):
+        return self._inner.metrics
+
+    def __getattr__(self, attribute):
+        return getattr(self._inner, attribute)
+
+    # -------------------------------------------------------------- round API
+    def direct_point_charger(self):
+        """Fused round engines must not bypass the dead-owner gate.
+
+        Returning ``None`` (instead of delegating via ``__getattr__``) sends
+        tasks down the sequential path, whose every access goes through this
+        wrapper's gated ``pull``/``push``.
+        """
+        return None
+
+    def run_round(self, rounds) -> list:
+        """Execute a round sequentially through the gated API."""
+        results = []
+        for entry in rounds:
+            worker = entry.worker
+            if entry.localize_keys is not None:
+                self.localize(worker, entry.localize_keys)
+            values = None
+            if entry.pull_keys is not None:
+                values = self.pull(worker, entry.pull_keys)
+            if entry.push_keys is not None:
+                self.push(worker, entry.push_keys, entry.push_deltas)
+            if entry.advance:
+                self.advance_clock(worker)
+            results.append(values)
+        return results
+
+    # ------------------------------------------------------------------- gate
+    def _gate(self, worker: WorkerContext, keys) -> None:
+        """Block, retry, or fail an access touching keys in mid-recovery."""
+        controller = self.controller
+        if controller is None or not controller.down:
+            return
+        clock = worker.clock
+        config = controller.config
+        for node_id in sorted(controller.down):
+            available_at = controller.down[node_id]
+            if available_at <= clock.now:
+                continue
+            moved = controller.moved_mask(node_id)
+            if moved is None:
+                continue
+            if not np.any(moved[np.asarray(keys, dtype=np.int64)]):
+                continue
+            # Exponential backoff: delays b, 2b, 4b, ... for max_retries
+            # attempts sum to b * (2^r - 1).
+            budget = config.retry_backoff * (2 ** config.max_retries - 1)
+            if clock.now + budget >= available_at:
+                retries = 0
+                delay = config.retry_backoff
+                while clock.now < available_at and retries < config.max_retries:
+                    clock.advance(delay)
+                    delay *= 2.0
+                    retries += 1
+                clock.advance_to(available_at)
+                self.metrics.increment("faults.retries", retries)
+            else:
+                clock.advance(budget)
+                self.metrics.increment("faults.timeouts", 1)
+                raise DeadOwnerError(
+                    f"worker ({worker.node_id}, {worker.worker_id}) gave up "
+                    f"after {config.max_retries} retries: owner of requested "
+                    f"keys (crashed node {node_id}) recovers at "
+                    f"t={available_at:.6f}, beyond the retry budget"
+                )
+
+    # ------------------------------------------------------------ direct API
+    def pull(self, worker: WorkerContext, keys) -> np.ndarray:
+        self._gate(worker, keys)
+        return self._inner.pull(worker, keys)
+
+    def push(self, worker: WorkerContext, keys, deltas) -> None:
+        self._gate(worker, keys)
+        self._inner.push(worker, keys, deltas)
+
+    def localize(self, worker: WorkerContext, keys) -> None:
+        self._inner.localize(worker, keys)
+
+    def advance_clock(self, worker: WorkerContext) -> None:
+        self._inner.advance_clock(worker)
+
+    def housekeeping(self, now: float) -> None:
+        self._inner.housekeeping(now)
+
+    def finish_epoch(self) -> None:
+        self._inner.finish_epoch()
+
+    # ---------------------------------------------------------- sampling API
+    def register_distribution(self, distribution, level=None) -> int:
+        if level is None:
+            return self._inner.register_distribution(distribution)
+        return self._inner.register_distribution(distribution, level)
+
+    def prepare_sample(self, worker: WorkerContext, distribution_id: int,
+                       count: int) -> SampleHandle:
+        return self._inner.prepare_sample(worker, distribution_id, count)
+
+    def pull_sample(self, worker: WorkerContext, handle: SampleHandle,
+                    count=None) -> PullResult:
+        return self._inner.pull_sample(worker, handle, count)
+
+    def push_sample(self, worker: WorkerContext, keys, deltas) -> None:
+        self._inner.push_sample(worker, keys, deltas)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultTolerantParameterServer({self._inner!r})"

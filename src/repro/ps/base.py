@@ -29,7 +29,7 @@ from typing import Dict, NamedTuple, Optional, Sequence
 import numpy as np
 
 from repro.simulation.cluster import Cluster, WorkerContext
-from repro.ps.partition import Partitioner, RangePartitioner
+from repro.ps.partition import FailoverPartitioner, Partitioner, RangePartitioner
 from repro.ps.storage import ParameterStore
 
 
@@ -135,6 +135,12 @@ class ParameterServer(ABC):
     #: Human-readable architecture name used in reports and benchmarks.
     name = "abstract"
 
+    #: True for architectures whose access paths already block on in-flight
+    #: ownership changes (the relocation family's wait-until-arrival
+    #: machinery). Those handle dead-owner accesses natively and do not need
+    #: the retry/timeout proxy from :mod:`repro.faults.proxy`.
+    native_failover_wait = False
+
     def __init__(
         self,
         store: ParameterStore,
@@ -216,6 +222,71 @@ class ParameterServer(ABC):
 
     def finish_epoch(self) -> None:
         """Flush any buffered state at an epoch boundary (default: no-op)."""
+
+    # ------------------------------------------------------------- fault API
+    def keys_owned_by(self, node_id: int) -> np.ndarray:
+        """The keys whose primary copy lives on ``node_id`` right now.
+
+        These are the keys that become unreachable (and whose un-checkpointed
+        updates are lost) when the node crashes. The default answers from the
+        live partitioner; relocation PSs override it to answer from the
+        dynamic ownership array.
+        """
+        return self.partitioner.keys_of(node_id)
+
+    def fail_over(self, node_id: int, survivors: Sequence[int],
+                  available_at: float) -> np.ndarray:
+        """Re-home ``node_id``'s keys onto ``survivors``; return the moved keys.
+
+        ``available_at`` is the simulated time at which the re-homed keys
+        become reachable again (detection plus state transfer); the default
+        static-architecture implementation ignores it — the retry/timeout
+        proxy (:mod:`repro.faults.proxy`) enforces the availability gap for
+        architectures without native waiting.
+
+        The default swaps the live partitioner for a
+        :class:`~repro.ps.partition.FailoverPartitioner`. Classic and
+        replication PSs resolve every ownership lookup through the
+        partitioner at access time, so the swap alone re-routes all future
+        traffic to the survivors.
+        """
+        if getattr(self, "_pre_fault_partitioner", None) is None:
+            self._pre_fault_partitioner = self.partitioner
+        failover = FailoverPartitioner(self.partitioner, node_id, list(survivors))
+        self.partitioner = failover
+        return failover.moved_keys
+
+    def on_node_restored(self, node_id: int, now: float) -> None:
+        """Undo the failover for ``node_id`` after it rejoins the cluster.
+
+        Rebuilds the partitioner from the pre-fault one, re-applying
+        failovers for any nodes that are *still* down (in node order). Called
+        after :meth:`~repro.simulation.cluster.Cluster.restore_node`, so the
+        cluster's failed set no longer contains ``node_id``.
+        """
+        base = getattr(self, "_pre_fault_partitioner", None)
+        if base is None:
+            return
+        partitioner = base
+        still_failed = sorted(self.cluster.failed)
+        for failed in still_failed:
+            survivors = [n for n in range(self.cluster.num_nodes)
+                         if n not in self.cluster.failed]
+            partitioner = FailoverPartitioner(partitioner, failed, survivors)
+        self.partitioner = partitioner
+        if not still_failed:
+            self._pre_fault_partitioner = None
+
+    def recover_values(self, keys: np.ndarray) -> tuple:
+        """Best-effort recovery of current values for ``keys`` after a crash.
+
+        Returns ``(values, mask)`` where ``mask[i]`` says whether ``keys[i]``
+        could be recovered from surviving redundant state (replicas); only
+        masked rows of ``values`` are meaningful. The default PS holds no
+        redundant state, so nothing is recoverable and the checkpoint must
+        cover everything.
+        """
+        return None, np.zeros(len(keys), dtype=bool)
 
     # ------------------------------------------------------------- round API
     def run_round(self, rounds: Sequence) -> list:

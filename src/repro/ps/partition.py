@@ -82,6 +82,52 @@ class RangePartitioner(Partitioner):
             raise KeyError(f"key {key} out of range [0, {self.num_keys})")
 
 
+class FailoverPartitioner(Partitioner):
+    """A partitioner with one server's keys re-assigned to the survivors.
+
+    Wraps an existing partitioner (the ``base``) and redistributes the keys of
+    ``failed_server`` round-robin over ``survivors``. Because every ownership
+    lookup in the static architectures (classic, replication) goes through the
+    live partitioner, installing a ``FailoverPartitioner`` *is* the complete
+    owner-failover mechanism for them: subsequent accesses route to the
+    survivor that took over the key, with no change to the access hot paths.
+
+    Instances chain: when a second node fails while the first is still down,
+    the second failover wraps the first. ``base`` always names the partitioner
+    that was active immediately before this failover, so restores can rebuild
+    the chain for the nodes that are still down.
+    """
+
+    def __init__(self, base: Partitioner, failed_server: int,
+                 survivors: "np.ndarray | list[int]") -> None:
+        super().__init__(base.num_keys, base.num_servers)
+        survivors = np.asarray(survivors, dtype=np.int64)
+        if len(survivors) == 0:
+            raise ValueError("failover needs at least one surviving server")
+        if failed_server in survivors:
+            raise ValueError(
+                f"failed server {failed_server} cannot be its own survivor"
+            )
+        self.base = base
+        self.failed_server = int(failed_server)
+        self.survivors = survivors
+        all_keys = np.arange(self.num_keys, dtype=np.int64)
+        table = base.owners(all_keys).copy()
+        moved = np.flatnonzero(table == failed_server)
+        table[moved] = survivors[np.arange(len(moved)) % len(survivors)]
+        self._owner_table = table
+        #: Keys whose ownership this failover moved off the failed server.
+        self.moved_keys = moved
+
+    def owner(self, key: int) -> int:
+        if not 0 <= key < self.num_keys:
+            raise KeyError(f"key {key} out of range [0, {self.num_keys})")
+        return int(self._owner_table[key])
+
+    def _compute_owners(self, keys: np.ndarray) -> np.ndarray:
+        return self._owner_table.take(keys)
+
+
 class HashPartitioner(Partitioner):
     """Hash (modulo) partitioning.
 

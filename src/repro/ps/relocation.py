@@ -67,6 +67,12 @@ class RelocationPS(ParameterServer):
 
     name = "relocation"
 
+    #: Accesses to keys with a pending ``arrival_time`` block until the key
+    #: arrives — the same machinery absorbs failover: keys lost in a crash are
+    #: re-homed with ``arrival_time`` set to the recovery completion time, so
+    #: workers naturally wait out the recovery instead of erroring.
+    native_failover_wait = True
+
     def __init__(
         self,
         store: ParameterStore,
@@ -612,6 +618,32 @@ class RelocationPS(ParameterServer):
     def owner_of(self, key: int) -> int:
         """Current owner node of ``key``."""
         return int(self.current_owner[int(key)])
+
+    # -------------------------------------------------------------- fault API
+    def keys_owned_by(self, node_id: int) -> np.ndarray:
+        """Keys whose current (dynamic) copy lives on ``node_id``."""
+        return self.local_keys(node_id)
+
+    def fail_over(self, node_id: int, survivors: Sequence[int],
+                  available_at: float) -> np.ndarray:
+        """Re-home the crashed node's keys and gate access on recovery.
+
+        The home map (static partitioner) is swapped as in the base class so
+        routed remote accesses stop consulting the dead home node. The
+        *current* copies the node held are reassigned round-robin to the
+        survivors with ``arrival_time = available_at``: subsequent accesses
+        reuse the existing wait-until-arrival path and block until the
+        recovered state has been transferred — no retry proxy needed.
+        """
+        lost = self.local_keys(node_id)
+        super().fail_over(node_id, survivors, available_at)
+        if len(lost):
+            survivors_arr = np.asarray(list(survivors), dtype=np.int64)
+            self.current_owner[lost] = survivors_arr[
+                np.arange(len(lost)) % len(survivors_arr)
+            ]
+            self.arrival_time[lost] = float(available_at)
+        return lost
 
 
 class _RelocationPointCharger:

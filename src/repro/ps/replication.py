@@ -800,6 +800,34 @@ class ReplicationPS(ParameterServer):
         """Number of replicas currently held by ``node_id`` (for tests/reports)."""
         return int(np.count_nonzero(self._nodes[node_id].replica_mask))
 
+    # -------------------------------------------------------------- fault API
+    def recover_values(self, keys: np.ndarray) -> tuple:
+        """Recover ``keys`` from the freshest surviving replica of each.
+
+        For every key, the surviving node (not in the cluster's failed set)
+        whose replica clock is most recent supplies the value. Keys no
+        surviving node ever replicated stay unmasked and fall back to the
+        checkpoint. This is the graceful-degradation edge of replication:
+        recovered values are at most ``staleness`` clocks old instead of a
+        whole checkpoint interval.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.zeros((len(keys), self.store.value_length), dtype=np.float32)
+        mask = np.zeros(len(keys), dtype=bool)
+        best_clock = np.full(len(keys), _NEVER - 1, dtype=np.int64)
+        for node_id in range(self.cluster.num_nodes):
+            if node_id in self.cluster.failed:
+                continue
+            state = self._nodes[node_id]
+            clocks = state.replica_clock[keys]
+            better = state.replica_mask[keys] & (clocks > best_clock)
+            if np.any(better):
+                idx = np.flatnonzero(better)
+                values[idx] = state.replica_values[keys[idx]]
+                best_clock[idx] = clocks[idx]
+                mask[idx] = True
+        return values, mask
+
     # --------------------------------------------------------------- charging
     def _charge_intra_process(self, worker: WorkerContext, count: int, kind: str) -> None:
         if count <= 0:

@@ -159,6 +159,16 @@ class ParameterStore:
         """The full value matrix (read-write; owned by the store)."""
         return self._values
 
+    @property
+    def versions(self) -> np.ndarray:
+        """Per-key write counters (owned by the store).
+
+        Direct writes through :attr:`values` bypass the counters: recovery
+        code uses that to restore values without counting the restore itself
+        as an update, so version deltas measure exactly the lost work.
+        """
+        return self._versions
+
     def value_bytes(self) -> int:
         """Wire size in bytes of one parameter value."""
         return self.value_length * 4

@@ -629,6 +629,40 @@ CLAIMS += [
            paths=["drift_checks.classic.flat"]),
 ]
 
+# --- Fault tolerance (crash recovery; beyond the paper) -------------------
+_REF_FAULTS = "Fault tolerance (beyond the paper; see BENCH_faults.json)"
+CLAIMS += [
+    _claim("faults", "crash_storm_completes",
+           "every architecture completes training under the crash-storm "
+           "preset (repeated server crashes and restarts) without deadlock",
+           "all_true", _REF_FAULTS,
+           paths=["checks.all_complete"]),
+    _claim("faults", "crashes_injected",
+           "the crash-storm sweep actually injected crashes into every "
+           "architecture's run",
+           "threshold", _REF_FAULTS,
+           path="checks.min_crashes", op=">=", value=1),
+    _claim("faults", "recovery_time_positive",
+           "recovery is not free: failing over a crashed owner costs "
+           "simulated recovery time",
+           "threshold", _REF_FAULTS,
+           path="checks.recovery_time_total", op=">", value=0.0),
+    _claim("faults", "checkpoint_beats_restart",
+           "with an identical crash schedule, periodic checkpointing loses "
+           "strictly less work than restart-from-scratch recovery",
+           "ordering", _REF_FAULTS,
+           left="recovery.checkpoint.lost_updates",
+           right="recovery.restart.lost_updates", op="<"),
+    _claim("faults", "replication_degrades_gracefully",
+           "replication-based architectures recover crashed keys from "
+           "surviving replicas: less lost work and at most the classic "
+           "PS's quality drop",
+           "all_true", _REF_FAULTS,
+           paths=["graceful.checks.replication_smaller_drop",
+                  "graceful.checks.replication_less_lost_work",
+                  "graceful.checks.replicas_used"]),
+]
+
 # --- Adaptive management (dynamic switching; the paper's future work) -----
 _REF_ADPT = "Adaptive management (extends Section 3.2; see BENCH_adaptive.json)"
 CLAIMS += [

@@ -88,6 +88,8 @@ REGISTRY: List[BenchmarkSpec] = [
                   "section"),
     BenchmarkSpec("scenarios", "bench_scenarios",
                   "Appendix: dynamic-workload scenario sweep", "appendix"),
+    BenchmarkSpec("faults", "bench_faults",
+                  "Appendix: fault injection and recovery sweep", "appendix"),
     BenchmarkSpec("adaptive", "bench_adaptive",
                   "Appendix: adaptive parameter management under drift",
                   "appendix"),
@@ -190,10 +192,82 @@ def _warm_dataset_cache() -> None:
         factory("bench")
 
 
+def _timeout_entry(spec_id: str, module_name: str, timeout: float,
+                   attempts: int, elapsed: float) -> Dict[str, object]:
+    """The ``failed`` entry recorded for a benchmark that hit its deadline."""
+    return {
+        "id": spec_id,
+        "module": module_name,
+        "status": "failed",
+        "error": (
+            f"timed out: exceeded the per-benchmark wall-clock limit of "
+            f"{timeout:g}s in each of {attempts} attempt(s)"
+        ),
+        "result": None,
+        "seconds": round(elapsed, 3),
+        "stdout": "",
+        "attempts": attempts,
+    }
+
+
+def _run_pool(pool, job_args, timeout: Optional[float],
+              progress) -> Dict[str, Dict[str, object]]:
+    """Execute jobs on ``pool`` with per-job deadlines and one retry.
+
+    Each job gets ``timeout`` wall-clock seconds per attempt; a job that
+    exceeds it is resubmitted once, then recorded as failed-with-reason.
+    The worker running a timed-out attempt may be stuck — it is reaped when
+    the caller's ``with pool:`` block terminates the pool, so a hung
+    benchmark cannot wedge the pipeline.
+    """
+    entries: Dict[str, Dict[str, object]] = {}
+    pending = {}
+    for args in job_args:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        pending[args[0]] = {
+            "handle": pool.apply_async(_execute_benchmark, (args,)),
+            "deadline": deadline,
+            "attempts": 1,
+            "args": args,
+            "first_submit": time.monotonic(),
+        }
+    while pending:
+        for spec_id in list(pending):
+            job = pending[spec_id]
+            if job["handle"].ready():
+                entry = job["handle"].get()
+                entry["attempts"] = job["attempts"]
+                entries[spec_id] = entry
+                del pending[spec_id]
+                if progress is not None:
+                    progress(entry)
+            elif job["deadline"] is not None \
+                    and time.monotonic() > job["deadline"]:
+                if job["attempts"] < 2:
+                    job["attempts"] += 1
+                    job["handle"] = pool.apply_async(
+                        _execute_benchmark, (job["args"],)
+                    )
+                    job["deadline"] = time.monotonic() + timeout
+                else:
+                    entry = _timeout_entry(
+                        spec_id, job["args"][1], timeout, job["attempts"],
+                        time.monotonic() - job["first_submit"],
+                    )
+                    entries[spec_id] = entry
+                    del pending[spec_id]
+                    if progress is not None:
+                        progress(entry)
+        if pending:
+            time.sleep(0.05)
+    return entries
+
+
 def run_pipeline(only: Optional[Sequence[str]] = None, fast: bool = False,
                  jobs: Optional[int] = None,
                  benchmarks_dir: Optional[Path] = None,
                  progress: Optional[Callable[[Dict[str, object]], None]] = None,
+                 timeout: Optional[float] = None,
                  ) -> Dict[str, object]:
     """Run the selected benchmarks, evaluate all claims, return the payload.
 
@@ -210,6 +284,14 @@ def run_pipeline(only: Optional[Sequence[str]] = None, fast: bool = False,
         Override the benchmarks directory (tests use this).
     progress:
         Optional callback invoked with each entry as it completes.
+    timeout:
+        Per-benchmark wall-clock limit in seconds (default: the
+        ``REPRO_BENCH_TIMEOUT`` environment variable, unlimited if unset).
+        A benchmark that exceeds it is retried once, then reported as
+        failed-with-reason. Enforced preemptively on platforms with
+        ``os.fork`` (the benchmark runs in a worker process that can be
+        killed); without fork the limit cannot interrupt a running
+        benchmark and is ignored.
     """
     specs = _select(only)
     directory = Path(benchmarks_dir or DEFAULT_BENCHMARKS_DIR)
@@ -217,6 +299,15 @@ def run_pipeline(only: Optional[Sequence[str]] = None, fast: bool = False,
         raise FileNotFoundError(f"benchmarks directory not found: {directory}")
     job_args = [(spec.id, spec.module, str(directory)) for spec in specs]
     workers = _worker_count(len(specs), jobs)
+    if timeout is None:
+        setting = os.environ.get("REPRO_BENCH_TIMEOUT", "")
+        if setting:
+            try:
+                timeout = float(setting)
+            except ValueError:
+                timeout = None
+    if timeout is not None and timeout <= 0:
+        timeout = None
 
     saved_env = {name: os.environ.get(name)
                  for name in ("REPRO_BENCH_FAST", "REPRO_BENCH_PARALLEL")}
@@ -225,7 +316,8 @@ def run_pipeline(only: Optional[Sequence[str]] = None, fast: bool = False,
     try:
         entries_by_id: Dict[str, Dict[str, object]] = {}
         pool = None
-        if workers > 1 and hasattr(os, "fork"):
+        # A timeout needs a killable worker process even when workers == 1.
+        if hasattr(os, "fork") and (workers > 1 or timeout is not None):
             # The pipeline takes the cores; in-benchmark sweeps go sequential.
             os.environ["REPRO_BENCH_PARALLEL"] = "0"
             _warm_dataset_cache()
@@ -235,13 +327,17 @@ def run_pipeline(only: Optional[Sequence[str]] = None, fast: bool = False,
                 pool = None
         if pool is not None:
             with pool:
-                for entry in pool.imap_unordered(_execute_benchmark, job_args):
-                    entries_by_id[str(entry["id"])] = entry
-                    if progress is not None:
-                        progress(entry)
+                entries_by_id = _run_pool(pool, job_args, timeout, progress)
+                if any(entry["status"] == "failed"
+                       and str(entry.get("error", "")).startswith("timed out")
+                       for entry in entries_by_id.values()):
+                    # Workers stuck in timed-out benchmarks never return;
+                    # terminate them instead of joining gracefully.
+                    pool.terminate()
         else:
             for args in job_args:
                 entry = _execute_benchmark(args)
+                entry["attempts"] = 1
                 entries_by_id[str(entry["id"])] = entry
                 if progress is not None:
                     progress(entry)
@@ -268,6 +364,7 @@ def run_pipeline(only: Optional[Sequence[str]] = None, fast: bool = False,
             "kind": spec.kind,
             "status": entry["status"],
             "seconds": entry["seconds"],
+            "attempts": entry.get("attempts", 1),
             "error": entry["error"],
             "claims": [verdict.to_dict() for verdict in verdicts],
             "result": result,

@@ -87,19 +87,51 @@ class ExperimentConfig:
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
-            raise ValueError("epochs must be >= 1")
+            raise ValueError(
+                f"epochs must be >= 1 (got {self.epochs}); an experiment "
+                "trains at least one epoch — use time_budget to stop early"
+            )
         if self.chunk_size < 1:
-            raise ValueError("chunk_size must be >= 1")
+            raise ValueError(
+                f"chunk_size must be >= 1 (got {self.chunk_size}); it is the "
+                "number of data points a worker processes per scheduling round"
+            )
         if self.housekeeping_every_chunks < 1:
-            raise ValueError("housekeeping_every_chunks must be >= 1")
+            raise ValueError(
+                "housekeeping_every_chunks must be >= 1 "
+                f"(got {self.housekeeping_every_chunks}); housekeeping runs "
+                "every N scheduling rounds and cannot be disabled"
+            )
         if self.evaluate_every < 1:
-            raise ValueError("evaluate_every must be >= 1")
+            raise ValueError(
+                f"evaluate_every must be >= 1 (got {self.evaluate_every}); "
+                "quality is evaluated every N epochs"
+            )
         if self.time_budget is not None and self.time_budget <= 0:
-            raise ValueError("time_budget must be positive when set")
+            raise ValueError(
+                f"time_budget must be positive when set (got "
+                f"{self.time_budget}); it is a budget in simulated seconds, "
+                "or None for no budget"
+            )
+        if isinstance(self.scenario, str):
+            from repro.scenarios.presets import SCENARIO_NAMES
+
+            raise TypeError(
+                f"scenario must be a Scenario object, not the string "
+                f"{self.scenario!r}; build it with "
+                f"repro.scenarios.make_scenario({self.scenario!r}) — "
+                f"known presets: {', '.join(SCENARIO_NAMES)}"
+            )
         if self.scenario is not None and not hasattr(self.scenario, "bind"):
             raise TypeError(
                 "scenario must be a repro.scenarios.Scenario (or expose a "
                 f"compatible bind method), got {type(self.scenario).__name__}"
+            )
+        if isinstance(self.adaptive, str):
+            raise TypeError(
+                f"adaptive must be an AdaptiveConfig object, not the string "
+                f"{self.adaptive!r}; build it with "
+                f"repro.adaptive.AdaptiveConfig(policy={self.adaptive!r})"
             )
         if self.adaptive is not None and not hasattr(self.adaptive, "policy"):
             raise TypeError(

@@ -376,6 +376,30 @@ class _EpochState:
             self.queues[receiver].append(part)
 
 
+def _degraded_process_round(task, ps, cluster, items) -> None:
+    """Process a round item by item, surviving dead-owner timeouts.
+
+    Active only while a fault proxy is installed *and* a node is down (see
+    ``ScenarioRuntime.fault_degraded``): each worker's chunk runs through
+    the sequential reference path on its own so that a
+    :class:`~repro.faults.errors.DeadOwnerError` drops just that chunk —
+    one round of one worker's lost work — instead of aborting the epoch.
+    """
+    from repro.faults.errors import DeadOwnerError
+
+    for item in items:
+        try:
+            sequential_process_round(task, ps, [item])
+        except DeadOwnerError:
+            cluster.metrics.increment(
+                "faults.lost_chunks", 1, node=item.worker.node_id
+            )
+            cluster.metrics.increment(
+                "faults.lost_points", len(item.chunk),
+                node=item.worker.node_id,
+            )
+
+
 def _run_epoch(task, ps, cluster, shards, workers, worker_rngs, config,
                runtime=None) -> None:
     """One epoch: every worker processes its full shard, chunk by chunk.
@@ -421,7 +445,9 @@ def _run_epoch(task, ps, cluster, shards, workers, worker_rngs, config,
                 worker_rngs[key],
             ))
         if items:
-            if config.round_fusion:
+            if runtime is not None and runtime.fault_degraded():
+                _degraded_process_round(task, ps, cluster, items)
+            elif config.round_fusion:
                 task.process_round(ps, items)
             else:
                 sequential_process_round(task, ps, items)

@@ -39,6 +39,11 @@ class Perturbation:
     #: remapping proxy.
     needs_remap = False
 
+    #: Whether this perturbation crashes parameter owners. Any perturbation
+    #: with this flag makes architectures without native failover waiting
+    #: train through the dead-owner retry proxy (see :mod:`repro.faults`).
+    needs_fault_proxy = False
+
     def on_start(self, ctx: "ScenarioRuntime") -> None:
         """Called once before the first epoch (initialize per-run state here)."""
 
@@ -67,6 +72,10 @@ class Scenario:
     @property
     def needs_remap(self) -> bool:
         return any(p.needs_remap for p in self.perturbations)
+
+    @property
+    def needs_fault_proxy(self) -> bool:
+        return any(p.needs_fault_proxy for p in self.perturbations)
 
     def bind(self, task, ps, cluster, config) -> "ScenarioRuntime":
         """Create the per-run runtime driving this scenario."""
@@ -101,14 +110,30 @@ class ScenarioRuntime:
         #: The cost model the cluster started with; network schedules derive
         #: every stage from this base, so factors do not compound.
         self.base_network = cluster.network
+        #: Fault machinery (lazily completed by ``ensure_fault_controller``).
+        self.fault_controller = None
+        self.fault_proxy = None
+        base_for_training = ps
+        if scenario.needs_fault_proxy \
+                and not getattr(ps, "native_failover_wait", False):
+            # Statically partitioned architectures would read keys whose new
+            # owner has not received its state yet; the proxy adds
+            # retry/timeout semantics. Relocation-based servers wait natively
+            # via their arrival-time tracking and skip the wrapper.
+            from repro.faults.proxy import FaultTolerantParameterServer
+
+            self.fault_proxy = FaultTolerantParameterServer(ps)
+            base_for_training = self.fault_proxy
         if scenario.needs_remap:
             self.remapper: Optional[KeyRemapper] = KeyRemapper(
                 task.num_keys(), task.key_groups()
             )
-            self.training_ps = RemappedParameterServer(ps, self.remapper)
+            self.training_ps = RemappedParameterServer(
+                base_for_training, self.remapper
+            )
         else:
             self.remapper = None
-            self.training_ps = ps
+            self.training_ps = base_for_training
         self.epoch = -1
         self.round = -1
         self.paused: set = set()
@@ -142,6 +167,37 @@ class ScenarioRuntime:
 
     def detach_epoch_state(self) -> None:
         self._epoch_state = None
+
+    # ----------------------------------------------------------------- faults
+    def ensure_fault_controller(self, fault_config=None):
+        """The run's :class:`~repro.faults.controller.FaultController`.
+
+        Created on first call (with ``fault_config``, if given) and attached
+        to the fault proxy when one is installed; later calls return the
+        existing controller unchanged.
+        """
+        if self.fault_controller is None:
+            from repro.faults.controller import FaultController
+
+            self.fault_controller = FaultController(
+                self.ps, config=fault_config, start_time=self.cluster.time
+            )
+            if self.fault_proxy is not None:
+                self.fault_proxy.controller = self.fault_controller
+        return self.fault_controller
+
+    def fault_degraded(self) -> bool:
+        """Whether the epoch loop must expect ``DeadOwnerError`` this round.
+
+        True only while a retry proxy is installed *and* some node is down —
+        the only window in which an access can fail. Fault-free rounds (and
+        architectures with native failover waiting) keep the fused path.
+        """
+        return (
+            self.fault_proxy is not None
+            and self.fault_controller is not None
+            and bool(self.fault_controller.down)
+        )
 
     # ------------------------------------------------------------- inspection
     def worker_keys(self) -> List[Tuple[int, int]]:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Sequence
 
+from repro.faults.perturbations import LossyNetwork, ServerCrashes
 from repro.scenarios.base import Scenario
 from repro.scenarios.perturbations import (
     HotSetDrift,
@@ -91,12 +92,61 @@ def storm_scenario(oracle_remanage: bool = True) -> Scenario:
     )
 
 
+def crash_storm_scenario(crashes_per_epoch: int = 2, down_rounds: int = 2,
+                         fault_config=None,
+                         crash_round_range=(1, 5)) -> Scenario:
+    """Repeated server crashes: several nodes die and rejoin every epoch.
+
+    The stress test of the fault-tolerance subsystem — every architecture
+    must complete training under it (recovering values from replicas or
+    checkpoints, failing ownership over to the survivors) without deadlock.
+    """
+    return Scenario(
+        "crash-storm",
+        [ServerCrashes(crashes_per_epoch=crashes_per_epoch,
+                       down_rounds=down_rounds, fault_config=fault_config,
+                       crash_round_range=crash_round_range)],
+        description="server nodes crash and rejoin repeatedly",
+    )
+
+
+def rolling_restart_scenario(down_rounds: int = 2,
+                             fault_config=None) -> Scenario:
+    """One node restarts per epoch, cycling through the cluster in order.
+
+    Models a rolling maintenance restart: predictable, one-at-a-time
+    failures rather than the crash-storm's random bursts.
+    """
+    return Scenario(
+        "rolling-restart",
+        [ServerCrashes(crashes_per_epoch=1, down_rounds=down_rounds,
+                       fault_config=fault_config, rolling=True)],
+        description="one server restarts per epoch, round-robin",
+    )
+
+
+def lossy_network_scenario(loss_rate: float = 0.05,
+                           duplication_rate: float = 0.02,
+                           timeout: float = 1e-3,
+                           from_epoch: int = 0) -> Scenario:
+    """A lossy interconnect: message loss, duplication, retransmit timeouts."""
+    return Scenario(
+        "lossy-network",
+        [LossyNetwork(loss_rate=loss_rate, duplication_rate=duplication_rate,
+                      timeout=timeout, from_epoch=from_epoch)],
+        description="messages are lost and duplicated; senders retransmit",
+    )
+
+
 SCENARIO_PRESETS: Dict[str, Callable[..., Scenario]] = {
     "drift": drift_scenario,
     "stragglers": straggler_scenario,
     "churn": churn_scenario,
     "degrading-network": degrading_network_scenario,
     "storm": storm_scenario,
+    "crash-storm": crash_storm_scenario,
+    "rolling-restart": rolling_restart_scenario,
+    "lossy-network": lossy_network_scenario,
 }
 
 SCENARIO_NAMES = tuple(SCENARIO_PRESETS)

@@ -31,9 +31,16 @@ class ClusterConfig:
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
-            raise ValueError("num_nodes must be >= 1")
+            raise ValueError(
+                f"num_nodes must be >= 1 (got {self.num_nodes}); a cluster "
+                "needs at least one node (use num_nodes=1 for the "
+                "shared-memory single-node setting)"
+            )
         if self.workers_per_node < 1:
-            raise ValueError("workers_per_node must be >= 1")
+            raise ValueError(
+                f"workers_per_node must be >= 1 (got {self.workers_per_node}); "
+                "each node runs at least one worker thread"
+            )
 
     @property
     def total_workers(self) -> int:
@@ -116,6 +123,11 @@ class Cluster:
                 self._worker_contexts[(node.node_id, worker_id)] = WorkerContext(
                     node_id=node.node_id, worker_id=worker_id, clock=clock
                 )
+        #: Node ids whose server shard is currently unreachable (crashed).
+        #: Empty in fault-free runs, so every ``in self.failed`` check on the
+        #: hot paths stays a constant-time miss and fault-off simulations are
+        #: bit-identical to a build without the fault subsystem.
+        self.failed: set[int] = set()
 
     # ------------------------------------------------------------- accessors
     @property
@@ -156,6 +168,48 @@ class Cluster:
         """Reset all clocks to zero (metrics are left untouched)."""
         for node in self.nodes:
             node.reset_clocks()
+
+    # ---------------------------------------------------------------- faults
+    def fail_node(self, node_id: int) -> None:
+        """Mark ``node_id``'s server shard as crashed (unreachable).
+
+        The node's clocks keep their values: a crash does not rewind
+        simulated time. Recovery mechanics (failover, checkpoint restore)
+        live in :mod:`repro.faults`; this hook only tracks liveness.
+        """
+        if not 0 <= node_id < self.num_nodes:
+            raise ValueError(f"node {node_id} out of range [0, {self.num_nodes})")
+        if len(self.failed) + 1 >= self.num_nodes:
+            raise ValueError(
+                "cannot fail the last surviving node: at least one node must "
+                "stay alive to take over the failed shard"
+            )
+        self.failed.add(node_id)
+
+    def restore_node(self, node_id: int, now: float | None = None) -> None:
+        """Bring a crashed node back, advancing its clocks to ``now``.
+
+        A restarting node rejoins at the current simulated time (its clocks
+        never move backwards): ``advance_to`` leaves any clock that is
+        already past ``now`` untouched.
+        """
+        self.failed.discard(node_id)
+        if now is not None:
+            node = self.nodes[node_id]
+            for clock in node.worker_clocks:
+                clock.advance_to(now)
+            node.background_clock.advance_to(now)
+            node.server_clock.advance_to(now)
+
+    def is_failed(self, node_id: int) -> bool:
+        return node_id in self.failed
+
+    @property
+    def active_nodes(self) -> List[int]:
+        """Ids of nodes whose shard is currently reachable, in order."""
+        if not self.failed:
+            return list(range(self.num_nodes))
+        return [n for n in range(self.num_nodes) if n not in self.failed]
 
     # --------------------------------------------------------------- dynamics
     def set_network(self, network) -> None:

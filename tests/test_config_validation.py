@@ -1,0 +1,95 @@
+"""Regression tests for configuration validation error messages.
+
+Every actionable error message in :class:`ExperimentConfig`,
+:class:`ClusterConfig`, and the experiment runner gets one test pinning
+both the trigger and the guidance text, so a refactor cannot silently turn
+a helpful message back into a bare assertion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner.config import ExperimentConfig
+from repro.simulation.cluster import ClusterConfig
+
+
+class TestExperimentConfigValidation:
+    def test_epochs_message_suggests_time_budget(self):
+        with pytest.raises(ValueError, match=r"epochs must be >= 1 \(got 0\)"):
+            ExperimentConfig(epochs=0)
+        with pytest.raises(ValueError, match="use time_budget to stop early"):
+            ExperimentConfig(epochs=-3)
+
+    def test_chunk_size_message_explains_the_knob(self):
+        with pytest.raises(ValueError,
+                           match=r"chunk_size must be >= 1 \(got 0\)"):
+            ExperimentConfig(chunk_size=0)
+        with pytest.raises(ValueError, match="per scheduling round"):
+            ExperimentConfig(chunk_size=-1)
+
+    def test_housekeeping_message_says_cannot_disable(self):
+        with pytest.raises(ValueError,
+                           match="housekeeping_every_chunks must be >= 1"):
+            ExperimentConfig(housekeeping_every_chunks=0)
+        with pytest.raises(ValueError, match="cannot be disabled"):
+            ExperimentConfig(housekeeping_every_chunks=0)
+
+    def test_evaluate_every_message(self):
+        with pytest.raises(ValueError,
+                           match=r"evaluate_every must be >= 1 \(got 0\)"):
+            ExperimentConfig(evaluate_every=0)
+
+    def test_time_budget_message_mentions_none(self):
+        with pytest.raises(ValueError,
+                           match="time_budget must be positive when set"):
+            ExperimentConfig(time_budget=0.0)
+        with pytest.raises(ValueError, match="or None for no budget"):
+            ExperimentConfig(time_budget=-1.0)
+
+    def test_scenario_string_suggests_make_scenario(self):
+        with pytest.raises(TypeError, match="make_scenario"):
+            ExperimentConfig(scenario="crash-storm")
+        # The message lists the known presets so the user can self-serve.
+        with pytest.raises(TypeError, match="crash-storm"):
+            ExperimentConfig(scenario="storm")
+
+    def test_scenario_wrong_type(self):
+        with pytest.raises(TypeError, match="compatible bind"):
+            ExperimentConfig(scenario=object())
+
+    def test_adaptive_string_suggests_adaptive_config(self):
+        with pytest.raises(TypeError, match=r"AdaptiveConfig\(policy="):
+            ExperimentConfig(adaptive="hot-spot")
+
+    def test_adaptive_wrong_type(self):
+        with pytest.raises(TypeError, match="compatible policy"):
+            ExperimentConfig(adaptive=object())
+
+    def test_valid_config_accepts_defaults(self):
+        config = ExperimentConfig()
+        assert config.epochs == 3
+        assert config.scenario is None and config.adaptive is None
+
+
+class TestClusterConfigValidation:
+    def test_num_nodes_message_mentions_single_node(self):
+        with pytest.raises(ValueError,
+                           match=r"num_nodes must be >= 1 \(got 0\)"):
+            ClusterConfig(num_nodes=0)
+        with pytest.raises(ValueError, match="single-node setting"):
+            ClusterConfig(num_nodes=-2)
+
+    def test_workers_per_node_message(self):
+        with pytest.raises(ValueError,
+                           match=r"workers_per_node must be >= 1 \(got 0\)"):
+            ClusterConfig(workers_per_node=0)
+
+
+class TestRunnerValidation:
+    def test_cannot_fail_last_survivor_message(self):
+        from repro.simulation.cluster import Cluster
+
+        cluster = Cluster(ClusterConfig(num_nodes=1, workers_per_node=1))
+        with pytest.raises(ValueError, match="last surviving node"):
+            cluster.fail_node(0)

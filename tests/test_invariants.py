@@ -326,3 +326,109 @@ def test_all_system_names_still_build():
         store = task.create_store(seed=0)
         ps = make_ps_factory(system)(store, cluster, task)
         assert ps.store is store
+
+
+# ------------------------------------------------------- fault-schedule ops
+def _check_active_ownership(ps, cluster) -> None:
+    """Every key is owned by exactly one *active* node (post-failover form)."""
+    owned = [np.asarray(ps.keys_owned_by(node_id), dtype=np.int64)
+             for node_id in cluster.active_nodes]
+    everything = np.concatenate(owned) if owned else np.empty(0, np.int64)
+    np.testing.assert_array_equal(np.sort(everything),
+                                  np.arange(ps.store.num_keys))
+
+
+def _run_fault_sequence(architecture: str, seed: int, num_ops: int):
+    """Random pulls/pushes interleaved with crash/restore fault schedules.
+
+    Drives the :class:`~repro.faults.controller.FaultController` standalone
+    (no scenario runtime) against every architecture, checking after every
+    step that the partition over the *active* nodes covers the key space
+    exactly once and that no simulated clock moved backwards. Architectures
+    without native failover waiting go through the retry/timeout proxy;
+    a :class:`DeadOwnerError` is a tolerated outcome, never a crash.
+    """
+    from repro.faults import (
+        DeadOwnerError,
+        FaultConfig,
+        FaultController,
+        FaultTolerantParameterServer,
+    )
+
+    ps, cluster, store = _build(architecture)
+    controller = FaultController(
+        ps, FaultConfig(recovery="checkpoint", checkpoint_interval=0.002)
+    )
+    access = ps
+    if not getattr(ps, "native_failover_wait", False):
+        access = FaultTolerantParameterServer(ps)
+        access.controller = controller
+    rng = np.random.default_rng(seed)
+    watcher = _ClockWatcher(cluster)
+    workers = list(cluster.workers())
+    dropped = 0
+
+    for step in range(num_ops):
+        # Fault schedule: occasional crashes and restores of nodes 1..N-1.
+        roll = rng.random()
+        now = cluster.time
+        if roll < 0.08:
+            victim = int(rng.integers(1, cluster.num_nodes))
+            if victim not in cluster.failed \
+                    and len(cluster.failed) + 1 < cluster.num_nodes:
+                controller.crash_node(victim, now=now)
+                _check_active_ownership(ps, cluster)
+        elif roll < 0.16 and controller.down:
+            node_id = sorted(controller.down)[int(
+                rng.integers(len(controller.down))
+            )]
+            controller.restore_node(node_id, now=now)
+            _check_active_ownership(ps, cluster)
+        controller.on_round(now)
+
+        worker = workers[int(rng.integers(len(workers)))]
+        if worker.node_id in cluster.failed:
+            continue  # a dead node's workers issue nothing
+        keys = _random_keys(rng)
+        try:
+            if rng.random() < 0.5:
+                values = access.pull(worker, keys)
+                assert values.shape == (len(keys), VALUE_LENGTH)
+            else:
+                deltas = rng.normal(0, 0.01,
+                                    size=(len(keys), VALUE_LENGTH)).astype(
+                    np.float32
+                )
+                access.push(worker, keys, deltas)
+        except DeadOwnerError:
+            dropped += 1  # tolerated: the epoch loop drops the chunk
+        watcher.check()
+        _check_active_ownership(ps, cluster)
+
+    # Quiesce: restore everything and re-check the final partition.
+    for node_id in sorted(controller.down):
+        controller.restore_node(node_id, now=cluster.time)
+    assert not cluster.failed
+    _check_active_ownership(ps, cluster)
+    watcher.check()
+    metrics = cluster.metrics
+    assert metrics.get("faults.restores") <= metrics.get("faults.crashes")
+    return dropped
+
+
+FAULT_ARCHITECTURES = [
+    "classic", "relocation", "replication-ssp", "replication-essp", "nups",
+]
+
+
+@pytest.mark.parametrize("architecture", FAULT_ARCHITECTURES)
+@pytest.mark.parametrize("seed", [11, 12])
+def test_fault_schedules_small(architecture, seed):
+    _run_fault_sequence(architecture, seed, num_ops=120)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("architecture", FAULT_ARCHITECTURES)
+@pytest.mark.parametrize("seed", [13, 14, 15])
+def test_fault_schedules_large(architecture, seed):
+    _run_fault_sequence(architecture, seed, num_ops=1000)

@@ -160,3 +160,68 @@ class TestSmokeRoundTrip:
         output = capsys.readouterr().out
         for spec in REGISTRY:
             assert spec.id in output
+
+
+class TestTimeout:
+    """Per-benchmark wall-clock limit: retry once, then fail-with-reason."""
+
+    @pytest.fixture(autouse=True)
+    def _no_dataset_warm(self, monkeypatch):
+        # The pool path pre-warms bench-scale dataset caches; stub
+        # benchmarks never touch them, so skip the expensive warm-up.
+        import repro.report.pipeline as pipeline
+
+        monkeypatch.setattr(pipeline, "_warm_dataset_cache", lambda: None)
+
+    def test_hung_benchmark_times_out_after_one_retry(self, tmp_path):
+        import os
+
+        if not hasattr(os, "fork"):
+            pytest.skip("preemptive timeouts need fork workers")
+        (tmp_path / "bench_profile.py").write_text(
+            "import time\n\ndef run():\n    time.sleep(60)\n    return {}\n")
+        payload = run_pipeline(only=["profile"], fast=True, jobs=1,
+                               benchmarks_dir=tmp_path, timeout=0.5)
+        entry = payload["benchmarks"][0]
+        assert entry["status"] == "failed"
+        assert entry["error"].startswith("timed out")
+        assert "0.5s" in entry["error"]
+        assert entry["attempts"] == 2
+        # Claims evaluate as failures; the pipeline itself completes.
+        assert entry["claims"]
+        assert all(not v["passed"] for v in entry["claims"])
+        assert payload["summary"]["benchmarks_failed"] == ["profile"]
+
+    def test_fast_benchmark_passes_within_the_limit(self, tmp_path):
+        import os
+
+        if not hasattr(os, "fork"):
+            pytest.skip("preemptive timeouts need fork workers")
+        (tmp_path / "bench_profile.py").write_text(
+            "def run():\n    return {'hot_spots': ['x'], 'ok': True}\n")
+        payload = run_pipeline(only=["profile"], fast=True, jobs=1,
+                               benchmarks_dir=tmp_path, timeout=30.0)
+        entry = payload["benchmarks"][0]
+        assert entry["status"] == "ok"
+        assert entry["attempts"] == 1
+
+    def test_non_positive_timeout_means_unlimited(self, tmp_path):
+        (tmp_path / "bench_profile.py").write_text(
+            "def run():\n    return {'ok': True}\n")
+        payload = run_pipeline(only=["profile"], fast=True, jobs=1,
+                               benchmarks_dir=tmp_path, timeout=0.0)
+        assert payload["benchmarks"][0]["status"] == "ok"
+
+    def test_env_default_applies(self, tmp_path, monkeypatch):
+        import os
+
+        if not hasattr(os, "fork"):
+            pytest.skip("preemptive timeouts need fork workers")
+        monkeypatch.setenv("REPRO_BENCH_TIMEOUT", "0.4")
+        (tmp_path / "bench_profile.py").write_text(
+            "import time\n\ndef run():\n    time.sleep(60)\n    return {}\n")
+        payload = run_pipeline(only=["profile"], fast=True, jobs=1,
+                               benchmarks_dir=tmp_path)
+        entry = payload["benchmarks"][0]
+        assert entry["status"] == "failed"
+        assert entry["error"].startswith("timed out")
