@@ -21,6 +21,12 @@ import numpy as np
 #: times the mean access frequency (Section 5.1, untuned configuration).
 DEFAULT_HOT_SPOT_FACTOR = 100.0
 
+#: Key spaces at or below this size keep a dense boolean replicated-keys mask
+#: (one ``take`` per hot-path query). Above it the mask would cost
+#: O(num_keys) bytes per plan, so membership queries run a binary search over
+#: the sorted replicated keys instead — identical booleans, no allocation.
+DENSE_MASK_MAX_KEYS = 1 << 24
+
 
 class ManagementTechnique(enum.Enum):
     """The technique managing a parameter key in NuPS."""
@@ -48,8 +54,25 @@ class ManagementPlan:
                 f"min={replicated.min()}, max={replicated.max()}"
             )
         self.replicated_keys = replicated
-        self._replicated_mask = np.zeros(num_keys, dtype=bool)
-        self._replicated_mask[replicated] = True
+        # Built lazily (and only for key spaces where a dense mask is cheap):
+        # plans over massive key spaces answer membership via binary search.
+        self._replicated_mask: np.ndarray | None = None
+
+    def _dense_mask(self) -> np.ndarray:
+        if self._replicated_mask is None:
+            mask = np.zeros(self.num_keys, dtype=bool)
+            mask[self.replicated_keys] = True
+            self._replicated_mask = mask
+        return self._replicated_mask
+
+    def _membership(self, keys: np.ndarray) -> np.ndarray:
+        """Binary-search membership of ``keys`` in the sorted replicated set."""
+        replicated = self.replicated_keys
+        if not len(replicated):
+            return np.zeros(len(keys), dtype=bool)
+        idx = np.searchsorted(replicated, keys)
+        idx_clipped = np.minimum(idx, len(replicated) - 1)
+        return (idx < len(replicated)) & (replicated[idx_clipped] == keys)
 
     # --------------------------------------------------------------- factories
     @classmethod
@@ -106,23 +129,31 @@ class ManagementPlan:
     # ------------------------------------------------------------------ queries
     def technique(self, key: int) -> ManagementTechnique:
         """Technique managing ``key``."""
-        if not 0 <= key < self.num_keys:
-            raise KeyError(f"key {key} out of range [0, {self.num_keys})")
-        if self._replicated_mask[key]:
+        if self.is_replicated(key):
             return ManagementTechnique.REPLICATE
         return ManagementTechnique.RELOCATE
 
     def is_replicated(self, key: int) -> bool:
         if not 0 <= key < self.num_keys:
             raise KeyError(f"key {key} out of range [0, {self.num_keys})")
-        return bool(self._replicated_mask[key])
+        if self.num_keys <= DENSE_MASK_MAX_KEYS:
+            return bool(self._dense_mask()[key])
+        return bool(self._membership(np.asarray([key], dtype=np.int64))[0])
 
     def replicated_mask(self, keys: np.ndarray | None = None) -> np.ndarray:
-        """Boolean mask of replication for ``keys`` (or for all keys)."""
+        """Boolean mask of replication for ``keys`` (or for all keys).
+
+        ``keys=None`` materializes the full ``num_keys``-length mask — an
+        O(num_keys) allocation, intended for bench-scale key spaces only.
+        The per-key query path stays allocation-light on massive key spaces
+        (binary search instead of a dense table).
+        """
         if keys is None:
-            return self._replicated_mask.copy()
+            return self._dense_mask().copy()
         keys = np.asarray(keys, dtype=np.int64)
-        return self._replicated_mask.take(keys)
+        if self.num_keys <= DENSE_MASK_MAX_KEYS:
+            return self._dense_mask().take(keys)
+        return self._membership(keys)
 
     @property
     def num_replicated(self) -> int:

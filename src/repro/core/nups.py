@@ -432,11 +432,14 @@ class NuPS(RelocationPS, SamplingHost):
                            distribution: SamplingDistribution) -> np.ndarray:
         low = distribution.key_offset
         high = distribution.key_offset + distribution.support_size
+        support = np.arange(low, high, dtype=np.int64)
+        # Query the plan for the support range only: materializing the full
+        # num_keys-length mask would defeat chunked owner state at scale.
         local_mask = (
-            self.plan.replicated_mask()[low:high]
+            self.plan.replicated_mask(support)
             | (self.current_owner[low:high] == node_id)
         )
-        return np.flatnonzero(local_mask).astype(np.int64) + low
+        return support[local_mask]
 
     def recent_direct_access_keys(self, node_id: int) -> np.ndarray:
         return np.asarray(self._recent_direct[node_id], dtype=np.int64)
@@ -560,6 +563,11 @@ class NuPS(RelocationPS, SamplingHost):
         if total == 0:
             return 0.0
         return replica / total
+
+    def state_nbytes(self) -> dict:
+        sizes = super().state_nbytes()
+        sizes["replica_manager"] = self.replica_manager.nbytes()
+        return sizes
 
     def describe(self) -> dict:
         description = super().describe()

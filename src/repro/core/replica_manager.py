@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.management import ManagementPlan
 from repro.simulation.cluster import Cluster
 from repro.simulation.events import PeriodicSchedule
+from repro.ps.chunks import ChunkedVector
 from repro.ps.storage import ParameterStore, scatter_add_rows
 
 
@@ -53,9 +54,25 @@ class ReplicaManager:
 
         self.replicated_keys = plan.replicated_keys
         self.num_replicated = len(self.replicated_keys)
-        # Map absolute key -> slot in the dense replica arrays (-1 if not replicated).
-        self._slot_of_key = np.full(store.num_keys, -1, dtype=np.int64)
-        self._slot_of_key[self.replicated_keys] = np.arange(self.num_replicated)
+        # Map absolute key -> slot in the dense replica arrays (-1 if not
+        # replicated). The replica arrays themselves are already slot-indexed
+        # (num_replicated rows); only this lookup used to be a full
+        # num_keys-length table. With no replicated keys it is skipped
+        # entirely, and on the sparse backend it is chunked so only chunks
+        # containing replicated keys materialize.
+        if self.num_replicated == 0:
+            self._slot_of_key = None
+        elif store.backend == "sparse":
+            self._slot_of_key = ChunkedVector(
+                store.num_keys, np.int64, -1, None,
+                store.storage.chunk_rows, None, "replica_manager.slot_of_key"
+            )
+            self._slot_of_key[self.replicated_keys] = np.arange(
+                self.num_replicated, dtype=np.int64
+            )
+        else:
+            self._slot_of_key = np.full(store.num_keys, -1, dtype=np.int64)
+            self._slot_of_key[self.replicated_keys] = np.arange(self.num_replicated)
 
         # Per-node replica values and not-yet-synchronized update buffers.
         initial = store.get(self.replicated_keys) if self.num_replicated else \
@@ -100,10 +117,24 @@ class ReplicaManager:
 
     def slot(self, key: int) -> int:
         """Replica slot of ``key`` or -1 if the key is not replicated."""
+        if self._slot_of_key is None:
+            return -1
         return int(self._slot_of_key[int(key)])
 
     def slots(self, keys: np.ndarray) -> np.ndarray:
-        return self._slot_of_key.take(np.asarray(keys, dtype=np.int64))
+        keys = np.asarray(keys, dtype=np.int64)
+        if self._slot_of_key is None:
+            return np.full(len(keys), -1, dtype=np.int64)
+        return self._slot_of_key.take(keys)
+
+    def nbytes(self) -> int:
+        """Resident bytes of the slot table, replicas, buffers and dirty masks."""
+        total = 0 if self._slot_of_key is None else int(self._slot_of_key.nbytes)
+        for node_id in self._replicas:
+            total += int(self._replicas[node_id].nbytes)
+            total += int(self._buffers[node_id].nbytes)
+            total += int(self._dirty[node_id].nbytes)
+        return total
 
     def pull(self, node_id: int, keys: np.ndarray) -> np.ndarray:
         """Read replicated ``keys`` from the node's replica (shared memory)."""

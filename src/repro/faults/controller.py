@@ -129,7 +129,7 @@ class FaultController:
             if values is not None and mask.any():
                 # Direct write: a repair is not a training update, so it
                 # must not bump version counters or access metrics.
-                self.ps.store.values[lost[mask]] = values[mask]
+                self.ps.store.write_rows(lost[mask], values[mask])
             recovered = int(mask.sum())
             lost_updates = self.checkpoint.restore(lost[~mask])
 

@@ -470,6 +470,18 @@ class ParameterServer(ABC):
         """Bytes per parameter value (drives the network-cost model)."""
         return self.store.value_bytes()
 
+    def state_nbytes(self) -> Dict[str, int]:
+        """Resident bytes of the PS's per-node state, by component.
+
+        Unlike :meth:`ParameterStore.total_bytes` (the *logical* cost-model
+        size, identical across storage backends), this reports the bytes
+        actually allocated right now — on the sparse backend only touched
+        chunks count. Subclasses extend the dict with their own state
+        (replica matrices, ownership vectors, slot tables) so benchmarks can
+        attribute memory per component.
+        """
+        return {"store": self.store.nbytes()}
+
     def describe(self) -> Dict[str, object]:
         """A short description of the PS configuration (for reports)."""
         return {

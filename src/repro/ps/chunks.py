@@ -1,0 +1,575 @@
+"""Chunked sparse state containers with explicit memory budgets.
+
+The dense backend allocates ``num_keys``-length arrays per structure (and the
+replication architectures allocate them *per node*), which caps scale sweeps
+at a few million keys. The containers in this module cut that dependence:
+state is split into fixed-size chunks of rows, and a chunk is materialized
+only when it is first *written*. Reads of untouched chunks return the fill
+value (zeros for values and update buffers, ``-1`` for slot tables, the
+static partition for owner maps) without allocating anything.
+
+Both containers deliberately duck-type the small slice of the
+:class:`numpy.ndarray` API that the parameter-server hot paths use —
+``take``, integer/slice/fancy ``__getitem__``/``__setitem__`` and scatter-add
+— with identical numerical semantics, so :class:`~repro.ps.replication.ReplicationPS`
+and :class:`~repro.ps.relocation.RelocationPS` run the same code against
+dense arrays and chunked state. Per-chunk operations preserve the relative
+order of duplicate indices (the stable chunk grouping keeps batch order
+within a chunk), so floating-point accumulation is bit-identical to the
+dense ``np.add.at``.
+
+Materialization is charged against an optional :class:`MemoryBudget`; going
+over budget raises :class:`MemoryBudgetExceeded` with an actionable message
+instead of silently thrashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "MemoryBudget",
+    "MemoryBudgetExceeded",
+    "ChunkedMatrix",
+    "ChunkedVector",
+    "StorageConfig",
+    "flatnonzero_equal",
+]
+
+
+#: Default number of rows per chunk. Small enough that one touched key
+#: materializes kilobytes, not the whole key space; large enough that chunk
+#: bookkeeping stays off the profile.
+DEFAULT_CHUNK_ROWS = 4096
+
+
+def _format_bytes(n: float) -> str:
+    """Human-readable byte count for error messages."""
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0:
+            return f"{n:.1f} {unit}"
+        n /= 1024.0
+    return f"{n:.1f} TiB"
+
+
+class MemoryBudgetExceeded(MemoryError):
+    """A chunk materialization would exceed the configured memory budget."""
+
+
+class MemoryBudget:
+    """Byte accounting for lazily materialized state.
+
+    One budget instance can be shared by several containers (e.g. a store's
+    value and version chunks), so the limit covers their combined resident
+    bytes. ``charge`` raises :class:`MemoryBudgetExceeded` *before* the
+    allocation happens.
+    """
+
+    def __init__(self, limit_bytes: int, label: str = "storage") -> None:
+        limit_bytes = int(limit_bytes)
+        if limit_bytes <= 0:
+            raise ValueError(
+                f"memory budget must be positive, got {limit_bytes} bytes; "
+                "use budget=None for unbounded storage"
+            )
+        self.limit_bytes = limit_bytes
+        self.label = str(label)
+        self.used_bytes = 0
+
+    @property
+    def remaining_bytes(self) -> int:
+        return max(self.limit_bytes - self.used_bytes, 0)
+
+    def charge(self, nbytes: int, what: str) -> None:
+        """Reserve ``nbytes`` for ``what``; raise if it would go over budget."""
+        if self.used_bytes + nbytes > self.limit_bytes:
+            raise MemoryBudgetExceeded(
+                f"materializing {what} ({_format_bytes(nbytes)}) would exceed "
+                f"the {_format_bytes(self.limit_bytes)} memory budget of "
+                f"{self.label} (used: {_format_bytes(self.used_bytes)}). "
+                "Raise the budget (StorageConfig budget bytes), reduce "
+                "chunk_rows so each touched key materializes less state, or "
+                "reduce the number of distinct keys touched"
+            )
+        self.used_bytes += nbytes
+
+    def release(self, nbytes: int) -> None:
+        self.used_bytes = max(self.used_bytes - int(nbytes), 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryBudget({_format_bytes(self.used_bytes)} / "
+            f"{_format_bytes(self.limit_bytes)}, label={self.label!r})"
+        )
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Storage-backend selection for a :class:`~repro.ps.storage.ParameterStore`.
+
+    Parameters
+    ----------
+    backend:
+        ``"dense"`` (the default: contiguous arrays, the bit-identity oracle)
+        or ``"sparse"`` (chunks materialized on first write).
+    chunk_rows:
+        Rows per chunk for the sparse backend (and for the chunked per-node
+        state the parameter servers derive from it).
+    store_budget_bytes:
+        Optional cap on the store's resident bytes (values + versions).
+        Exceeding it raises :class:`MemoryBudgetExceeded`.
+    node_budget_bytes:
+        Optional per-node cap for the replica/update state each
+        :class:`~repro.ps.replication.ReplicationPS` node materializes.
+    """
+
+    backend: str = "dense"
+    chunk_rows: int = DEFAULT_CHUNK_ROWS
+    store_budget_bytes: Optional[int] = None
+    node_budget_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("dense", "sparse"):
+            raise ValueError(
+                f"storage backend must be 'dense' or 'sparse', got "
+                f"{self.backend!r}"
+            )
+        if self.chunk_rows < 1:
+            raise ValueError(
+                f"chunk_rows must be >= 1 (got {self.chunk_rows}); it is the "
+                "number of rows one chunk materializes"
+            )
+        for name in ("store_budget_bytes", "node_budget_bytes"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(
+                    f"{name} must be positive when set (got {value}); "
+                    "use None for unbounded storage"
+                )
+
+
+#: The default configuration: the dense oracle backend.
+DENSE_STORAGE = StorageConfig()
+
+
+def _segments_by_chunk(keys: np.ndarray, chunk_rows: int):
+    """Group ``keys`` by chunk id, preserving batch order within each chunk.
+
+    Yields ``(chunk_id, positions)`` where ``positions`` indexes into the
+    original ``keys`` array. The stable sort keeps duplicate keys in batch
+    order inside their chunk, which makes per-chunk ``np.add.at`` bit-identical
+    to a full-array ``np.add.at``.
+    """
+    cids = keys // chunk_rows
+    order = np.argsort(cids, kind="stable")
+    sorted_cids = cids[order]
+    boundaries = np.flatnonzero(sorted_cids[1:] != sorted_cids[:-1]) + 1
+    start = 0
+    for end in list(boundaries) + [len(keys)]:
+        positions = order[start:end]
+        yield int(sorted_cids[start]), positions
+        start = end
+
+
+class _ChunkedBase:
+    """Shared chunk bookkeeping for the vector and matrix containers."""
+
+    def __init__(self, num_rows: int, chunk_rows: int,
+                 budget: Optional[MemoryBudget], label: str) -> None:
+        if num_rows <= 0:
+            raise ValueError("num_rows must be positive")
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        self.num_rows = int(num_rows)
+        self.chunk_rows = int(chunk_rows)
+        self.num_chunks = -(-self.num_rows // self.chunk_rows)
+        self.budget = budget
+        self.label = label
+        self._chunks: Dict[int, np.ndarray] = {}
+        self._dense: np.ndarray | None = None
+
+    # ------------------------------------------------------------ chunk admin
+    def _chunk_bounds(self, cid: int) -> Tuple[int, int]:
+        lo = cid * self.chunk_rows
+        return lo, min(lo + self.chunk_rows, self.num_rows)
+
+    def _alloc_chunk(self, cid: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def _materialize(self, cid: int) -> np.ndarray:
+        chunk = self._chunks.get(cid)
+        if chunk is None:
+            chunk = self._alloc_chunk(cid)
+            if self.budget is not None:
+                self.budget.charge(chunk.nbytes,
+                                   f"chunk {cid} of {self.label}")
+            self._chunks[cid] = chunk
+        return chunk
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes: only materialized chunks count."""
+        if self._dense is not None:
+            return self._dense.nbytes
+        return sum(chunk.nbytes for chunk in self._chunks.values())
+
+    @property
+    def materialized_chunks(self) -> int:
+        return len(self._chunks)
+
+    def chunk_items(self) -> Iterator[Tuple[int, int, int, np.ndarray]]:
+        """Iterate materialized chunks as ``(cid, lo, hi, array)`` ascending."""
+        for cid in sorted(self._chunks):
+            lo, hi = self._chunk_bounds(cid)
+            yield cid, lo, hi, self._chunks[cid]
+
+    def _rebind_dense(self, dense: np.ndarray) -> None:
+        """Back every chunk by a view into ``dense`` (full materialization)."""
+        released = sum(c.nbytes for c in self._chunks.values())
+        if self.budget is not None:
+            self.budget.charge(dense.nbytes - released,
+                               f"densified {self.label}")
+        self._dense = dense
+        for cid in range(self.num_chunks):
+            lo, hi = self._chunk_bounds(cid)
+            self._chunks[cid] = dense[lo:hi]
+
+
+class ChunkedVector(_ChunkedBase):
+    """A 1-D array materialized chunk-by-chunk on first write.
+
+    Reads of untouched chunks return ``fill_value``, or the result of
+    ``fill_fn(lo, hi)`` (a vectorized computed default over the row range
+    ``[lo, hi)``, e.g. the static partition formula for owner maps) when one
+    is given. Supports the ndarray subset used by the PS hot paths: ``take``,
+    integer/slice/fancy get and set, ``add_at`` and ``where_equal``.
+    """
+
+    ndim = 1
+
+    def __init__(self, num_rows: int, dtype, fill_value=0,
+                 fill_fn: Optional[Callable[[int, int], np.ndarray]] = None,
+                 chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                 budget: Optional[MemoryBudget] = None,
+                 label: str = "vector") -> None:
+        super().__init__(num_rows, chunk_rows, budget, label)
+        self.dtype = np.dtype(dtype)
+        self.fill_value = fill_value
+        self.fill_fn = fill_fn
+
+    @property
+    def shape(self) -> Tuple[int]:
+        return (self.num_rows,)
+
+    def _alloc_chunk(self, cid: int) -> np.ndarray:
+        lo, hi = self._chunk_bounds(cid)
+        if self.fill_fn is not None:
+            chunk = np.ascontiguousarray(
+                np.asarray(self.fill_fn(lo, hi), dtype=self.dtype)
+            )
+            if chunk.shape != (hi - lo,):
+                raise ValueError(
+                    f"fill_fn for {self.label} returned shape {chunk.shape}, "
+                    f"expected ({hi - lo},)"
+                )
+            return chunk
+        return np.full(hi - lo, self.fill_value, dtype=self.dtype)
+
+    def _fill_block(self, lo: int, hi: int) -> np.ndarray:
+        """The default contents of rows ``[lo, hi)`` without materializing."""
+        if self.fill_fn is not None:
+            return np.asarray(self.fill_fn(lo, hi), dtype=self.dtype)
+        return np.full(hi - lo, self.fill_value, dtype=self.dtype)
+
+    # ---------------------------------------------------------------- reading
+    def take(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.int64)
+        out = np.empty(len(keys), dtype=self.dtype)
+        if not len(keys):
+            return out
+        if not self._chunks and self.fill_fn is None:
+            out.fill(self.fill_value)
+            return out
+        for cid, positions in _segments_by_chunk(keys, self.chunk_rows):
+            lo, _ = self._chunk_bounds(cid)
+            offsets = keys[positions] - lo
+            chunk = self._chunks.get(cid)
+            if chunk is not None:
+                out[positions] = chunk[offsets]
+            elif self.fill_fn is not None:
+                hi = self._chunk_bounds(cid)[1]
+                out[positions] = self._fill_block(lo, hi)[offsets]
+            else:
+                out[positions] = self.fill_value
+        return out
+
+    def __getitem__(self, index):
+        if isinstance(index, (int, np.integer)):
+            cid, offset = divmod(int(index), self.chunk_rows)
+            chunk = self._chunks.get(cid)
+            if chunk is not None:
+                return chunk[offset]
+            if self.fill_fn is not None:
+                lo, hi = self._chunk_bounds(cid)
+                return self._fill_block(lo, hi)[offset]
+            return self.dtype.type(self.fill_value)
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.num_rows)
+            return self.take(np.arange(start, stop, step, dtype=np.int64))
+        return self.take(index)
+
+    # ---------------------------------------------------------------- writing
+    def __setitem__(self, index, value) -> None:
+        if isinstance(index, (int, np.integer)):
+            cid, offset = divmod(int(index), self.chunk_rows)
+            self._materialize(cid)[offset] = value
+            return
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.num_rows)
+            index = np.arange(start, stop, step, dtype=np.int64)
+        keys = np.asarray(index, dtype=np.int64)
+        if not len(keys):
+            return
+        if np.isscalar(value) or np.ndim(value) == 0:
+            for cid, positions in _segments_by_chunk(keys, self.chunk_rows):
+                lo, _ = self._chunk_bounds(cid)
+                self._materialize(cid)[keys[positions] - lo] = value
+            return
+        values = np.asarray(value)
+        for cid, positions in _segments_by_chunk(keys, self.chunk_rows):
+            lo, _ = self._chunk_bounds(cid)
+            self._materialize(cid)[keys[positions] - lo] = values[positions]
+
+    def add_at(self, keys: np.ndarray, deltas) -> None:
+        """``np.add.at`` semantics (duplicate keys accumulate in batch order)."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if not len(keys):
+            return
+        scalar = np.isscalar(deltas) or np.ndim(deltas) == 0
+        values = deltas if scalar else np.asarray(deltas)
+        for cid, positions in _segments_by_chunk(keys, self.chunk_rows):
+            lo, _ = self._chunk_bounds(cid)
+            chunk = self._materialize(cid)
+            offsets = keys[positions] - lo
+            np.add.at(chunk, offsets, values if scalar else values[positions])
+
+    # ------------------------------------------------------------- predicates
+    def where_equal(self, value) -> np.ndarray:
+        """Ascending row indices whose element equals ``value``.
+
+        Untouched chunks are evaluated through their fill (a vectorized
+        computation for ``fill_fn``, a constant otherwise) without being
+        materialized, so the resident footprint does not grow.
+        """
+        pieces = []
+        default_matches = self.fill_fn is None and self.fill_value == value
+        for cid in range(self.num_chunks):
+            lo, hi = self._chunk_bounds(cid)
+            chunk = self._chunks.get(cid)
+            if chunk is not None:
+                hits = np.flatnonzero(chunk == value)
+            elif self.fill_fn is not None:
+                hits = np.flatnonzero(self._fill_block(lo, hi) == value)
+            elif default_matches:
+                hits = np.arange(hi - lo, dtype=np.int64)
+            else:
+                continue
+            if len(hits):
+                pieces.append(hits.astype(np.int64) + lo)
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(pieces)
+
+    def any(self) -> bool:
+        """Whether any element is truthy (fills of untouched chunks included)."""
+        if any(bool(chunk.any()) for chunk in self._chunks.values()):
+            return True
+        if len(self._chunks) == self.num_chunks:
+            return False
+        if self.fill_fn is None:
+            return bool(self.fill_value)
+        return any(
+            bool(self._fill_block(*self._chunk_bounds(cid)).any())
+            for cid in range(self.num_chunks) if cid not in self._chunks
+        )
+
+    def count_nonzero(self) -> int:
+        total = sum(int(np.count_nonzero(c)) for c in self._chunks.values())
+        if self.fill_fn is None and not self.fill_value:
+            return total
+        for cid in range(self.num_chunks):
+            if cid not in self._chunks:
+                lo, hi = self._chunk_bounds(cid)
+                total += int(np.count_nonzero(self._fill_block(lo, hi)))
+        return total
+
+    # ----------------------------------------------------------------- lifecycle
+    def copy(self) -> "ChunkedVector":
+        clone = ChunkedVector(self.num_rows, self.dtype, self.fill_value,
+                              self.fill_fn, self.chunk_rows, budget=None,
+                              label=self.label)
+        clone._chunks = {cid: chunk.copy() for cid, chunk in self._chunks.items()}
+        return clone
+
+    def densify(self) -> np.ndarray:
+        """Materialize the full vector; chunks become views into it.
+
+        Subsequent chunked writes and direct writes to the returned array see
+        each other (they share memory). Charged against the budget.
+        """
+        if self._dense is not None:
+            return self._dense
+        dense = np.empty(self.num_rows, dtype=self.dtype)
+        for cid in range(self.num_chunks):
+            lo, hi = self._chunk_bounds(cid)
+            chunk = self._chunks.get(cid)
+            dense[lo:hi] = chunk if chunk is not None else self._fill_block(lo, hi)
+        self._rebind_dense(dense)
+        return dense
+
+
+class ChunkedMatrix(_ChunkedBase):
+    """A ``num_rows x row_length`` matrix materialized chunk-by-chunk.
+
+    Untouched chunks read as zeros (the fill of value matrices and update
+    buffers). Duck-types the ndarray operations the PS hot paths use on row
+    matrices; see the module docstring for the bit-identity argument.
+    """
+
+    ndim = 2
+
+    def __init__(self, num_rows: int, row_length: int, dtype=np.float32,
+                 chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                 budget: Optional[MemoryBudget] = None,
+                 label: str = "matrix") -> None:
+        super().__init__(num_rows, chunk_rows, budget, label)
+        if row_length <= 0:
+            raise ValueError("row_length must be positive")
+        self.row_length = int(row_length)
+        self.dtype = np.dtype(dtype)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.num_rows, self.row_length)
+
+    def _alloc_chunk(self, cid: int) -> np.ndarray:
+        lo, hi = self._chunk_bounds(cid)
+        return np.zeros((hi - lo, self.row_length), dtype=self.dtype)
+
+    # ---------------------------------------------------------------- reading
+    def take(self, keys: np.ndarray, axis: int = 0) -> np.ndarray:
+        if axis != 0:
+            raise ValueError("ChunkedMatrix.take supports axis=0 only")
+        keys = np.asarray(keys, dtype=np.int64)
+        out = np.empty((len(keys), self.row_length), dtype=self.dtype)
+        if not len(keys):
+            return out
+        if not self._chunks:
+            out.fill(0)
+            return out
+        for cid, positions in _segments_by_chunk(keys, self.chunk_rows):
+            chunk = self._chunks.get(cid)
+            if chunk is None:
+                out[positions] = 0
+            else:
+                lo, _ = self._chunk_bounds(cid)
+                out[positions] = chunk[keys[positions] - lo]
+        return out
+
+    def __getitem__(self, index):
+        if isinstance(index, (int, np.integer)):
+            cid, offset = divmod(int(index), self.chunk_rows)
+            chunk = self._chunks.get(cid)
+            if chunk is not None:
+                return chunk[offset]  # a view, like dense row indexing
+            return np.zeros(self.row_length, dtype=self.dtype)
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.num_rows)
+            return self.take(np.arange(start, stop, step, dtype=np.int64))
+        return self.take(index)
+
+    # ---------------------------------------------------------------- writing
+    def __setitem__(self, index, value) -> None:
+        if isinstance(index, (int, np.integer)):
+            cid, offset = divmod(int(index), self.chunk_rows)
+            self._materialize(cid)[offset] = value
+            return
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.num_rows)
+            index = np.arange(start, stop, step, dtype=np.int64)
+        keys = np.asarray(index, dtype=np.int64)
+        if not len(keys):
+            return
+        if np.isscalar(value) or np.ndim(value) == 0:
+            for cid, positions in _segments_by_chunk(keys, self.chunk_rows):
+                lo, _ = self._chunk_bounds(cid)
+                self._materialize(cid)[keys[positions] - lo] = value
+            return
+        values = np.asarray(value)
+        for cid, positions in _segments_by_chunk(keys, self.chunk_rows):
+            lo, _ = self._chunk_bounds(cid)
+            self._materialize(cid)[keys[positions] - lo] = values[positions]
+
+    def add_at(self, keys: np.ndarray, deltas: np.ndarray) -> None:
+        """``np.add.at`` row semantics (duplicates accumulate in batch order)."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if not len(keys):
+            return
+        deltas = np.asarray(deltas)
+        for cid, positions in _segments_by_chunk(keys, self.chunk_rows):
+            lo, _ = self._chunk_bounds(cid)
+            chunk = self._materialize(cid)
+            offsets = keys[positions] - lo
+            if len(offsets) <= 64:
+                offsets_list = offsets.tolist()
+                if len(set(offsets_list)) == len(offsets_list):
+                    chunk[offsets] += deltas[positions]
+                    continue
+            np.add.at(chunk, offsets, deltas[positions])
+
+    # ----------------------------------------------------------------- lifecycle
+    def copy(self) -> "ChunkedMatrix":
+        clone = ChunkedMatrix(self.num_rows, self.row_length, self.dtype,
+                              self.chunk_rows, budget=None, label=self.label)
+        clone._chunks = {cid: chunk.copy() for cid, chunk in self._chunks.items()}
+        return clone
+
+    def densify(self) -> np.ndarray:
+        """Materialize the full matrix; chunks become views into it."""
+        if self._dense is not None:
+            return self._dense
+        dense = np.zeros((self.num_rows, self.row_length), dtype=self.dtype)
+        for cid, chunk in self._chunks.items():
+            lo, hi = self._chunk_bounds(cid)
+            dense[lo:hi] = chunk
+        self._rebind_dense(dense)
+        return dense
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray,
+                   chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                   budget: Optional[MemoryBudget] = None,
+                   label: str = "matrix") -> "ChunkedMatrix":
+        """Wrap an existing dense matrix (all chunks materialized as views)."""
+        if budget is not None:
+            budget.charge(dense.nbytes, f"dense-initialized {label}")
+        self = cls(dense.shape[0], dense.shape[1], dense.dtype,
+                   chunk_rows, budget=None, label=label)
+        self.budget = budget
+        self._dense = dense
+        for cid in range(self.num_chunks):
+            lo, hi = self._chunk_bounds(cid)
+            self._chunks[cid] = dense[lo:hi]
+        return self
+
+
+# --------------------------------------------------------------- dispatch helpers
+def flatnonzero_equal(vector, value) -> np.ndarray:
+    """``np.flatnonzero(vector == value)`` for dense or chunked vectors."""
+    if isinstance(vector, np.ndarray):
+        return np.flatnonzero(vector == value).astype(np.int64)
+    return vector.where_equal(value)

@@ -14,8 +14,25 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 
+#: Key spaces at or below this size serve :meth:`Partitioner.owners` from a
+#: dense key -> owner table (one ``take`` per call). Above it the table would
+#: dominate memory (8 GiB at 10^9 keys), so lookups go hierarchical:
+#: chunk-level table first, partition formula for the mixed boundary chunks.
+DENSE_TABLE_MAX_KEYS = 1 << 22
+
+#: Keys per chunk of the hierarchical owner table. At 10^9 logical keys the
+#: chunk table is ~2 MB instead of an 8 GiB per-key table.
+OWNER_CHUNK_KEYS = 1 << 12
+
+
 class Partitioner(ABC):
     """Maps parameter keys to the server (node) that statically owns them."""
+
+    #: Whether :meth:`owner` is non-decreasing in the key. Monotone
+    #: partitioners (range partitioning) get exact chunk-homogeneity
+    #: detection in the hierarchical lookup; non-monotone ones (hashing)
+    #: fall back to the vectorized partition formula per call.
+    monotone_owners = False
 
     def __init__(self, num_keys: int, num_servers: int) -> None:
         if num_keys <= 0:
@@ -25,6 +42,7 @@ class Partitioner(ABC):
         self.num_keys = int(num_keys)
         self.num_servers = int(num_servers)
         self._owner_table: np.ndarray | None = None
+        self._chunk_owner_table: np.ndarray | None = None
 
     @abstractmethod
     def owner(self, key: int) -> int:
@@ -33,14 +51,59 @@ class Partitioner(ABC):
     def owners(self, keys: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`owner` for an array of keys.
 
-        Served from a precomputed key -> owner lookup table: ``owners`` sits
-        on the access-charging hot path, and one ``take`` beats re-evaluating
-        the partition formula on every call.
+        Small key spaces are served from a precomputed key -> owner lookup
+        table: ``owners`` sits on the access-charging hot path, and one
+        ``take`` beats re-evaluating the partition formula on every call.
+        Beyond :data:`DENSE_TABLE_MAX_KEYS` the lookup goes hierarchical
+        (chunk-then-offset): a chunk-level table resolves chunks owned by a
+        single server, and only keys in mixed (boundary) chunks re-evaluate
+        the partition formula — O(1) per key with no ``num_keys``-length
+        allocation.
+
+        Out-of-range keys raise ``KeyError`` exactly like scalar
+        :meth:`owner`: negative keys are rejected by an explicit (cheap,
+        once-per-batch) check rather than silently wrapping through
+        ``take``'s negative indexing, and too-large keys by ``take``'s
+        bounds check or the explicit check on the hierarchical path.
         """
-        if self._owner_table is None:
-            all_keys = np.arange(self.num_keys, dtype=np.int64)
-            self._owner_table = self._compute_owners(all_keys)
-        return self._owner_table.take(np.asarray(keys, dtype=np.int64))
+        keys = np.asarray(keys, dtype=np.int64)
+        if not keys.size:
+            return keys.copy()
+        if int(keys.min()) < 0:
+            raise KeyError(
+                f"keys out of range [0, {self.num_keys}): min={int(keys.min())}"
+            )
+        if self.num_keys <= DENSE_TABLE_MAX_KEYS:
+            if self._owner_table is None:
+                all_keys = np.arange(self.num_keys, dtype=np.int64)
+                self._owner_table = self._compute_owners(all_keys)
+            return self._owner_table.take(keys, mode="raise")
+        hi = int(keys.max())
+        if hi >= self.num_keys:
+            raise KeyError(
+                f"keys out of range [0, {self.num_keys}): max={hi}"
+            )
+        if self._chunk_owner_table is None:
+            self._chunk_owner_table = self._build_chunk_owner_table()
+        chunk_ids = keys >> (OWNER_CHUNK_KEYS.bit_length() - 1)
+        owners = self._chunk_owner_table.take(chunk_ids)
+        mixed = owners < 0
+        if mixed.any():
+            owners[mixed] = self._compute_owners(keys[mixed])
+        return owners
+
+    def _build_chunk_owner_table(self) -> np.ndarray:
+        """Chunk id -> owner, or -1 where a chunk spans multiple servers."""
+        num_chunks = -(-self.num_keys // OWNER_CHUNK_KEYS)
+        starts = np.arange(num_chunks, dtype=np.int64) * OWNER_CHUNK_KEYS
+        ends = np.minimum(starts + OWNER_CHUNK_KEYS - 1, self.num_keys - 1)
+        if not self.monotone_owners:
+            # Without monotonicity equal endpoints prove nothing; every
+            # chunk goes through the partition formula.
+            return np.full(num_chunks, -1, dtype=np.int64)
+        start_owners = self._compute_owners(starts)
+        end_owners = self._compute_owners(ends)
+        return np.where(start_owners == end_owners, start_owners, -1)
 
     @abstractmethod
     def _compute_owners(self, keys: np.ndarray) -> np.ndarray:
@@ -65,6 +128,8 @@ class RangePartitioner(Partitioner):
     Key ``k`` belongs to server ``k // ceil(num_keys / num_servers)``, i.e.
     servers own contiguous, nearly equal-sized ranges.
     """
+
+    monotone_owners = True
 
     def __init__(self, num_keys: int, num_servers: int) -> None:
         super().__init__(num_keys, num_servers)

@@ -29,6 +29,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.ps.base import ParameterServer
+from repro.ps.chunks import ChunkedVector, flatnonzero_equal
 from repro.ps.rounds import RoundAccounting
 from repro.simulation.clock import fold_costs
 from repro.simulation.cluster import Cluster, WorkerContext
@@ -89,12 +90,32 @@ class RelocationPS(ParameterServer):
         #: Vectorized batch charging (the fast path). ``False`` selects the
         #: per-key scalar reference path; both are bit-identical.
         self.batch_charging = bool(batch_charging)
-        all_keys = np.arange(store.num_keys, dtype=np.int64)
-        #: Current owner node of every key; starts at the static partition.
-        self.current_owner = self.partitioner.owners(all_keys).astype(np.int64)
-        #: Simulated time at which the most recent relocation of a key
-        #: completes at its new owner. Accesses before that time must wait.
-        self.arrival_time = np.zeros(store.num_keys, dtype=np.float64)
+        if store.backend == "sparse":
+            # Chunked owner state: untouched chunks read as the static
+            # partition (evaluated per chunk, never stored) and as
+            # "already arrived" — exactly the dense initial state — so the
+            # resident footprint tracks the keys that actually relocated.
+            static = self.partitioner
+            chunk_rows = store.storage.chunk_rows
+
+            def _static_owners(lo: int, hi: int) -> np.ndarray:
+                return static._compute_owners(
+                    np.arange(lo, hi, dtype=np.int64)
+                ).astype(np.int64)
+
+            #: Current owner node of every key; starts at the static partition.
+            self.current_owner = ChunkedVector(
+                store.num_keys, np.int64, fill_fn=_static_owners,
+                chunk_rows=chunk_rows, label="relocation.current_owner")
+            #: Simulated time at which the most recent relocation of a key
+            #: completes at its new owner. Accesses before that time must wait.
+            self.arrival_time = ChunkedVector(
+                store.num_keys, np.float64, 0.0,
+                chunk_rows=chunk_rows, label="relocation.arrival_time")
+        else:
+            all_keys = np.arange(store.num_keys, dtype=np.int64)
+            self.current_owner = self.partitioner.owners(all_keys).astype(np.int64)
+            self.arrival_time = np.zeros(store.num_keys, dtype=np.float64)
 
     def refresh_network(self) -> None:
         """Re-derive the cached cost constants (see the base class)."""
@@ -613,11 +634,18 @@ class RelocationPS(ParameterServer):
 
     def local_keys(self, node_id: int) -> np.ndarray:
         """All keys currently allocated at ``node_id``."""
-        return np.flatnonzero(self.current_owner == node_id).astype(np.int64)
+        return flatnonzero_equal(self.current_owner, node_id)
 
     def owner_of(self, key: int) -> int:
         """Current owner node of ``key``."""
         return int(self.current_owner[int(key)])
+
+    def state_nbytes(self) -> dict:
+        sizes = super().state_nbytes()
+        sizes["ownership"] = (
+            int(self.current_owner.nbytes) + int(self.arrival_time.nbytes)
+        )
+        return sizes
 
     # -------------------------------------------------------------- fault API
     def keys_owned_by(self, node_id: int) -> np.ndarray:

@@ -35,6 +35,7 @@ from typing import Dict, Sequence
 import numpy as np
 
 from repro.ps.base import ParameterServer
+from repro.ps.chunks import ChunkedMatrix, ChunkedVector, MemoryBudget, StorageConfig
 from repro.ps.relocation import SMALL_BATCH, first_occurrence_in_order
 from repro.ps.rounds import RoundAccounting
 from repro.simulation.cluster import Cluster, WorkerContext
@@ -58,15 +59,55 @@ _NEVER = -10**9
 
 
 class _NodeReplicaState:
-    """Replica cache, clocks and update buffer of one node (array-backed)."""
+    """Replica cache, clocks and update buffer of one node.
 
-    def __init__(self, num_keys: int, value_length: int) -> None:
+    On the dense backend (the oracle) every structure is a full
+    ``num_keys``-length array, exactly as before. On the sparse backend the
+    same structures are chunked (:mod:`repro.ps.chunks`) and materialize on
+    first write — the fills (mask ``False``, clock ``_NEVER``, buffers zero)
+    are precisely the dense initial values, so reads of untouched keys are
+    bit-identical and the node's resident memory is proportional to the keys
+    it actually replicates, bounded by an optional per-node budget.
+    """
+
+    def __init__(self, num_keys: int, value_length: int,
+                 storage: StorageConfig | None = None,
+                 node_id: int | None = None) -> None:
         self.value_length = value_length
-        self.replica_mask = np.zeros(num_keys, dtype=bool)
-        self.replica_values = np.zeros((num_keys, value_length), dtype=np.float32)
-        self.replica_clock = np.full(num_keys, _NEVER, dtype=np.int64)
-        self.update_mask = np.zeros(num_keys, dtype=bool)
-        self.update_values = np.zeros((num_keys, value_length), dtype=np.float32)
+        sparse = storage is not None and storage.backend == "sparse"
+        if not sparse:
+            self.replica_mask = np.zeros(num_keys, dtype=bool)
+            self.replica_values = np.zeros((num_keys, value_length),
+                                           dtype=np.float32)
+            self.replica_clock = np.full(num_keys, _NEVER, dtype=np.int64)
+            self.update_mask = np.zeros(num_keys, dtype=bool)
+            self.update_values = np.zeros((num_keys, value_length),
+                                          dtype=np.float32)
+        else:
+            budget = None
+            if storage.node_budget_bytes is not None:
+                budget = MemoryBudget(
+                    storage.node_budget_bytes,
+                    label=f"replica state of node {node_id}",
+                )
+            self.budget = budget
+            rows = storage.chunk_rows
+            prefix = f"node{node_id}"
+            self.replica_mask = ChunkedVector(
+                num_keys, bool, False, None, rows, budget,
+                f"{prefix}.replica_mask")
+            self.replica_values = ChunkedMatrix(
+                num_keys, value_length, np.float32, rows, budget,
+                f"{prefix}.replica_values")
+            self.replica_clock = ChunkedVector(
+                num_keys, np.int64, _NEVER, None, rows, budget,
+                f"{prefix}.replica_clock")
+            self.update_mask = ChunkedVector(
+                num_keys, bool, False, None, rows, budget,
+                f"{prefix}.update_mask")
+            self.update_values = ChunkedMatrix(
+                num_keys, value_length, np.float32, rows, budget,
+                f"{prefix}.update_values")
         # Key batches pushed since the last flush. A superset of the set bits
         # in ``update_mask`` (which stays authoritative): flushes enumerate
         # their keys from this list instead of scanning the full mask, which
@@ -80,6 +121,25 @@ class _NodeReplicaState:
         if not self.worker_clocks:
             return 0
         return min(self.worker_clocks.values())
+
+    def replicated_keys(self) -> np.ndarray:
+        """Ascending keys with a replica (``flatnonzero`` of the mask)."""
+        if isinstance(self.replica_mask, np.ndarray):
+            return np.flatnonzero(self.replica_mask).astype(np.int64)
+        return self.replica_mask.where_equal(True)
+
+    def count_replicas(self) -> int:
+        if isinstance(self.replica_mask, np.ndarray):
+            return int(np.count_nonzero(self.replica_mask))
+        return self.replica_mask.count_nonzero()
+
+    def nbytes(self) -> int:
+        """Resident bytes of the node's replica/update state."""
+        return int(
+            self.replica_mask.nbytes + self.replica_values.nbytes
+            + self.replica_clock.nbytes + self.update_mask.nbytes
+            + self.update_values.nbytes
+        )
 
 
 class ReplicationPS(ParameterServer):
@@ -107,7 +167,8 @@ class ReplicationPS(ParameterServer):
         #: per-key scalar reference path; both are bit-identical.
         self.batch_charging = bool(batch_charging)
         self._nodes: Dict[int, _NodeReplicaState] = {
-            node_id: _NodeReplicaState(store.num_keys, store.value_length)
+            node_id: _NodeReplicaState(store.num_keys, store.value_length,
+                                       storage=store.storage, node_id=node_id)
             for node_id in range(cluster.num_nodes)
         }
 
@@ -451,8 +512,8 @@ class ReplicationPS(ParameterServer):
             state.replica_values[keys] += deltas
             state.update_values[keys] += deltas
         else:
-            np.add.at(state.replica_values, keys, deltas)
-            np.add.at(state.update_values, keys, deltas)
+            scatter_add_rows(state.replica_values, keys, deltas)
+            scatter_add_rows(state.update_values, keys, deltas)
         state.update_mask[keys] = True
         state.pending_updates.append(keys)
 
@@ -762,7 +823,7 @@ class ReplicationPS(ParameterServer):
         """ESSP: refresh every replica the node holds from the servers."""
         if not state.replica_mask.any():
             return
-        keys = np.flatnonzero(state.replica_mask).astype(np.int64)
+        keys = state.replicated_keys()
         state.replica_values[keys] = self.store.get(keys)
         state.replica_clock[keys] = state.clock
 
@@ -798,7 +859,14 @@ class ReplicationPS(ParameterServer):
 
     def replica_count(self, node_id: int) -> int:
         """Number of replicas currently held by ``node_id`` (for tests/reports)."""
-        return int(np.count_nonzero(self._nodes[node_id].replica_mask))
+        return self._nodes[node_id].count_replicas()
+
+    def state_nbytes(self) -> Dict[str, int]:
+        sizes = super().state_nbytes()
+        sizes["replica_state"] = sum(
+            state.nbytes() for state in self._nodes.values()
+        )
+        return sizes
 
     # -------------------------------------------------------------- fault API
     def recover_values(self, keys: np.ndarray) -> tuple:

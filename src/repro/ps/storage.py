@@ -1,10 +1,21 @@
-"""Dense parameter storage.
+"""Parameter storage with pluggable dense/sparse backends.
 
 The parameter store is the ground-truth home of all model parameters. Keys
 are contiguous integers ``0 .. num_keys - 1`` and every key maps to a fixed
 length ``float32`` vector. Parameter servers layer their management
 techniques (replication, relocation, caching) on top of one shared store;
 the store itself knows nothing about nodes or the network.
+
+Two storage backends sit behind the same API (selected via
+:class:`~repro.ps.chunks.StorageConfig`):
+
+* ``dense`` — the original contiguous arrays. This is the bit-identity
+  oracle: every sparse-backend operation must produce exactly the values,
+  versions, clocks and metrics the dense backend produces.
+* ``sparse`` — fixed-size chunks materialized on first write (see
+  :mod:`repro.ps.chunks`), with an optional memory budget. Untouched chunks
+  read as zeros without being allocated, so a store over 10^8+ logical keys
+  costs memory proportional to the *touched* key set, not the key space.
 
 Updates are *additive* (``add``), which matches how the paper's workloads use
 a PS: workers push gradients or gradient-like deltas that the server adds to
@@ -18,8 +29,16 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.ps.chunks import (
+    DENSE_STORAGE,
+    ChunkedMatrix,
+    ChunkedVector,
+    MemoryBudget,
+    StorageConfig,
+)
 
-def scatter_add_rows(target: np.ndarray, keys: np.ndarray, deltas,
+
+def scatter_add_rows(target, keys: np.ndarray, deltas,
                      keys_list: list | None = None) -> None:
     """``np.add.at(target, keys, deltas)`` with a duplicate-free fast path.
 
@@ -27,7 +46,13 @@ def scatter_add_rows(target: np.ndarray, keys: np.ndarray, deltas,
     keys of a small batch are distinct the two are bit-identical (exactly one
     addition lands on every row either way), so the fast path applies there
     and the general unbuffered path only when duplicates are present.
+
+    Chunked targets (:mod:`repro.ps.chunks`) implement the same accumulation
+    semantics per materialized chunk and are dispatched to directly.
     """
+    if not isinstance(target, np.ndarray):
+        target.add_at(keys, deltas)
+        return
     n = len(keys)
     if n == 1:
         # Basic indexing: no fancy-index machinery at all.
@@ -46,26 +71,61 @@ def scatter_add_rows(target: np.ndarray, keys: np.ndarray, deltas,
 
 
 class ParameterStore:
-    """Dense ``num_keys x value_length`` float32 parameter storage."""
+    """``num_keys x value_length`` float32 parameter storage (dense or sparse)."""
 
     def __init__(self, num_keys: int, value_length: int, seed: int | None = None,
-                 init_scale: float = 0.0) -> None:
+                 init_scale: float = 0.0,
+                 storage: StorageConfig | None = None) -> None:
         if num_keys <= 0:
             raise ValueError("num_keys must be positive")
         if value_length <= 0:
             raise ValueError("value_length must be positive")
         self.num_keys = int(num_keys)
         self.value_length = int(value_length)
+        self.storage = storage if storage is not None else DENSE_STORAGE
         rng = np.random.default_rng(seed)
-        if init_scale:
-            self._values = rng.normal(
-                0.0, init_scale, size=(num_keys, value_length)
-            ).astype(np.float32)
+        if self.storage.backend == "dense":
+            self._budget = None
+            if init_scale:
+                self._values = rng.normal(
+                    0.0, init_scale, size=(num_keys, value_length)
+                ).astype(np.float32)
+            else:
+                self._values = np.zeros((num_keys, value_length), dtype=np.float32)
+            # Monotonic per-key version counters; bumped on every write. Used
+            # by tests and by replica managers to detect missed updates.
+            self._versions = np.zeros(num_keys, dtype=np.int64)
         else:
-            self._values = np.zeros((num_keys, value_length), dtype=np.float32)
-        # Monotonic per-key version counters; bumped on every write. Used by
-        # tests and by replica managers to detect missed updates.
-        self._versions = np.zeros(num_keys, dtype=np.int64)
+            budget = None
+            if self.storage.store_budget_bytes is not None:
+                budget = MemoryBudget(
+                    self.storage.store_budget_bytes,
+                    label=f"parameter store ({self.num_keys} keys)",
+                )
+            self._budget = budget
+            chunk_rows = self.storage.chunk_rows
+            if init_scale:
+                # A random initialization is one RNG stream over the *full*
+                # matrix; reproducing it lazily per chunk is impossible, so
+                # the sparse backend materializes eagerly here (budget
+                # checked) to stay bit-identical to the dense oracle. Lazy
+                # sparseness pays off for zero-initialized stores (scale
+                # sweeps, embedding output vectors) and API-driven init.
+                full = rng.normal(
+                    0.0, init_scale, size=(num_keys, value_length)
+                ).astype(np.float32)
+                self._values = ChunkedMatrix.from_dense(
+                    full, chunk_rows, budget, label="store.values"
+                )
+            else:
+                self._values = ChunkedMatrix(
+                    num_keys, value_length, np.float32, chunk_rows,
+                    budget, label="store.values"
+                )
+            self._versions = ChunkedVector(
+                num_keys, np.int64, 0, None, chunk_rows,
+                budget, label="store.versions"
+            )
 
     # ---------------------------------------------------------------- access
     def get(self, keys: Sequence[int] | np.ndarray) -> np.ndarray:
@@ -80,15 +140,45 @@ class ParameterStore:
         return self._values[key].copy()
 
     def view(self, keys: Sequence[int] | np.ndarray) -> np.ndarray:
-        """Return a read-only view of the values for ``keys``.
+        """Return the values for ``keys`` without copying when possible.
 
-        Used by the shared-memory single-node baseline, where workers read
-        the store directly. Callers must not mutate the returned array.
+        For a contiguous ascending key range ``k, k+1, ..., k+n-1`` the result
+        is a true zero-copy, read-only *view* of the backing storage (on the
+        sparse backend this holds when the range lies inside one materialized
+        chunk). Any other key shape falls back to fancy indexing, which
+        returns a read-only *copy*. Callers must not mutate the returned
+        array either way; writers go through :meth:`add`/:meth:`set`.
         """
         keys = self._validate_keys(keys)
-        values = self._values[keys]
+        n = len(keys)
+        if n:
+            first = int(keys[0])
+            contiguous = (
+                int(keys[-1]) - first == n - 1
+                and (n == 1 or bool((np.diff(keys) == 1).all()))
+            )
+            if contiguous:
+                block = self._contiguous_block(first, first + n)
+                if block is not None:
+                    block.flags.writeable = False
+                    return block
+        values = self._values.take(keys, axis=0)
         values.flags.writeable = False
         return values
+
+    def _contiguous_block(self, lo: int, hi: int) -> np.ndarray | None:
+        """A zero-copy slice of rows ``[lo, hi)``, if the backend has one."""
+        if isinstance(self._values, np.ndarray):
+            return self._values[lo:hi]
+        chunk_rows = self._values.chunk_rows
+        cid = lo // chunk_rows
+        if (hi - 1) // chunk_rows != cid:
+            return None  # the range spans chunks: no single backing array
+        chunk = self._values._chunks.get(cid)
+        if chunk is None:
+            return None  # not materialized: view() falls back to a copy
+        base = cid * chunk_rows
+        return chunk[lo - base:hi - base]
 
     def add(self, keys: Sequence[int] | np.ndarray, deltas: np.ndarray) -> None:
         """Add ``deltas`` to the values of ``keys`` (duplicate keys accumulate)."""
@@ -121,6 +211,36 @@ class ParameterStore:
         # (fancy-index += would silently drop duplicate keys).
         scatter_add_rows(self._versions, keys, 1)
 
+    def write_rows(self, keys: Sequence[int] | np.ndarray,
+                   values: np.ndarray) -> None:
+        """Overwrite values *without* bumping version counters.
+
+        The restore/recovery entry point: fault handlers re-install
+        recovered or checkpointed values without counting the write as a
+        training update, so version deltas keep measuring exactly the lost
+        work. Works on both backends (the sparse backend materializes the
+        touched chunks), unlike direct writes through :attr:`values`.
+        """
+        keys = self._validate_keys(keys)
+        values = self._validate_deltas(keys, values)
+        self._values[keys] = values
+
+    def read_versions(self, keys: Sequence[int] | np.ndarray) -> np.ndarray:
+        """A copy of the version counters for ``keys``."""
+        keys = self._validate_keys(keys)
+        return self._versions.take(keys)
+
+    def write_versions(self, keys: Sequence[int] | np.ndarray,
+                       versions: np.ndarray) -> None:
+        """Overwrite version counters (rollback support; no bump)."""
+        keys = self._validate_keys(keys)
+        versions = np.asarray(versions, dtype=np.int64)
+        if versions.shape != (len(keys),):
+            raise ValueError(
+                f"versions must have shape ({len(keys)},), got {versions.shape}"
+            )
+        self._versions[keys] = versions
+
     def permute(self, new_key_of: Sequence[int] | np.ndarray) -> None:
         """Relabel the key space: old key ``k`` becomes key ``new_key_of[k]``.
 
@@ -141,12 +261,25 @@ class ParameterStore:
         check[perm] = True
         if not check.all():
             raise ValueError("new_key_of is not a permutation of the key space")
-        values = np.empty_like(self._values)
-        versions = np.empty_like(self._versions)
-        values[perm] = self._values
-        versions[perm] = self._versions
-        self._values = values
-        self._versions = versions
+        if isinstance(self._values, np.ndarray):
+            values = np.empty_like(self._values)
+            versions = np.empty_like(self._versions)
+            values[perm] = self._values
+            versions[perm] = self._versions
+            self._values = values
+            self._versions = versions
+            return
+        # Sparse backend: a permutation scatters rows across the whole key
+        # space, so the store densifies (budget checked) and permutes in
+        # place — the chunk views stay bound to the same backing arrays.
+        dense_values = self._values.densify()
+        dense_versions = self._versions.densify()
+        values = np.empty_like(dense_values)
+        versions = np.empty_like(dense_versions)
+        values[perm] = dense_values
+        versions[perm] = dense_versions
+        dense_values[...] = values
+        dense_versions[...] = versions
 
     def version(self, key: int) -> int:
         """The number of writes applied to ``key`` so far."""
@@ -155,9 +288,21 @@ class ParameterStore:
 
     # ------------------------------------------------------------- inspection
     @property
+    def backend(self) -> str:
+        """The active storage backend (``"dense"`` or ``"sparse"``)."""
+        return self.storage.backend
+
+    @property
     def values(self) -> np.ndarray:
-        """The full value matrix (read-write; owned by the store)."""
-        return self._values
+        """The full value matrix (read-write; owned by the store).
+
+        On the sparse backend this densifies on demand (budget checked):
+        the full matrix is materialized once and the chunks become views
+        into it, so chunked operations and direct writes stay coherent.
+        """
+        if isinstance(self._values, np.ndarray):
+            return self._values
+        return self._values.densify()
 
     @property
     def versions(self) -> np.ndarray:
@@ -166,22 +311,84 @@ class ParameterStore:
         Direct writes through :attr:`values` bypass the counters: recovery
         code uses that to restore values without counting the restore itself
         as an update, so version deltas measure exactly the lost work.
+        Densifies on demand on the sparse backend, like :attr:`values`.
         """
-        return self._versions
+        if isinstance(self._versions, np.ndarray):
+            return self._versions
+        return self._versions.densify()
 
     def value_bytes(self) -> int:
         """Wire size in bytes of one parameter value."""
         return self.value_length * 4
 
     def total_bytes(self) -> int:
-        """Total size of the stored model in bytes."""
+        """Logical size of the stored model in bytes.
+
+        This is the cost-model size (what a checkpoint write-out or full
+        transfer moves) and is identical on both backends; resident memory
+        is :meth:`nbytes`.
+        """
         return self.num_keys * self.value_bytes()
 
+    def nbytes(self) -> int:
+        """Resident bytes of the backing storage (values + versions).
+
+        Dense: the full arrays. Sparse: materialized chunks only — the
+        number the scale benchmarks hold against the memory budget.
+        """
+        return int(self._values.nbytes) + int(self._versions.nbytes)
+
+    def materialized_chunks(self) -> int:
+        """Materialized chunk count (0 on a fresh sparse store; dense: all)."""
+        if isinstance(self._values, np.ndarray):
+            return -(-self.num_keys // self.storage.chunk_rows)
+        return self._values.materialized_chunks
+
     def copy(self) -> "ParameterStore":
-        """Deep copy (used by experiments that restart from a checkpoint)."""
-        clone = ParameterStore(self.num_keys, self.value_length)
+        """Deep copy (used by experiments that restart from a checkpoint).
+
+        Built without the throwaway zero allocation a ``__init__`` round-trip
+        would make (at scale that would double checkpoint peak memory); on
+        the sparse backend only materialized chunks are copied. The clone is
+        not budget-tracked — snapshots model stable storage, not node RAM.
+        """
+        clone = ParameterStore.__new__(ParameterStore)
+        clone.num_keys = self.num_keys
+        clone.value_length = self.value_length
+        clone.storage = self.storage
+        clone._budget = None
         clone._values = self._values.copy()
         clone._versions = self._versions.copy()
+        return clone
+
+    def with_storage(self, storage: StorageConfig) -> "ParameterStore":
+        """A copy of this store on a different storage backend.
+
+        Converting to ``sparse`` materializes only the chunks that hold a
+        nonzero value or version (zero-initialized regions — e.g. untouched
+        embedding output vectors — stay unmaterialized), charged against the
+        new store's budget. Converting to ``dense`` assembles the full
+        arrays. Either way the logical contents are identical, which is what
+        the dense==sparse bit-identity suite checks end to end.
+        """
+        if not isinstance(storage, StorageConfig):
+            raise TypeError(
+                "storage must be a repro.ps.chunks.StorageConfig, got "
+                f"{type(storage).__name__}"
+            )
+        clone = ParameterStore(self.num_keys, self.value_length,
+                               storage=storage)
+        step = storage.chunk_rows if storage.backend == "sparse" \
+            else DENSE_STORAGE.chunk_rows
+        for lo in range(0, self.num_keys, step):
+            hi = min(lo + step, self.num_keys)
+            block = np.arange(lo, hi, dtype=np.int64)
+            values = self._values.take(block, axis=0)
+            if values.any():
+                clone._values[block] = values
+            versions = self._versions.take(block)
+            if versions.any():
+                clone._versions[block] = versions
         return clone
 
     # ------------------------------------------------------------ validation
@@ -219,5 +426,5 @@ class ParameterStore:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ParameterStore(num_keys={self.num_keys}, "
-            f"value_length={self.value_length})"
+            f"value_length={self.value_length}, backend={self.backend!r})"
         )

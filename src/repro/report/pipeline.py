@@ -93,6 +93,8 @@ REGISTRY: List[BenchmarkSpec] = [
     BenchmarkSpec("adaptive", "bench_adaptive",
                   "Appendix: adaptive parameter management under drift",
                   "appendix"),
+    BenchmarkSpec("scale", "bench_scale",
+                  "Appendix: sparse chunked storage at scale", "appendix"),
     BenchmarkSpec("throughput", "bench_throughput",
                   "Appendix: simulator-throughput microbenchmark", "appendix"),
     BenchmarkSpec("profile", "bench_profile",

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro.ps.chunks import StorageConfig
 from repro.simulation.cluster import ClusterConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -72,6 +73,14 @@ class ExperimentConfig:
         fuses only what commutes exactly (see :mod:`repro.ps.rounds`).
         Scenario perturbations (drift, churn, stragglers, networks) compose
         with either setting.
+    storage:
+        Optional :class:`~repro.ps.chunks.StorageConfig` selecting the
+        parameter store's storage backend. ``None`` (the default) keeps
+        whatever backend the task's store was created with (dense, for all
+        built-in tasks). Passing ``StorageConfig(backend="sparse", ...)``
+        converts the store to chunked sparse storage after task
+        initialization — bit-identical training results, bounded resident
+        memory (see :mod:`repro.ps.chunks`).
     """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
@@ -84,6 +93,7 @@ class ExperimentConfig:
     scenario: Optional["Scenario"] = None
     adaptive: Optional["AdaptiveConfig"] = None
     round_fusion: bool = True
+    storage: Optional[StorageConfig] = None
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -137,4 +147,15 @@ class ExperimentConfig:
             raise TypeError(
                 "adaptive must be a repro.adaptive.AdaptiveConfig (or expose "
                 f"a compatible policy attribute), got {type(self.adaptive).__name__}"
+            )
+        if isinstance(self.storage, str):
+            raise TypeError(
+                f"storage must be a StorageConfig object, not the string "
+                f"{self.storage!r}; build it with "
+                f"repro.ps.chunks.StorageConfig(backend={self.storage!r})"
+            )
+        if self.storage is not None and not isinstance(self.storage, StorageConfig):
+            raise TypeError(
+                "storage must be a repro.ps.chunks.StorageConfig, "
+                f"got {type(self.storage).__name__}"
             )

@@ -131,7 +131,17 @@ def run_experiment(
     config = config or ExperimentConfig()
     cluster = Cluster(config.cluster)
     store = task.create_store(seed=config.seed)
+    if config.storage is not None:
+        # Convert the task's store to the configured backend before the PS
+        # sees it (PSs derive their own state layout from store.storage).
+        # The conversion copies values/versions block-wise, so dense and
+        # sparse runs start from bit-identical state.
+        store = store.with_storage(config.storage)
     ps = ps_factory(store, cluster, task)
+    # Evaluate against the store the PS actually trains: factories are
+    # allowed to swap backends themselves (make_ps_factory(storage=...)),
+    # and evaluating the pre-swap store would silently freeze quality.
+    store = ps.store
     if config.adaptive is not None and getattr(ps, "adaptive_controller", None) is None:
         # Online adaptive management: attach the statistics tap and the
         # periodic controller to the raw PS (hot-set-drift scenarios remap

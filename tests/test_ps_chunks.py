@@ -1,0 +1,298 @@
+"""Unit tests for the chunked sparse state containers (repro.ps.chunks).
+
+The containers duck-type the ndarray subset the parameter-server hot paths
+use; every operation here is checked against the equivalent dense-array
+result, because bit-identity with the dense backend is the contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ps.chunks import (
+    DEFAULT_CHUNK_ROWS,
+    ChunkedMatrix,
+    ChunkedVector,
+    MemoryBudget,
+    MemoryBudgetExceeded,
+    StorageConfig,
+    _segments_by_chunk,
+    flatnonzero_equal,
+)
+
+
+class TestMemoryBudget:
+    def test_charge_accumulates_and_release_frees(self):
+        budget = MemoryBudget(1000, label="test")
+        budget.charge(600, "a")
+        assert budget.used_bytes == 600
+        assert budget.remaining_bytes == 400
+        budget.release(200)
+        assert budget.used_bytes == 400
+
+    def test_over_budget_raises_before_allocation(self):
+        budget = MemoryBudget(1000, label="node 3 state")
+        budget.charge(900, "a")
+        with pytest.raises(MemoryBudgetExceeded):
+            budget.charge(200, "chunk 7 of replica values")
+        # The failed charge must not be recorded.
+        assert budget.used_bytes == 900
+
+    def test_error_message_is_actionable(self):
+        budget = MemoryBudget(1024, label="parameter store (10^8 keys)")
+        with pytest.raises(MemoryBudgetExceeded) as excinfo:
+            budget.charge(4096, "chunk 0 of store.values")
+        message = str(excinfo.value)
+        assert "parameter store (10^8 keys)" in message
+        assert "chunk 0 of store.values" in message
+        assert "Raise the budget" in message
+        assert "chunk_rows" in message
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(0)
+        with pytest.raises(ValueError):
+            MemoryBudget(-5)
+
+
+class TestStorageConfig:
+    def test_defaults_are_dense(self):
+        config = StorageConfig()
+        assert config.backend == "dense"
+        assert config.chunk_rows == DEFAULT_CHUNK_ROWS
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            StorageConfig(backend="mmap")
+
+    def test_invalid_chunk_rows_rejected(self):
+        with pytest.raises(ValueError):
+            StorageConfig(chunk_rows=0)
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            StorageConfig(store_budget_bytes=0)
+        with pytest.raises(ValueError):
+            StorageConfig(node_budget_bytes=-1)
+
+
+class TestSegmentsByChunk:
+    def test_preserves_batch_order_within_chunk(self):
+        keys = np.array([9, 2, 9, 1, 2, 17], dtype=np.int64)
+        segments = dict(_segments_by_chunk(keys, 8))
+        # Chunk 0 holds keys 2, 1, 2 at batch positions 1, 3, 4; chunk 1
+        # holds 9, 9 at 0, 2; chunk 2 holds 17 at 5. Positions must stay in
+        # batch order so duplicate accumulation matches np.add.at.
+        assert segments[0].tolist() == [1, 3, 4]
+        assert segments[1].tolist() == [0, 2]
+        assert segments[2].tolist() == [5]
+
+    def test_covers_every_position_exactly_once(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 100, size=257, dtype=np.int64)
+        seen = np.concatenate(
+            [p for _, p in _segments_by_chunk(keys, 16)]
+        )
+        assert sorted(seen.tolist()) == list(range(len(keys)))
+
+
+class TestChunkedVector:
+    def test_reads_of_untouched_rows_return_fill(self):
+        vec = ChunkedVector(100, np.int64, fill_value=-1, chunk_rows=16)
+        assert vec[5] == -1
+        assert vec.take(np.array([0, 50, 99])).tolist() == [-1, -1, -1]
+        assert vec.nbytes == 0
+        assert vec.materialized_chunks == 0
+
+    def test_write_materializes_only_touched_chunks(self):
+        vec = ChunkedVector(100, np.int64, fill_value=0, chunk_rows=16)
+        vec[np.array([3, 80])] = np.array([7, 9])
+        assert vec.materialized_chunks == 2
+        assert vec[3] == 7 and vec[80] == 9
+        assert vec[4] == 0  # same chunk, untouched row keeps the fill
+
+    def test_matches_dense_reference_on_random_ops(self):
+        rng = np.random.default_rng(1)
+        dense = np.zeros(200, dtype=np.float64)
+        vec = ChunkedVector(200, np.float64, fill_value=0.0, chunk_rows=32)
+        for _ in range(20):
+            keys = rng.integers(0, 200, size=rng.integers(1, 30))
+            values = rng.normal(size=len(keys))
+            dense[keys] = values
+            vec[keys] = values
+        np.testing.assert_array_equal(vec.take(np.arange(200)), dense)
+
+    def test_add_at_bit_identical_with_duplicates(self):
+        rng = np.random.default_rng(2)
+        dense = np.zeros(100, dtype=np.float32)
+        vec = ChunkedVector(100, np.float32, fill_value=0.0, chunk_rows=16)
+        keys = rng.integers(0, 100, size=500, dtype=np.int64)
+        deltas = rng.normal(size=500).astype(np.float32)
+        np.add.at(dense, keys, deltas)
+        vec.add_at(keys, deltas)
+        np.testing.assert_array_equal(vec.take(np.arange(100)), dense)
+
+    def test_fill_fn_computed_default(self):
+        vec = ChunkedVector(
+            100, np.int64,
+            fill_fn=lambda lo, hi: np.arange(lo, hi) // 25,
+            chunk_rows=16,
+        )
+        assert vec[0] == 0 and vec[99] == 3
+        assert vec.take(np.array([10, 30, 60, 90])).tolist() == [0, 1, 2, 3]
+        assert vec.materialized_chunks == 0  # reads never materialize
+        vec[30] = 7  # overrides the computed default in chunk 1 only
+        assert vec[30] == 7
+        assert vec[31] == 1  # same chunk, other rows keep the computed fill
+
+    def test_where_equal_matches_flatnonzero(self):
+        dense = np.zeros(100, dtype=np.int64)
+        vec = ChunkedVector(100, np.int64, fill_value=0, chunk_rows=16)
+        keys = np.array([5, 17, 64, 65])
+        dense[keys] = 3
+        vec[keys] = 3
+        np.testing.assert_array_equal(
+            vec.where_equal(3), np.flatnonzero(dense == 3)
+        )
+        # Fill rows count too (every untouched row equals 0).
+        np.testing.assert_array_equal(
+            vec.where_equal(0), np.flatnonzero(dense == 0)
+        )
+
+    def test_where_equal_with_fill_fn(self):
+        vec = ChunkedVector(
+            64, np.int64,
+            fill_fn=lambda lo, hi: np.arange(lo, hi) % 4,
+            chunk_rows=16,
+        )
+        vec[2] = 99  # chunk 0 materialized, row 2 no longer equals 2
+        expected = [k for k in range(64) if k % 4 == 2 and k != 2]
+        assert vec.where_equal(2).tolist() == expected
+
+    def test_any_and_count_nonzero(self):
+        vec = ChunkedVector(100, np.bool_, fill_value=False, chunk_rows=16)
+        assert not vec.any()
+        assert vec.count_nonzero() == 0
+        vec[42] = True
+        assert vec.any()
+        assert vec.count_nonzero() == 1
+
+    def test_slice_read(self):
+        vec = ChunkedVector(50, np.int64, fill_value=0, chunk_rows=16)
+        vec[20] = 5
+        block = vec[18:23]
+        assert block.tolist() == [0, 0, 5, 0, 0]
+
+    def test_copy_is_independent(self):
+        vec = ChunkedVector(50, np.int64, fill_value=0, chunk_rows=16)
+        vec[10] = 1
+        clone = vec.copy()
+        clone[10] = 2
+        assert vec[10] == 1 and clone[10] == 2
+
+    def test_densify_binds_chunks_as_views(self):
+        vec = ChunkedVector(50, np.int64, fill_value=7, chunk_rows=16)
+        vec[3] = 1
+        dense = vec.densify()
+        assert dense[4] == 7 and dense[3] == 1
+        dense[20] = 99  # direct write must be visible through chunked reads
+        assert vec[20] == 99
+        vec[21] = 4  # chunked write must be visible through the dense array
+        assert dense[21] == 4
+        assert vec.densify() is dense  # idempotent
+
+    def test_budget_enforced_on_materialization(self):
+        budget = MemoryBudget(200, label="test vector")
+        vec = ChunkedVector(1000, np.int64, fill_value=0, chunk_rows=16,
+                            budget=budget)
+        vec[0] = 1  # one 16-row int64 chunk = 128 bytes
+        assert budget.used_bytes == 128
+        with pytest.raises(MemoryBudgetExceeded):
+            vec[500] = 1  # second chunk would exceed 200 bytes
+
+
+class TestChunkedMatrix:
+    def test_reads_of_untouched_rows_are_zero(self):
+        mat = ChunkedMatrix(100, 4, chunk_rows=16)
+        np.testing.assert_array_equal(mat[7], np.zeros(4, dtype=np.float32))
+        assert mat.nbytes == 0
+
+    def test_row_view_semantics_on_materialized_chunk(self):
+        mat = ChunkedMatrix(100, 4, chunk_rows=16)
+        mat[3] = np.ones(4)
+        row = mat[3]
+        row += 1.0  # in-place on the view mutates the chunk, like ndarray
+        np.testing.assert_array_equal(mat[3], np.full(4, 2.0, np.float32))
+
+    def test_matches_dense_reference_on_random_ops(self):
+        rng = np.random.default_rng(3)
+        dense = np.zeros((128, 8), dtype=np.float32)
+        mat = ChunkedMatrix(128, 8, chunk_rows=16)
+        for _ in range(15):
+            keys = rng.integers(0, 128, size=rng.integers(1, 40))
+            deltas = rng.normal(size=(len(keys), 8)).astype(np.float32)
+            np.add.at(dense, keys, deltas)
+            mat.add_at(keys, deltas)
+        np.testing.assert_array_equal(mat.take(np.arange(128)), dense)
+
+    def test_add_at_bit_identical_with_duplicates(self):
+        rng = np.random.default_rng(4)
+        dense = np.zeros((64, 4), dtype=np.float32)
+        mat = ChunkedMatrix(64, 4, chunk_rows=16)
+        # Heavy duplication: the per-chunk np.add.at must accumulate each
+        # row's duplicates in batch order, bit-identical to the dense fold.
+        keys = rng.integers(0, 8, size=300, dtype=np.int64)
+        deltas = rng.normal(size=(300, 4)).astype(np.float32)
+        np.add.at(dense, keys, deltas)
+        mat.add_at(keys, deltas)
+        np.testing.assert_array_equal(mat.take(np.arange(64)), dense)
+
+    def test_fancy_iadd_protocol_matches_dense(self):
+        # `matrix[keys] += deltas` with distinct keys goes through
+        # __getitem__ / += / __setitem__; must equal the dense result.
+        dense = np.zeros((64, 4), dtype=np.float32)
+        mat = ChunkedMatrix(64, 4, chunk_rows=16)
+        keys = np.array([1, 20, 40], dtype=np.int64)
+        deltas = np.full((3, 4), 0.5, dtype=np.float32)
+        dense[keys] += deltas
+        mat[keys] += deltas
+        np.testing.assert_array_equal(mat.take(np.arange(64)), dense)
+
+    def test_from_dense_shares_memory(self):
+        dense = np.arange(32, dtype=np.float32).reshape(8, 4)
+        mat = ChunkedMatrix.from_dense(dense, chunk_rows=4)
+        assert mat.materialized_chunks == 2
+        mat[0] = np.zeros(4)
+        assert dense[0].sum() == 0  # chunk writes hit the wrapped array
+
+    def test_from_dense_charges_budget(self):
+        budget = MemoryBudget(64, label="tiny")
+        dense = np.zeros((8, 4), dtype=np.float32)  # 128 bytes
+        with pytest.raises(MemoryBudgetExceeded):
+            ChunkedMatrix.from_dense(dense, chunk_rows=4, budget=budget)
+
+    def test_densify_roundtrip(self):
+        mat = ChunkedMatrix(40, 4, chunk_rows=16)
+        mat[25] = np.ones(4)
+        dense = mat.densify()
+        assert dense.shape == (40, 4)
+        assert dense[25].sum() == 4
+        dense[3] = 2.0
+        np.testing.assert_array_equal(mat[3], np.full(4, 2.0, np.float32))
+
+    def test_take_requires_axis_zero(self):
+        with pytest.raises(ValueError):
+            ChunkedMatrix(10, 2).take(np.array([0]), axis=1)
+
+
+class TestFlatnonzeroEqual:
+    def test_dense_and_chunked_agree(self):
+        dense = np.full(50, 2, dtype=np.int64)
+        dense[[7, 30]] = 5
+        vec = ChunkedVector(50, np.int64, fill_value=2, chunk_rows=16)
+        vec[np.array([7, 30])] = 5
+        np.testing.assert_array_equal(
+            flatnonzero_equal(dense, 5), flatnonzero_equal(vec, 5)
+        )
+        np.testing.assert_array_equal(
+            flatnonzero_equal(dense, 2), flatnonzero_equal(vec, 2)
+        )

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.ps.partition import HashPartitioner, RangePartitioner
+from repro.ps.partition import (
+    DENSE_TABLE_MAX_KEYS,
+    FailoverPartitioner,
+    HashPartitioner,
+    RangePartitioner,
+)
 
 
 class TestRangePartitioner:
@@ -78,6 +83,104 @@ class TestHashPartitioner:
     def test_out_of_range_rejected(self):
         with pytest.raises(KeyError):
             HashPartitioner(10, 2).owner(-1)
+
+
+class TestOwnersRejectsNegativeKeys:
+    """Regression: ``owners`` used to wrap negative keys through ``take``'s
+    negative indexing — ``RangePartitioner(100, 4).owners([-1])`` silently
+    answered ``[3]`` while scalar ``owner(-1)`` raised. Both must raise."""
+
+    def test_range_batch_negative_key_raises(self):
+        partitioner = RangePartitioner(100, 4)
+        with pytest.raises(KeyError):
+            partitioner.owners(np.array([-1]))
+
+    def test_range_negative_key_hidden_in_batch(self):
+        partitioner = RangePartitioner(100, 4)
+        with pytest.raises(KeyError):
+            partitioner.owners(np.array([5, 17, -1, 42]))
+
+    def test_hash_batch_negative_key_raises(self):
+        with pytest.raises(KeyError):
+            HashPartitioner(100, 4).owners(np.array([-3]))
+
+    def test_failover_batch_negative_key_raises(self):
+        failover = FailoverPartitioner(RangePartitioner(100, 4), 1, [0, 2, 3])
+        with pytest.raises(KeyError):
+            failover.owners(np.array([-1]))
+
+    def test_chained_failover_batch_negative_key_raises(self):
+        first = FailoverPartitioner(RangePartitioner(100, 4), 1, [0, 2, 3])
+        second = FailoverPartitioner(first, 2, [0, 3])
+        with pytest.raises(KeyError):
+            second.owners(np.array([-100]))
+
+    def test_scalar_and_batch_agree_on_negative_keys(self):
+        for partitioner in (
+            RangePartitioner(100, 4),
+            HashPartitioner(100, 4),
+            FailoverPartitioner(RangePartitioner(100, 4), 0, [1, 2, 3]),
+        ):
+            with pytest.raises(KeyError):
+                partitioner.owner(-1)
+            with pytest.raises(KeyError):
+                partitioner.owners(np.array([-1]))
+
+    def test_valid_batches_unaffected(self):
+        partitioner = RangePartitioner(100, 4)
+        keys = np.array([0, 25, 50, 99])
+        assert list(partitioner.owners(keys)) == [0, 1, 2, 3]
+
+
+class TestHierarchicalOwnerLookup:
+    """Key spaces beyond the dense-table threshold answer ``owners`` from a
+    chunk-level table plus the partition formula — no per-key table."""
+
+    NUM_KEYS = DENSE_TABLE_MAX_KEYS * 4  # 2^24 keys: hierarchical path
+
+    def test_matches_partition_formula(self):
+        partitioner = RangePartitioner(self.NUM_KEYS, 8)
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, self.NUM_KEYS, size=4096, dtype=np.int64)
+        expected = partitioner._compute_owners(keys)
+        np.testing.assert_array_equal(partitioner.owners(keys), expected)
+
+    def test_no_dense_table_built(self):
+        partitioner = RangePartitioner(self.NUM_KEYS, 8)
+        partitioner.owners(np.array([0, self.NUM_KEYS - 1]))
+        assert partitioner._owner_table is None
+
+    def test_partition_boundaries_exact(self):
+        # Servers at 7 ways over 2^24 keys: every boundary chunk is mixed.
+        partitioner = RangePartitioner(self.NUM_KEYS, 7)
+        range_size = partitioner._range_size
+        boundary_keys = []
+        for server in range(1, 7):
+            edge = server * range_size
+            boundary_keys.extend([edge - 1, edge])
+        keys = np.asarray(boundary_keys, dtype=np.int64)
+        expected = partitioner._compute_owners(keys)
+        np.testing.assert_array_equal(partitioner.owners(keys), expected)
+
+    def test_scalar_owner_matches_batch(self):
+        partitioner = RangePartitioner(self.NUM_KEYS, 8)
+        sample = np.linspace(0, self.NUM_KEYS - 1, 64, dtype=np.int64)
+        batch = partitioner.owners(sample)
+        for key, owner in zip(sample.tolist(), batch.tolist()):
+            assert partitioner.owner(key) == owner
+
+    def test_hash_partitioner_uses_formula(self):
+        partitioner = HashPartitioner(self.NUM_KEYS, 8)
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, self.NUM_KEYS, size=1024, dtype=np.int64)
+        np.testing.assert_array_equal(partitioner.owners(keys), keys % 8)
+
+    def test_out_of_range_raises(self):
+        partitioner = RangePartitioner(self.NUM_KEYS, 8)
+        with pytest.raises(KeyError):
+            partitioner.owners(np.array([self.NUM_KEYS]))
+        with pytest.raises(KeyError):
+            partitioner.owners(np.array([-1]))
 
 
 @settings(deadline=None, max_examples=50)

@@ -1,0 +1,297 @@
+"""Dense/sparse storage backend equivalence and memory-budget regression.
+
+The dense backend is the bit-identity oracle for the sparse chunked backend:
+every operation, and every end-to-end experiment, must produce exactly the
+same values, versions, simulated clocks and metrics on both. The budget
+tests pin the tentpole scaling property — a sparse store over 10^8 logical
+keys with a small touched set stays under an explicit memory budget that the
+dense backend could not possibly meet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ps.chunks import MemoryBudgetExceeded, StorageConfig
+from repro.ps.storage import ParameterStore
+from repro.runner.config import ExperimentConfig
+from repro.runner.experiment import ExperimentResult, run_experiment
+from repro.runner.systems import make_ps_factory
+from repro.runner.workloads import make_task
+from repro.scenarios import make_scenario
+from repro.simulation.cluster import ClusterConfig
+
+
+SPARSE = StorageConfig(backend="sparse", chunk_rows=64)
+
+
+def _dense_and_sparse(num_keys=500, value_length=4, seed=3, init_scale=0.0):
+    dense = ParameterStore(num_keys, value_length, seed=seed,
+                           init_scale=init_scale)
+    sparse = ParameterStore(num_keys, value_length, seed=seed,
+                            init_scale=init_scale, storage=SPARSE)
+    return dense, sparse
+
+
+def _assert_stores_equal(dense: ParameterStore, sparse: ParameterStore):
+    all_keys = np.arange(dense.num_keys, dtype=np.int64)
+    np.testing.assert_array_equal(dense.get(all_keys), sparse.get(all_keys))
+    np.testing.assert_array_equal(dense.read_versions(all_keys),
+                                  sparse.read_versions(all_keys))
+
+
+class TestSparseStoreMatchesDenseOracle:
+    def test_random_init_is_bit_identical(self):
+        dense, sparse = _dense_and_sparse(seed=7, init_scale=0.1)
+        _assert_stores_equal(dense, sparse)
+
+    def test_add_set_get_sequence(self):
+        rng = np.random.default_rng(0)
+        dense, sparse = _dense_and_sparse()
+        for _ in range(25):
+            keys = rng.integers(0, 500, size=rng.integers(1, 80),
+                                dtype=np.int64)
+            deltas = rng.normal(size=(len(keys), 4)).astype(np.float32)
+            if rng.random() < 0.3:
+                distinct = np.unique(keys)
+                block = rng.normal(size=(len(distinct), 4)).astype(np.float32)
+                dense.set(distinct, block)
+                sparse.set(distinct, block)
+            else:
+                dense.add(keys, deltas)
+                sparse.add(keys, deltas)
+        _assert_stores_equal(dense, sparse)
+
+    def test_add_distinct_matches(self):
+        dense, sparse = _dense_and_sparse()
+        keys = np.array([3, 64, 65, 499], dtype=np.int64)
+        deltas = np.full((4, 4), 0.25, dtype=np.float32)
+        dense.add_distinct(keys, deltas)
+        sparse.add_distinct(keys, deltas)
+        _assert_stores_equal(dense, sparse)
+
+    def test_duplicate_keys_accumulate_identically(self):
+        dense, sparse = _dense_and_sparse()
+        keys = np.array([10, 10, 10, 63, 64, 10], dtype=np.int64)
+        deltas = np.arange(24, dtype=np.float32).reshape(6, 4) * 0.1
+        dense.add(keys, deltas)
+        sparse.add(keys, deltas)
+        _assert_stores_equal(dense, sparse)
+        assert sparse.version(10) == 4
+
+    def test_permute_matches(self):
+        rng = np.random.default_rng(1)
+        dense, sparse = _dense_and_sparse(num_keys=128)
+        keys = rng.integers(0, 128, size=40, dtype=np.int64)
+        deltas = rng.normal(size=(40, 4)).astype(np.float32)
+        dense.add(keys, deltas)
+        sparse.add(keys, deltas)
+        perm = rng.permutation(128).astype(np.int64)
+        dense.permute(perm)
+        sparse.permute(perm)
+        _assert_stores_equal(dense, sparse)
+
+    def test_write_rows_does_not_bump_versions(self):
+        for store in _dense_and_sparse():
+            keys = np.array([5, 70], dtype=np.int64)
+            store.add(keys, np.ones((2, 4), dtype=np.float32))
+            before = store.read_versions(keys)
+            store.write_rows(keys, np.zeros((2, 4), dtype=np.float32))
+            np.testing.assert_array_equal(store.read_versions(keys), before)
+            assert store.get(keys).sum() == 0.0
+
+    def test_write_versions_roundtrip(self):
+        for store in _dense_and_sparse():
+            keys = np.array([1, 2], dtype=np.int64)
+            store.write_versions(keys, np.array([10, 20]))
+            np.testing.assert_array_equal(store.read_versions(keys), [10, 20])
+
+    def test_values_property_densifies_coherently(self):
+        _, sparse = _dense_and_sparse()
+        sparse.add(np.array([7]), np.ones((1, 4), dtype=np.float32))
+        dense_view = sparse.values
+        assert dense_view.shape == (500, 4)
+        assert dense_view[7].sum() == 4.0
+        # Direct writes and chunked ops must stay coherent after densify.
+        dense_view[9] = 2.0
+        np.testing.assert_array_equal(sparse.get(np.array([9]))[0],
+                                      np.full(4, 2.0, np.float32))
+        sparse.add(np.array([11]), np.ones((1, 4), dtype=np.float32))
+        assert dense_view[11].sum() == 4.0
+
+
+class TestWithStorageConversion:
+    def test_round_trip_preserves_contents(self):
+        dense = ParameterStore(300, 4, seed=2, init_scale=0.05)
+        dense.add(np.array([5, 100]), np.ones((2, 4), dtype=np.float32))
+        sparse = dense.with_storage(SPARSE)
+        assert sparse.backend == "sparse"
+        _assert_stores_equal(dense, sparse)
+        back = sparse.with_storage(StorageConfig())
+        assert back.backend == "dense"
+        _assert_stores_equal(dense, back)
+
+    def test_zero_regions_stay_unmaterialized(self):
+        dense = ParameterStore(10_000, 4)
+        dense.add(np.array([0, 9_999]), np.ones((2, 4), dtype=np.float32))
+        sparse = dense.with_storage(SPARSE)
+        # Only the two touched chunks (values + versions) materialize.
+        assert sparse.materialized_chunks() == 2
+        _assert_stores_equal(dense, sparse)
+
+    def test_rejects_non_config(self):
+        with pytest.raises(TypeError):
+            ParameterStore(10, 2).with_storage("sparse")
+
+
+class TestViewContract:
+    """``view`` promises a zero-copy read-only view for contiguous ranges
+    and documents the copy fallback for everything else (regression: fancy
+    indexing silently returned a copy while the docstring said view)."""
+
+    def test_contiguous_range_is_zero_copy_on_dense(self):
+        store = ParameterStore(100, 4, seed=0, init_scale=0.1)
+        view = store.view(np.arange(10, 20))
+        assert np.shares_memory(view, store.values)
+        assert not view.flags.writeable
+
+    def test_single_key_is_zero_copy_on_dense(self):
+        store = ParameterStore(100, 4)
+        assert np.shares_memory(store.view(np.array([42])), store.values)
+
+    def test_view_tracks_subsequent_writes(self):
+        # The zero-copy contract, observably: a true view sees later writes.
+        store = ParameterStore(100, 4)
+        view = store.view(np.arange(5, 8))
+        store.add(np.array([6]), np.ones((1, 4), dtype=np.float32))
+        assert view[1].sum() == 4.0
+
+    def test_non_contiguous_falls_back_to_copy(self):
+        store = ParameterStore(100, 4, seed=0, init_scale=0.1)
+        view = store.view(np.array([3, 7, 50]))
+        assert not np.shares_memory(view, store.values)
+        assert not view.flags.writeable
+        np.testing.assert_array_equal(view, store.get(np.array([3, 7, 50])))
+
+    def test_sparse_contiguous_within_chunk_is_zero_copy(self):
+        store = ParameterStore(1000, 4, storage=SPARSE)
+        store.add(np.array([130]), np.ones((1, 4), dtype=np.float32))
+        view = store.view(np.arange(128, 140))  # inside materialized chunk 2
+        chunk = store._values._chunks[2]
+        assert np.shares_memory(view, chunk)
+        assert not view.flags.writeable
+
+    def test_sparse_unmaterialized_range_copies(self):
+        store = ParameterStore(1000, 4, storage=SPARSE)
+        view = store.view(np.arange(200, 210))
+        assert not view.flags.writeable
+        assert view.sum() == 0.0
+
+
+class TestCopyWithoutThrowawayAllocation:
+    def test_copy_never_calls_init(self, monkeypatch):
+        """Regression: ``copy`` used to build the clone through ``__init__``,
+        allocating a throwaway zero matrix that doubled peak memory."""
+        store = ParameterStore(100, 4, seed=1, init_scale=0.1)
+
+        def _boom(self, *args, **kwargs):
+            raise AssertionError("copy() must not round-trip through __init__")
+
+        monkeypatch.setattr(ParameterStore, "__init__", _boom)
+        clone = store.copy()
+        np.testing.assert_array_equal(clone.values, store.values)
+
+    def test_sparse_copy_clones_materialized_chunks_only(self):
+        store = ParameterStore(10_000, 4, storage=SPARSE)
+        store.add(np.array([500]), np.ones((1, 4), dtype=np.float32))
+        clone = store.copy()
+        assert clone.materialized_chunks() == 1
+        assert clone.nbytes() == store.nbytes()
+        clone.add(np.array([500]), np.ones((1, 4), dtype=np.float32))
+        # Independent: the original must not see the clone's write.
+        assert store.get(np.array([500]))[0, 0] == 1.0
+
+
+class TestMemoryBudgetRegression:
+    """The tentpole scaling property, pinned as a regression test."""
+
+    NUM_KEYS = 10**8
+    BUDGET = 64 * 2**20  # 64 MiB — dense would need ~4 GiB (values+versions)
+
+    def _sparse_config(self):
+        return StorageConfig(backend="sparse", chunk_rows=64,
+                             store_budget_bytes=self.BUDGET)
+
+    def test_hundred_million_keys_under_budget(self):
+        store = ParameterStore(self.NUM_KEYS, 8,
+                               storage=self._sparse_config())
+        rng = np.random.default_rng(0)
+        touched = rng.integers(0, self.NUM_KEYS, size=10_000, dtype=np.int64)
+        store.add(touched, rng.normal(size=(10_000, 8)).astype(np.float32))
+        assert store.nbytes() <= self.BUDGET
+        # The dense backend would allocate the full key space up front:
+        dense_required = self.NUM_KEYS * (8 * 4 + 8)  # values + versions
+        assert dense_required > 50 * self.BUDGET
+        # Reads of untouched keys stay free and correct.
+        probe = np.array([1, self.NUM_KEYS - 2], dtype=np.int64)
+        assert store.get(probe).sum() == 0.0
+        assert store.version(1) == 0
+
+    def test_exceeding_budget_raises_actionable_error(self):
+        config = StorageConfig(backend="sparse", chunk_rows=4096,
+                               store_budget_bytes=1 * 2**20)  # 1 MiB
+        store = ParameterStore(self.NUM_KEYS, 8, storage=config)
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, self.NUM_KEYS, size=5_000, dtype=np.int64)
+        with pytest.raises(MemoryBudgetExceeded) as excinfo:
+            store.add(keys, np.ones((5_000, 8), dtype=np.float32))
+        message = str(excinfo.value)
+        assert "memory budget" in message
+        assert "chunk_rows" in message
+        assert "Raise the budget" in message
+
+
+# --------------------------------------------------------------------------
+# End-to-end bit-identity: every PS architecture, dense vs sparse backend.
+# --------------------------------------------------------------------------
+
+def _run(system: str, storage=None, scenario_name=None) -> ExperimentResult:
+    scenario = make_scenario(scenario_name) if scenario_name else None
+    task = make_task("kge", scale="test")
+    config = ExperimentConfig(
+        cluster=ClusterConfig(num_nodes=2, workers_per_node=2),
+        epochs=2, chunk_size=8, seed=5, scenario=scenario, storage=storage,
+    )
+    return run_experiment(task, make_ps_factory(system), config)
+
+
+def _assert_identical(first: ExperimentResult, second: ExperimentResult):
+    assert first.initial_quality == second.initial_quality
+    assert first.epochs_completed == second.epochs_completed
+    for rec_a, rec_b in zip(first.records, second.records):
+        assert rec_a.sim_time == rec_b.sim_time
+        assert rec_a.epoch_duration == rec_b.epoch_duration
+        assert rec_a.quality == rec_b.quality
+        assert rec_a.metrics == rec_b.metrics
+    assert first.metrics == second.metrics
+
+
+SPARSE_RUN = StorageConfig(backend="sparse", chunk_rows=256)
+
+
+@pytest.mark.parametrize("system", ["classic", "lapse", "essp", "nups"])
+def test_sparse_backend_is_bit_identical(system):
+    _assert_identical(_run(system), _run(system, storage=SPARSE_RUN))
+
+
+def test_sparse_backend_bit_identical_under_drift_scenario():
+    _assert_identical(_run("nups", scenario_name="drift"),
+                      _run("nups", storage=SPARSE_RUN, scenario_name="drift"))
+
+
+def test_sparse_backend_bit_identical_under_faults():
+    _assert_identical(
+        _run("essp", scenario_name="crash-storm"),
+        _run("essp", storage=SPARSE_RUN, scenario_name="crash-storm"),
+    )
