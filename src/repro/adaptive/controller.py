@@ -112,8 +112,22 @@ class AdaptiveController:
         self.adaptations = 0      #: steps that actually changed the plan
         self.keys_added = 0
         self.keys_removed = 0
+        self.membership_changes = 0
+        self._membership_dirty = False
 
     # -------------------------------------------------------------- lifecycle
+    def on_membership_change(self, now: float) -> None:
+        """Note a cluster resize; re-plan at the next housekeeping tick.
+
+        Membership changes shift every per-node cost the policy implicitly
+        balances (replica broadcast fan-out, relocation spread), so the
+        controller re-evaluates the plan at the next housekeeping even if
+        its periodic schedule is not due yet. Never called in elasticity-off
+        runs, leaving the adaptive schedule untouched.
+        """
+        self.membership_changes += 1
+        self._membership_dirty = True
+
     def on_housekeeping(self, now: float) -> None:
         """Run the adaptation steps due at simulated time ``now``.
 
@@ -122,10 +136,11 @@ class AdaptiveController:
         the same statistics several times at one instant is pointless).
         """
         due = self.schedule.due_count(now)
-        if due == 0:
+        if due == 0 and not self._membership_dirty:
             return
         for _ in range(due):
             self.schedule.fire(now, 0.0)
+        self._membership_dirty = False
         self._adapt(now)
 
     # --------------------------------------------------------------- one step
@@ -183,7 +198,11 @@ class AdaptiveController:
         """Charge replica creation/teardown traffic to the network model."""
         cluster = self.ps.cluster
         network = cluster.network
-        num_nodes = cluster.num_nodes
+        # Resize-aware: the broadcast spans current members only (equals
+        # cluster.num_nodes whenever membership never changed).
+        members = [n for n in range(cluster.num_nodes)
+                   if n not in cluster.removed]
+        num_nodes = len(members)
         if num_nodes <= 1:
             return
         metrics = self.ps.metrics
@@ -205,7 +224,7 @@ class AdaptiveController:
             metrics.increment("network.messages", num_nodes)
             metrics.increment("adaptive.replicas_dropped", n_removed)
         if occupancy:
-            for node_id in range(num_nodes):
+            for node_id in members:
                 if node_id in cluster.failed:
                     continue  # crashed nodes sit out the broadcast
                 background = cluster.node(node_id).background_clock
@@ -223,6 +242,7 @@ class AdaptiveController:
             "adaptations": self.adaptations,
             "keys_added": self.keys_added,
             "keys_removed": self.keys_removed,
+            "membership_changes": self.membership_changes,
             "stats": self.stats.describe(),
         }
 

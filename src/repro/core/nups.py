@@ -98,6 +98,7 @@ class NuPS(RelocationPS, SamplingHost):
         #: behaviour of existing PSs (independent samples via direct access).
         #: Used by the ablation study (Section 5.3, "Relocation + Replication").
         self.integrate_sampling = bool(integrate_sampling)
+        self._seed = int(seed)
         self.sampling_manager = SamplingManager(self, sampling_config)
         self._node_rngs: Dict[int, np.random.Generator] = {
             node_id: np.random.default_rng(seed * 7919 + node_id + 1)
@@ -201,7 +202,11 @@ class NuPS(RelocationPS, SamplingHost):
         adaptive-management steps."""
         self.replica_manager.maybe_sync(now)
         if self.integrate_sampling:
-            for node_id in range(self.cluster.num_nodes):
+            # Dict-driven so membership changes follow along: added nodes are
+            # registered by on_node_added, removed ones stop doing upkeep.
+            for node_id in self._node_rngs:
+                if node_id in self.cluster.removed:
+                    continue
                 self.sampling_manager.housekeeping(node_id, now)
         if self.adaptive_controller is not None:
             self.adaptive_controller.on_housekeeping(now)
@@ -549,6 +554,42 @@ class NuPS(RelocationPS, SamplingHost):
         """Rebuild the home map and repair the rejoining node's replica."""
         super().on_node_restored(node_id, now)
         self.replica_manager.refresh_node(node_id)
+
+    # --------------------------------------------------------- membership API
+    def on_node_added(self, node_id: int, available_at: float) -> np.ndarray:
+        """Wire a joining node into relocation, replication and sampling.
+
+        The relocation layer cedes a share of current copies (base class);
+        the replica manager seeds the node's hot-set replica from the store;
+        sampling gets the node's deterministic RNG and repurpose buffer. The
+        adaptive controller, if attached, re-plans at the next housekeeping.
+        """
+        moved = super().on_node_added(node_id, available_at)
+        self.replica_manager.add_node(node_id)
+        if node_id not in self._node_rngs:
+            self._node_rngs[node_id] = np.random.default_rng(
+                self._seed * 7919 + node_id + 1
+            )
+            self._recent_direct[node_id] = deque(
+                maxlen=self.sampling_manager.config.scheme_config.repurpose_buffer_size
+            )
+        if self.adaptive_controller is not None:
+            self.adaptive_controller.on_membership_change(available_at)
+        return moved
+
+    def drain_node(self, node_id: int, now: float) -> int:
+        """Flush the leaving node's buffered replica updates (zero loss)."""
+        return self.replica_manager.drop_node(node_id, flush=True)
+
+    def migrate_out(self, node_id: int, successors, available_at: float) -> np.ndarray:
+        """Re-home the leaving node's keys and detach it from replication."""
+        moved = super().migrate_out(node_id, successors, available_at)
+        # drain_node already dropped the replica state; make sure it is gone
+        # even if the caller skipped the drain (lossy removal in tests).
+        self.replica_manager.drop_node(node_id, flush=False)
+        if self.adaptive_controller is not None:
+            self.adaptive_controller.on_membership_change(available_at)
+        return moved
 
     # ------------------------------------------------------------------ reports
     def replica_access_share(self) -> float:

@@ -77,15 +77,17 @@ class ReplicaManager:
         # Per-node replica values and not-yet-synchronized update buffers.
         initial = store.get(self.replicated_keys) if self.num_replicated else \
             np.empty((0, store.value_length), dtype=np.float32)
+        members = [node_id for node_id in range(cluster.num_nodes)
+                   if node_id not in cluster.removed]
         self._replicas: Dict[int, np.ndarray] = {
-            node_id: initial.copy() for node_id in range(cluster.num_nodes)
+            node_id: initial.copy() for node_id in members
         }
         self._buffers: Dict[int, np.ndarray] = {
-            node_id: np.zeros_like(initial) for node_id in range(cluster.num_nodes)
+            node_id: np.zeros_like(initial) for node_id in members
         }
         self._dirty: Dict[int, np.ndarray] = {
             node_id: np.zeros(self.num_replicated, dtype=bool)
-            for node_id in range(cluster.num_nodes)
+            for node_id in members
         }
 
         if sync_interval is None or self.num_replicated == 0:
@@ -196,7 +198,7 @@ class ReplicaManager:
         if not self.enabled:
             return
         fresh = self.store.get(self.replicated_keys)
-        for node_id in range(self.cluster.num_nodes):
+        for node_id in self._replicas:
             self._replicas[node_id][...] = fresh
             self._buffers[node_id][...] = 0.0
             self._dirty[node_id][:] = False
@@ -218,18 +220,57 @@ class ReplicaManager:
         self._dirty[node_id][:] = False
         return dropped
 
+    # ------------------------------------------------------------- membership
+    def add_node(self, node_id: int) -> None:
+        """Start replicating on a freshly joined node (idempotent).
+
+        The new node's replica is seeded from the store's current values —
+        state copied as part of the join transfer, which the elasticity
+        controller charges — with empty buffers, exactly like the initial
+        replication at construction.
+        """
+        if node_id in self._replicas:
+            return
+        initial = self.store.get(self.replicated_keys) if self.num_replicated \
+            else np.empty((0, self.store.value_length), dtype=np.float32)
+        self._replicas[node_id] = initial
+        self._buffers[node_id] = np.zeros_like(initial)
+        self._dirty[node_id] = np.zeros(self.num_replicated, dtype=bool)
+
+    def drop_node(self, node_id: int, flush: bool = True) -> int:
+        """Stop replicating on ``node_id`` (planned removal); return drained slots.
+
+        With ``flush`` (the default) the node's buffered replica updates are
+        applied to the global store before the state is dropped — the drain
+        step that distinguishes a planned scale-in (zero lost updates) from a
+        crash (buffer gone). The transfer cost is charged by the caller.
+        """
+        drained = 0
+        if node_id in self._buffers:
+            node_dirty = np.flatnonzero(self._dirty[node_id])
+            drained = int(len(node_dirty))
+            if flush and drained:
+                self.store.add(
+                    self.replicated_keys[node_dirty],
+                    self._buffers[node_id][node_dirty],
+                )
+        self._replicas.pop(node_id, None)
+        self._buffers.pop(node_id, None)
+        self._dirty.pop(node_id, None)
+        return drained
+
     def _sync_once(self, now: float) -> None:
         # Union of dirty slots across nodes: only updated parameters are
         # exchanged (sparse all-reduce, Section 3.2).
         dirty_union = np.zeros(self.num_replicated, dtype=bool)
-        for node_id in range(self.cluster.num_nodes):
+        for node_id in self._dirty:
             dirty_union |= self._dirty[node_id]
         dirty_slots = np.flatnonzero(dirty_union)
 
         if len(dirty_slots):
             dirty_keys = self.replicated_keys[dirty_slots]
             # Apply every node's buffered updates to the global store.
-            for node_id in range(self.cluster.num_nodes):
+            for node_id in self._buffers:
                 buffer = self._buffers[node_id]
                 node_dirty = np.flatnonzero(self._dirty[node_id])
                 if len(node_dirty):
@@ -240,22 +281,25 @@ class ReplicaManager:
                 self._dirty[node_id][:] = False
             # Refresh all replicas with the now-current global values.
             fresh = self.store.get(dirty_keys)
-            for node_id in range(self.cluster.num_nodes):
+            for node_id in self._replicas:
                 self._replicas[node_id][dirty_slots] = fresh
 
-        # Charge the communication cost: each node participates in a
+        # Charge the communication cost: each participating node runs a
         # recursive-doubling all-reduce whose payload is the dirty keys. The
         # end-to-end *duration* (including wire latency) determines whether
         # the background thread can sustain the target frequency; the
         # *occupancy* charged to each node's background thread is only the
-        # per-message handling plus the payload transfer.
+        # per-message handling plus the payload transfer. Removed nodes have
+        # been dropped from the dicts, so ``participants`` equals the
+        # cluster's node count whenever membership never changed.
+        participants = len(self._replicas)
         payload = len(dirty_slots) * self.store.value_bytes()
-        duration = self.network.allreduce_cost(payload, self.cluster.num_nodes)
-        rounds = (self.cluster.num_nodes - 1).bit_length() if self.cluster.num_nodes > 1 else 0
+        duration = self.network.allreduce_cost(payload, participants)
+        rounds = (participants - 1).bit_length() if participants > 1 else 0
         occupancy = rounds * (
             self.network.message_handling_cost + self.network.transfer_cost(payload)
         )
-        for node_id in range(self.cluster.num_nodes):
+        for node_id in self._replicas:
             if node_id in self.cluster.failed:
                 continue  # a crashed node does not participate in the all-reduce
             background = self.cluster.node(node_id).background_clock
@@ -266,13 +310,12 @@ class ReplicaManager:
         self.total_sync_payload_bytes += payload
         self.metrics.increment("replica.syncs", 1)
         self.metrics.increment("replica.sync_bytes", payload)
-        if self.cluster.num_nodes > 1:
-            rounds = (self.cluster.num_nodes - 1).bit_length()
+        if participants > 1:
             self.metrics.increment(
-                "network.messages", rounds * self.cluster.num_nodes
+                "network.messages", rounds * participants
             )
             self.metrics.increment(
-                "network.bytes", payload * self.cluster.num_nodes
+                "network.bytes", payload * participants
             )
 
     # -------------------------------------------------------------- inspection

@@ -26,7 +26,11 @@ clock, metric or value ever moves unless a fault perturbation is active.
 
 from repro.faults.checkpoint import CheckpointManager
 from repro.faults.controller import FaultConfig, FaultController
-from repro.faults.errors import DeadOwnerError
+from repro.faults.errors import (
+    DeadOwnerError,
+    PartitionedOwnerError,
+    RemovedOwnerError,
+)
 from repro.faults.network import FaultyNetworkModel
 from repro.faults.perturbations import LossyNetwork, ServerCrashes, WorkerKill
 from repro.faults.proxy import FaultTolerantParameterServer
@@ -39,6 +43,8 @@ __all__ = [
     "FaultyNetworkModel",
     "FaultTolerantParameterServer",
     "LossyNetwork",
+    "PartitionedOwnerError",
+    "RemovedOwnerError",
     "ServerCrashes",
     "WorkerKill",
 ]

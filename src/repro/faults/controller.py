@@ -52,6 +52,15 @@ class FaultConfig:
         with a :class:`~repro.faults.errors.DeadOwnerError`.
     retry_backoff:
         Initial retry delay; doubles on every attempt.
+    retry_jitter:
+        Relative jitter applied to each retry delay: every delay is
+        stretched by a factor in ``[1, 1 + retry_jitter]`` drawn from a
+        deterministic generator seeded with ``retry_seed``. The default of
+        ``0.0`` keeps the exact un-jittered doubling schedule (and never
+        consumes the generator), so existing runs are bit-identical.
+    retry_seed:
+        Seed of the jitter generator. Explicit so retry schedules are
+        reproducible across runs and processes.
     """
 
     recovery: str = "checkpoint"
@@ -59,6 +68,8 @@ class FaultConfig:
     detection_timeout: float = 0.002
     max_retries: int = 3
     retry_backoff: float = 0.001
+    retry_jitter: float = 0.0
+    retry_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.recovery not in ("checkpoint", "restart"):
@@ -74,6 +85,10 @@ class FaultConfig:
             raise ValueError("max_retries must be non-negative")
         if self.retry_backoff <= 0:
             raise ValueError("retry_backoff must be positive")
+        if self.retry_jitter < 0:
+            raise ValueError("retry_jitter must be non-negative")
+        if self.retry_seed < 0:
+            raise ValueError("retry_seed must be non-negative")
 
 
 class FaultController:

@@ -1,8 +1,8 @@
-"""Errors raised by the fault-tolerance subsystem."""
+"""Errors raised by the fault-tolerance and elasticity subsystems."""
 
 from __future__ import annotations
 
-__all__ = ["DeadOwnerError"]
+__all__ = ["DeadOwnerError", "PartitionedOwnerError", "RemovedOwnerError"]
 
 
 class DeadOwnerError(RuntimeError):
@@ -13,4 +13,31 @@ class DeadOwnerError(RuntimeError):
     bounded retry-with-backoff budget cannot bridge the remaining recovery
     time. The epoch loop catches it and drops the affected chunk — one
     round of lost work, not a crashed experiment.
+    """
+
+
+class RemovedOwnerError(DeadOwnerError):
+    """An access targeted a node that was *removed* from the cluster.
+
+    Unlike a crashed owner, a removed owner never recovers, so retrying with
+    backoff would burn the whole budget for nothing: the fault proxy raises
+    this immediately (fail fast). Seeing it means ownership state is stale —
+    a membership change happened without the corresponding re-partitioning
+    (the error message names the membership epochs involved).
+
+    Subclasses :class:`DeadOwnerError` so existing drop-the-chunk handling
+    still applies when nobody fixes the routing.
+    """
+
+
+class PartitionedOwnerError(RuntimeError):
+    """An access crossed an active network partition and cannot be served.
+
+    Raised by the partition guard when a worker on one side of a
+    :class:`~repro.elastic.perturbations.NetworkPartition` addresses keys
+    owned by the other side and no graceful-degradation path applies (the
+    majority side has no stale replica discipline for minority-owned keys).
+    Deliberately *not* a :class:`DeadOwnerError`: the epoch loop defers the
+    chunk and retries it after the heal (admission control / backpressure)
+    instead of dropping it.
     """

@@ -133,7 +133,9 @@ class ServerCrashes(Perturbation):
     def _crash(self, ctx: ScenarioRuntime, node_id: int, now: float) -> None:
         if node_id in self._down or node_id in ctx.cluster.failed:
             return
-        if len(ctx.cluster.failed) + 1 >= ctx.cluster.num_nodes:
+        if ctx.cluster.is_removed(node_id):
+            return  # removed nodes have no state left to crash
+        if len(ctx.cluster.active_nodes) <= 1:
             return  # never take down the last survivor
         self.controller.crash_node(node_id, now=now)
         for nid, worker_id in ctx.worker_keys():

@@ -29,7 +29,12 @@ from typing import Dict, NamedTuple, Optional, Sequence
 import numpy as np
 
 from repro.simulation.cluster import Cluster, WorkerContext
-from repro.ps.partition import FailoverPartitioner, Partitioner, RangePartitioner
+from repro.ps.partition import (
+    ElasticPartitioner,
+    FailoverPartitioner,
+    Partitioner,
+    RangePartitioner,
+)
 from repro.ps.storage import ParameterStore
 
 
@@ -270,8 +275,7 @@ class ParameterServer(ABC):
         partitioner = base
         still_failed = sorted(self.cluster.failed)
         for failed in still_failed:
-            survivors = [n for n in range(self.cluster.num_nodes)
-                         if n not in self.cluster.failed]
+            survivors = self.cluster.active_nodes
             partitioner = FailoverPartitioner(partitioner, failed, survivors)
         self.partitioner = partitioner
         if not still_failed:
@@ -287,6 +291,75 @@ class ParameterServer(ABC):
         cover everything.
         """
         return None, np.zeros(len(keys), dtype=bool)
+
+    # -------------------------------------------------------- membership API
+    def _elastic_partitioner(self) -> ElasticPartitioner:
+        """Swap the live partitioner for its elastic wrapper (idempotent).
+
+        If a failover chain is active (some node crashed), the *pre-fault*
+        base is wrapped too, so that a later restore rebuilds the chain on
+        top of the rebalanced map instead of resurrecting stale ownership.
+        """
+        pre = getattr(self, "_pre_fault_partitioner", None)
+        if pre is not None:
+            self._pre_fault_partitioner = ElasticPartitioner.ensure(
+                pre, epoch=self.cluster.membership_epoch
+            )
+        elastic = ElasticPartitioner.ensure(
+            self.partitioner, epoch=self.cluster.membership_epoch
+        )
+        self.partitioner = elastic
+        return elastic
+
+    def on_node_added(self, node_id: int, available_at: float) -> np.ndarray:
+        """Rebalance ownership onto freshly joined ``node_id``; return moved keys.
+
+        Called after :meth:`~repro.simulation.cluster.Cluster.add_node`.
+        ``available_at`` is the simulated time at which migrated keys are
+        usable on the new node (join handshake plus state transfer); static
+        architectures serve from the updated map immediately — the migration
+        cost is charged by the elasticity controller — while relocation PSs
+        gate access through their native arrival times.
+        """
+        elastic = self._elastic_partitioner()
+        moved = elastic.rebalance_add(
+            node_id, self.cluster.active_nodes, self.cluster.membership_epoch
+        )
+        pre = getattr(self, "_pre_fault_partitioner", None)
+        if pre is not None and pre is not elastic:
+            pre.rebalance_add(
+                node_id, self.cluster.active_nodes, self.cluster.membership_epoch
+            )
+        return moved
+
+    def drain_node(self, node_id: int, now: float) -> int:
+        """Flush state buffered on ``node_id`` ahead of a planned removal.
+
+        Returns the number of keys whose buffered (acknowledged but not yet
+        globally applied) updates were pushed out — the updates a crash of
+        the same node would have lost. The default PS buffers nothing.
+        """
+        return 0
+
+    def migrate_out(self, node_id: int, successors: Sequence[int],
+                    available_at: float) -> np.ndarray:
+        """Re-home ``node_id``'s keys onto ``successors`` (planned scale-in).
+
+        Unlike :meth:`fail_over` this is a *permanent* ownership rewrite —
+        no failover chain, no later restore — and the state arrives intact
+        (the elasticity controller drains buffers first and charges the
+        transfer), so no updates are lost. Returns the moved keys.
+        """
+        elastic = self._elastic_partitioner()
+        moved = elastic.rebalance_remove(
+            node_id, list(successors), self.cluster.membership_epoch
+        )
+        pre = getattr(self, "_pre_fault_partitioner", None)
+        if pre is not None and pre is not elastic:
+            pre.rebalance_remove(
+                node_id, list(successors), self.cluster.membership_epoch
+            )
+        return moved
 
     # ------------------------------------------------------------- round API
     def run_round(self, rounds: Sequence) -> list:

@@ -193,6 +193,103 @@ class FailoverPartitioner(Partitioner):
         return self._owner_table.take(keys)
 
 
+class ElasticPartitioner(Partitioner):
+    """An explicit owner-table partitioner that rebalances on membership changes.
+
+    Wraps the partitioner that was live when the first membership change
+    happened and keeps a dense key -> owner table that
+    :meth:`rebalance_add` / :meth:`rebalance_remove` rewrite incrementally:
+
+    * **add** — every existing owner cedes its fair share (``1 / n_active``
+      of its keys, taken from the tail of its key range) to the new node, so
+      the table converges to balance while moving only ``~1/n_active`` of
+      the key space (incremental rebalancing, not a full reshuffle).
+    * **remove** — the leaving node's keys are re-assigned round-robin over
+      its successors, exactly like a failover, except the caller drains the
+      state *before* the switch (planned scale-in loses nothing).
+
+    ``epoch`` records the cluster membership epoch the table was last
+    rebalanced for, so proxies can diagnose stale ownership.
+    """
+
+    def __init__(self, base: Partitioner, epoch: int = 0) -> None:
+        super().__init__(base.num_keys, base.num_servers)
+        self.base = base
+        self.epoch = int(epoch)
+        all_keys = np.arange(self.num_keys, dtype=np.int64)
+        self._owner_table = base.owners(all_keys).copy()
+        #: Keys moved by the most recent rebalance (empty before the first).
+        self.last_moved = np.empty(0, dtype=np.int64)
+
+    @classmethod
+    def ensure(cls, partitioner: Partitioner, epoch: int = 0) -> "ElasticPartitioner":
+        """``partitioner`` itself if already elastic, else a wrapping instance."""
+        if isinstance(partitioner, cls):
+            return partitioner
+        return cls(partitioner, epoch=epoch)
+
+    def owner(self, key: int) -> int:
+        if not 0 <= key < self.num_keys:
+            raise KeyError(f"key {key} out of range [0, {self.num_keys})")
+        return int(self._owner_table[key])
+
+    def _compute_owners(self, keys: np.ndarray) -> np.ndarray:
+        return self._owner_table.take(keys)
+
+    # ---------------------------------------------------------- rebalancing
+    def rebalance_add(self, new_node: int, active_nodes: "list[int]",
+                      epoch: int) -> np.ndarray:
+        """Cede each active owner's fair share to ``new_node``; return moved keys.
+
+        ``active_nodes`` is the post-join active set (including
+        ``new_node``). Each pre-existing owner gives ``count // n_active``
+        of its keys — the tail of its sorted key list, so range partitions
+        stay mostly contiguous — which lands the new node within one key per
+        donor of the ideal ``num_keys / n_active`` share.
+        """
+        new_node = int(new_node)
+        if new_node < 0:
+            raise ValueError(f"new_node must be non-negative, got {new_node}")
+        n_active = len(active_nodes)
+        if n_active < 2:
+            raise ValueError("rebalance_add needs at least one donor node")
+        self.num_servers = max(self.num_servers, new_node + 1)
+        moved_parts = []
+        for owner in sorted(int(n) for n in active_nodes):
+            if owner == new_node:
+                continue
+            owned = np.flatnonzero(self._owner_table == owner)
+            share = len(owned) // n_active
+            if share:
+                moved_parts.append(owned[-share:])
+        moved = np.concatenate(moved_parts) if moved_parts else \
+            np.empty(0, dtype=np.int64)
+        self._owner_table[moved] = new_node
+        self._chunk_owner_table = None
+        self.epoch = int(epoch)
+        self.last_moved = moved
+        return moved
+
+    def rebalance_remove(self, node_id: int, successors: "list[int]",
+                         epoch: int) -> np.ndarray:
+        """Re-home ``node_id``'s keys round-robin over ``successors``."""
+        successors_arr = np.asarray(list(successors), dtype=np.int64)
+        if len(successors_arr) == 0:
+            raise ValueError("rebalance_remove needs at least one successor")
+        if int(node_id) in successors_arr:
+            raise ValueError(
+                f"removed node {node_id} cannot be its own successor"
+            )
+        moved = np.flatnonzero(self._owner_table == int(node_id))
+        self._owner_table[moved] = successors_arr[
+            np.arange(len(moved)) % len(successors_arr)
+        ]
+        self._chunk_owner_table = None
+        self.epoch = int(epoch)
+        self.last_moved = moved
+        return moved
+
+
 class HashPartitioner(Partitioner):
     """Hash (modulo) partitioning.
 

@@ -673,6 +673,41 @@ class RelocationPS(ParameterServer):
             self.arrival_time[lost] = float(available_at)
         return lost
 
+    # --------------------------------------------------------- membership API
+    def on_node_added(self, node_id: int, available_at: float) -> np.ndarray:
+        """Re-home a share of current copies onto the joining node.
+
+        The home map is rebalanced as in the base class; the *current* copies
+        of the ceded keys move to the new node with
+        ``arrival_time = available_at``, so accesses issued before the
+        transfer completes wait on the native arrival gate — the same
+        mechanism in-flight relocations use.
+        """
+        moved = super().on_node_added(node_id, available_at)
+        if len(moved):
+            self.current_owner[moved] = node_id
+            self.arrival_time[moved] = float(available_at)
+        return moved
+
+    def migrate_out(self, node_id: int, successors: Sequence[int],
+                    available_at: float) -> np.ndarray:
+        """Permanently re-home the leaving node's current copies.
+
+        Mirrors :meth:`fail_over`'s round-robin reassignment, but rewrites
+        the home map through the elastic partitioner (no failover chain) and
+        moves *state*, not just routing: the drained values travel with the
+        keys, so nothing is lost.
+        """
+        lost = self.local_keys(node_id)
+        super().migrate_out(node_id, successors, available_at)
+        if len(lost):
+            successors_arr = np.asarray(list(successors), dtype=np.int64)
+            self.current_owner[lost] = successors_arr[
+                np.arange(len(lost)) % len(successors_arr)
+            ]
+            self.arrival_time[lost] = float(available_at)
+        return lost
+
 
 class _RelocationPointCharger:
     """Exact per-point charge replay for a round of direct accesses.

@@ -883,10 +883,9 @@ class ReplicationPS(ParameterServer):
         values = np.zeros((len(keys), self.store.value_length), dtype=np.float32)
         mask = np.zeros(len(keys), dtype=bool)
         best_clock = np.full(len(keys), _NEVER - 1, dtype=np.int64)
-        for node_id in range(self.cluster.num_nodes):
+        for node_id, state in self._nodes.items():
             if node_id in self.cluster.failed:
                 continue
-            state = self._nodes[node_id]
             clocks = state.replica_clock[keys]
             better = state.replica_mask[keys] & (clocks > best_clock)
             if np.any(better):
@@ -895,6 +894,40 @@ class ReplicationPS(ParameterServer):
                 best_clock[idx] = clocks[idx]
                 mask[idx] = True
         return values, mask
+
+    # ---------------------------------------------------------- membership API
+    def on_node_added(self, node_id: int, available_at: float) -> np.ndarray:
+        """Create replica state for the joining node and rebalance shards."""
+        if node_id not in self._nodes:
+            self._nodes[node_id] = _NodeReplicaState(
+                self.store.num_keys, self.store.value_length,
+                storage=self.store.storage, node_id=node_id,
+            )
+        return super().on_node_added(node_id, available_at)
+
+    def drain_node(self, node_id: int, now: float) -> int:
+        """Flush the leaving node's buffered updates into the global store.
+
+        This is exactly the step a crash cannot perform: every acknowledged
+        push still sitting in the node's write buffer is applied before the
+        node goes away, so a planned scale-in loses zero updates.
+        """
+        state = self._nodes.get(node_id)
+        if state is None:
+            return 0
+        if isinstance(state.update_mask, np.ndarray):
+            drained = int(np.count_nonzero(state.update_mask))
+        else:
+            drained = state.update_mask.count_nonzero()
+        self._flush_node(node_id, state)
+        return drained
+
+    def migrate_out(self, node_id: int, successors: Sequence[int],
+                    available_at: float) -> np.ndarray:
+        """Drop the leaving node's replica state after re-homing its shard."""
+        moved = super().migrate_out(node_id, successors, available_at)
+        self._nodes.pop(node_id, None)
+        return moved
 
     # --------------------------------------------------------------- charging
     def _charge_intra_process(self, worker: WorkerContext, count: int, kind: str) -> None:

@@ -663,6 +663,48 @@ CLAIMS += [
                   "graceful.checks.replicas_used"]),
 ]
 
+# --- Elastic membership (live scaling; beyond the paper) ------------------
+_REF_ELASTIC = "Elastic membership (beyond the paper; see BENCH_elastic.json)"
+CLAIMS += [
+    _claim("elastic", "autoscale_storm_completes",
+           "every architecture completes training under the autoscale-storm "
+           "preset (sustained node joins and planned leaves) at every swept "
+           "churn rate",
+           "all_true", _REF_ELASTIC,
+           paths=["checks.all_complete_storm"]),
+    _claim("elastic", "split_brain_completes",
+           "every architecture completes training through a network "
+           "partition: the minority degrades, the majority defers, the heal "
+           "reconciles",
+           "all_true", _REF_ELASTIC,
+           paths=["checks.all_complete_split_brain"]),
+    _claim("elastic", "planned_scale_in_loses_nothing",
+           "a planned scale-in drains buffered state before leaving and "
+           "loses exactly zero acknowledged updates",
+           "threshold", _REF_ELASTIC,
+           path="checks.planned_lost_updates", op="<=", value=0),
+    _claim("elastic", "crash_recovery_loses_work",
+           "the unplanned baseline: a crash with the same cadence measurably "
+           "loses acknowledged updates (the contrast is not vacuous)",
+           "threshold", _REF_ELASTIC,
+           path="checks.crash_lost_updates", op=">", value=0),
+    _claim("elastic", "rebalance_converges",
+           "incremental rebalancing converges: after repeated scale-outs no "
+           "node owns more than twice the ideal (uniform) key share",
+           "threshold", _REF_ELASTIC,
+           path="checks.worst_balance_ratio", op="<=", value=2.0),
+]
+for _system in ("classic", "lapse", "essp", "nups"):
+    CLAIMS += [
+        _claim("elastic", f"{_system}.degradation_bounded",
+               f"{_system}: a minority partition degrades final quality by "
+               "at most 0.05 vs the healthy run (bounded-staleness reads + "
+               "buffered writes, nothing dropped)",
+               "threshold", _REF_ELASTIC,
+               path=f"degradation.{_system}.quality_drop",
+               op="<=", value=0.05),
+    ]
+
 # --- Adaptive management (dynamic switching; the paper's future work) -----
 _REF_ADPT = "Adaptive management (extends Section 3.2; see BENCH_adaptive.json)"
 CLAIMS += [

@@ -93,6 +93,9 @@ REGISTRY: List[BenchmarkSpec] = [
     BenchmarkSpec("adaptive", "bench_adaptive",
                   "Appendix: adaptive parameter management under drift",
                   "appendix"),
+    BenchmarkSpec("elastic", "bench_elastic",
+                  "Appendix: elastic membership and partition tolerance",
+                  "appendix"),
     BenchmarkSpec("scale", "bench_scale",
                   "Appendix: sparse chunked storage at scale", "appendix"),
     BenchmarkSpec("throughput", "bench_throughput",

@@ -386,20 +386,37 @@ class _EpochState:
             self.queues[receiver].append(part)
 
 
-def _degraded_process_round(task, ps, cluster, items) -> None:
+def _degraded_process_round(task, ps, cluster, items, state=None) -> None:
     """Process a round item by item, surviving dead-owner timeouts.
 
-    Active only while a fault proxy is installed *and* a node is down (see
-    ``ScenarioRuntime.fault_degraded``): each worker's chunk runs through
+    Active only while a fault proxy is installed *and* a node is down or a
+    network partition is live (see ``ScenarioRuntime.fault_degraded`` /
+    ``ScenarioRuntime.elastic_degraded``): each worker's chunk runs through
     the sequential reference path on its own so that a
     :class:`~repro.faults.errors.DeadOwnerError` drops just that chunk —
     one round of one worker's lost work — instead of aborting the epoch.
+
+    A :class:`~repro.faults.errors.PartitionedOwnerError` is admission
+    control, not loss: the chunk is re-queued at the back of its worker's
+    queue (retried after the partition heals) and the worker is charged one
+    round-trip of backoff. The partition heals on a round schedule, so the
+    deferred work always drains.
     """
-    from repro.faults.errors import DeadOwnerError
+    from repro.faults.errors import DeadOwnerError, PartitionedOwnerError
 
     for item in items:
         try:
             sequential_process_round(task, ps, [item])
+        except PartitionedOwnerError:
+            worker = item.worker
+            if state is not None:
+                state.queues[(worker.node_id, worker.worker_id)].append(
+                    item.chunk
+                )
+            worker.clock.advance(cluster.network.message_cost(0))
+            cluster.metrics.increment(
+                "elastic.deferred_chunks", 1, node=worker.node_id
+            )
         except DeadOwnerError:
             cluster.metrics.increment(
                 "faults.lost_chunks", 1, node=item.worker.node_id
@@ -455,8 +472,10 @@ def _run_epoch(task, ps, cluster, shards, workers, worker_rngs, config,
                 worker_rngs[key],
             ))
         if items:
-            if runtime is not None and runtime.fault_degraded():
-                _degraded_process_round(task, ps, cluster, items)
+            if runtime is not None and (
+                runtime.fault_degraded() or runtime.elastic_degraded()
+            ):
+                _degraded_process_round(task, ps, cluster, items, state)
             elif config.round_fusion:
                 task.process_round(ps, items)
             else:

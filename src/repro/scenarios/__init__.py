@@ -18,10 +18,14 @@ from repro.scenarios.perturbations import (
 from repro.scenarios.presets import (
     SCENARIO_NAMES,
     SCENARIO_PRESETS,
+    autoscale_storm_scenario,
     churn_scenario,
     degrading_network_scenario,
     drift_scenario,
     make_scenario,
+    scale_in_scenario,
+    scale_out_scenario,
+    split_brain_scenario,
     storm_scenario,
     straggler_scenario,
 )
@@ -50,4 +54,8 @@ __all__ = [
     "churn_scenario",
     "degrading_network_scenario",
     "storm_scenario",
+    "scale_out_scenario",
+    "scale_in_scenario",
+    "autoscale_storm_scenario",
+    "split_brain_scenario",
 ]

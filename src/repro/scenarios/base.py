@@ -44,6 +44,14 @@ class Perturbation:
     #: train through the dead-owner retry proxy (see :mod:`repro.faults`).
     needs_fault_proxy = False
 
+    #: Whether this perturbation splits the cluster into reachability groups
+    #: (see :class:`repro.elastic.perturbations.NetworkPartition`). The
+    #: partition guard lives in the fault proxy, and — unlike crash faults —
+    #: applies to *every* architecture: relocation's native arrival waiting
+    #: cannot model an unreachable-but-alive owner, so the proxy is installed
+    #: even for servers with ``native_failover_wait``.
+    needs_partition_guard = False
+
     def on_start(self, ctx: "ScenarioRuntime") -> None:
         """Called once before the first epoch (initialize per-run state here)."""
 
@@ -76,6 +84,10 @@ class Scenario:
     @property
     def needs_fault_proxy(self) -> bool:
         return any(p.needs_fault_proxy for p in self.perturbations)
+
+    @property
+    def needs_partition_guard(self) -> bool:
+        return any(p.needs_partition_guard for p in self.perturbations)
 
     def bind(self, task, ps, cluster, config) -> "ScenarioRuntime":
         """Create the per-run runtime driving this scenario."""
@@ -113,13 +125,19 @@ class ScenarioRuntime:
         #: Fault machinery (lazily completed by ``ensure_fault_controller``).
         self.fault_controller = None
         self.fault_proxy = None
+        #: Elasticity machinery (lazily completed by
+        #: ``ensure_elasticity_controller``).
+        self.elasticity_controller = None
         base_for_training = ps
-        if scenario.needs_fault_proxy \
-                and not getattr(ps, "native_failover_wait", False):
+        needs_proxy = scenario.needs_fault_proxy \
+            and not getattr(ps, "native_failover_wait", False)
+        if needs_proxy or scenario.needs_partition_guard:
             # Statically partitioned architectures would read keys whose new
             # owner has not received its state yet; the proxy adds
             # retry/timeout semantics. Relocation-based servers wait natively
-            # via their arrival-time tracking and skip the wrapper.
+            # via their arrival-time tracking and skip the wrapper — except
+            # under network partitions, whose reachability guard applies to
+            # every architecture.
             from repro.faults.proxy import FaultTolerantParameterServer
 
             self.fault_proxy = FaultTolerantParameterServer(ps)
@@ -138,6 +156,12 @@ class ScenarioRuntime:
         self.round = -1
         self.paused: set = set()
         self._epoch_state = None
+        #: The worker pool is fixed at launch: nodes added by elastic
+        #: scale-out contribute server/storage capacity but no new training
+        #: workers (the runner's shard distribution is per-run static).
+        self._worker_pool: List[Tuple[int, int]] = [
+            worker.global_worker_id for worker in cluster.workers()
+        ]
 
     # -------------------------------------------------------------- lifecycle
     def on_experiment_start(self) -> None:
@@ -199,10 +223,84 @@ class ScenarioRuntime:
             and bool(self.fault_controller.down)
         )
 
+    # ------------------------------------------------------------- elasticity
+    def ensure_elasticity_controller(self, elastic_config=None):
+        """The run's :class:`~repro.elastic.controller.ElasticityController`.
+
+        Created on first call (with ``elastic_config``, if given); later
+        calls return the existing controller unchanged.
+        """
+        if self.elasticity_controller is None:
+            from repro.elastic.controller import ElasticityController
+
+            self.elasticity_controller = ElasticityController(
+                self.ps, config=elastic_config
+            )
+        return self.elasticity_controller
+
+    def scale_out(self) -> int:
+        """Join one node at the current simulated time; returns its id."""
+        controller = self.ensure_elasticity_controller()
+        return controller.scale_out(self.cluster.time)
+
+    def scale_in(self, node_id: int) -> dict:
+        """Drain and remove ``node_id`` (planned scale-in).
+
+        The node's workers are paused first (their remaining shards are
+        redistributed to the surviving workers), then the elasticity
+        controller drains the node's buffered state and migrates its keys to
+        the survivors. Returns the controller's transition summary.
+        """
+        for nid, worker_id in self.worker_keys():
+            if nid == node_id:
+                self.pause_worker(nid, worker_id)
+        controller = self.ensure_elasticity_controller()
+        return controller.scale_in(node_id, self.cluster.time)
+
+    # -------------------------------------------------------------- partitions
+    def begin_partition(self, minority) -> None:
+        """Split the cluster: ``minority`` nodes lose the quorum side.
+
+        Requires the partition guard (a fault proxy installed for *all*
+        architectures via ``needs_partition_guard``). Minority-side accesses
+        degrade to bounded-staleness reads and buffered writes; majority
+        accesses to minority-owned keys raise
+        :class:`~repro.faults.errors.PartitionedOwnerError` and are deferred
+        by the epoch loop.
+        """
+        if self.fault_proxy is None:
+            raise RuntimeError(
+                "begin_partition requires the partition guard; add a "
+                "perturbation with needs_partition_guard=True to the scenario"
+            )
+        if self.fault_proxy.partition is not None:
+            return
+        from repro.elastic.partition_state import PartitionState
+
+        self.fault_proxy.partition = PartitionState(
+            self.ps, minority, self.cluster.time
+        )
+        self.metrics.increment("elastic.partitions", 1)
+
+    def heal_partition(self) -> None:
+        """Heal the active partition: replay buffered minority writes."""
+        if self.fault_proxy is None or self.fault_proxy.partition is None:
+            return
+        state = self.fault_proxy.partition
+        self.fault_proxy.partition = None
+        state.heal(self.cluster.time)
+
+    def elastic_degraded(self) -> bool:
+        """Whether the epoch loop must expect ``PartitionedOwnerError``."""
+        return (
+            self.fault_proxy is not None
+            and getattr(self.fault_proxy, "partition", None) is not None
+        )
+
     # ------------------------------------------------------------- inspection
     def worker_keys(self) -> List[Tuple[int, int]]:
-        """All ``(node_id, worker_id)`` pairs of the cluster, in order."""
-        return [worker.global_worker_id for worker in self.cluster.workers()]
+        """All ``(node_id, worker_id)`` pairs of the launch-time pool, in order."""
+        return list(self._worker_pool)
 
     def is_active(self, worker_key: Tuple[int, int]) -> bool:
         return worker_key not in self.paused

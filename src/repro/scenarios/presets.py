@@ -9,6 +9,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Sequence
 
+from repro.elastic.perturbations import (
+    AutoscaleStorm,
+    NetworkPartition,
+    ScaleIn,
+    ScaleOut,
+)
 from repro.faults.perturbations import LossyNetwork, ServerCrashes
 from repro.scenarios.base import Scenario
 from repro.scenarios.perturbations import (
@@ -138,6 +144,55 @@ def lossy_network_scenario(loss_rate: float = 0.05,
     )
 
 
+def scale_out_scenario(count: int = 1, at_epoch: int = 0, at_round: int = 1,
+                       elastic_config=None) -> Scenario:
+    """Live scale-out: fresh nodes join mid-run and take over key ranges."""
+    return Scenario(
+        "scale-out",
+        [ScaleOut(count=count, at_epoch=at_epoch, at_round=at_round,
+                  elastic_config=elastic_config)],
+        description="fresh server nodes join mid-run; keys rebalance onto them",
+    )
+
+
+def scale_in_scenario(count: int = 1, at_epoch: int = 0, at_round: int = 1,
+                      elastic_config=None, seed: int = 0) -> Scenario:
+    """Planned scale-in: nodes drain their state and leave mid-run."""
+    return Scenario(
+        "scale-in",
+        [ScaleIn(count=count, at_epoch=at_epoch, at_round=at_round,
+                 elastic_config=elastic_config, seed=seed)],
+        description="server nodes drain and leave; zero acknowledged updates "
+                    "lost",
+    )
+
+
+def autoscale_storm_scenario(period_rounds: int = 2,
+                             max_changes: Optional[int] = None,
+                             elastic_config=None, seed: int = 0) -> Scenario:
+    """Sustained membership churn: alternating joins and planned removals."""
+    return Scenario(
+        "autoscale-storm",
+        [AutoscaleStorm(period_rounds=period_rounds, max_changes=max_changes,
+                        elastic_config=elastic_config, seed=seed)],
+        description="nodes join and leave on a fixed cadence (churn stress)",
+    )
+
+
+def split_brain_scenario(minority_size: int = 1, at_epoch: int = 0,
+                         at_round: int = 1, heal_after_rounds: int = 3,
+                         seed: int = 0) -> Scenario:
+    """A network partition splits the cluster; the minority degrades, heals."""
+    return Scenario(
+        "split-brain",
+        [NetworkPartition(minority_size=minority_size, at_epoch=at_epoch,
+                          at_round=at_round,
+                          heal_after_rounds=heal_after_rounds, seed=seed)],
+        description="cluster splits into majority/minority; buffered minority "
+                    "writes replay at heal",
+    )
+
+
 SCENARIO_PRESETS: Dict[str, Callable[..., Scenario]] = {
     "drift": drift_scenario,
     "stragglers": straggler_scenario,
@@ -147,6 +202,10 @@ SCENARIO_PRESETS: Dict[str, Callable[..., Scenario]] = {
     "crash-storm": crash_storm_scenario,
     "rolling-restart": rolling_restart_scenario,
     "lossy-network": lossy_network_scenario,
+    "scale-out": scale_out_scenario,
+    "scale-in": scale_in_scenario,
+    "autoscale-storm": autoscale_storm_scenario,
+    "split-brain": split_brain_scenario,
 }
 
 SCENARIO_NAMES = tuple(SCENARIO_PRESETS)

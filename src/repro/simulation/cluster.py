@@ -128,11 +128,20 @@ class Cluster:
         #: hot paths stays a constant-time miss and fault-off simulations are
         #: bit-identical to a build without the fault subsystem.
         self.failed: set[int] = set()
+        #: Node ids removed by a planned scale-in. Unlike crashed nodes they
+        #: never rejoin (a re-join is :meth:`add_node` with a fresh id); their
+        #: clocks freeze at removal time. Empty in elasticity-off runs.
+        self.removed: set[int] = set()
+        #: Monotone counter bumped by every :meth:`add_node` /
+        #: :meth:`remove_node`. Partitioners and proxies record the epoch
+        #: they were built against so stale ownership can be diagnosed.
+        self.membership_epoch: int = 0
 
     # ------------------------------------------------------------- accessors
     @property
     def num_nodes(self) -> int:
-        return self.config.num_nodes
+        """Number of node slots ever allocated (including removed nodes)."""
+        return len(self.nodes)
 
     @property
     def workers_per_node(self) -> int:
@@ -159,9 +168,14 @@ class Cluster:
 
     @property
     def min_worker_time(self) -> float:
-        """The clock of the slowest (least advanced) worker."""
+        """The clock of the slowest (least advanced) worker.
+
+        Removed nodes' workers are excluded: their clocks froze at removal
+        time and would otherwise pin the minimum forever.
+        """
         return min(
             clock.now for node in self.nodes for clock in node.worker_clocks
+            if node.node_id not in self.removed
         )
 
     def reset_clocks(self) -> None:
@@ -173,13 +187,23 @@ class Cluster:
     def fail_node(self, node_id: int) -> None:
         """Mark ``node_id``'s server shard as crashed (unreachable).
 
-        The node's clocks keep their values: a crash does not rewind
-        simulated time. Recovery mechanics (failover, checkpoint restore)
-        live in :mod:`repro.faults`; this hook only tracks liveness.
+        Idempotent: failing an already-failed node is a no-op (it must not
+        count against the last-survivor guard a second time). The node's
+        clocks keep their values: a crash does not rewind simulated time.
+        Recovery mechanics (failover, checkpoint restore) live in
+        :mod:`repro.faults`; this hook only tracks liveness.
         """
         if not 0 <= node_id < self.num_nodes:
             raise ValueError(f"node {node_id} out of range [0, {self.num_nodes})")
-        if len(self.failed) + 1 >= self.num_nodes:
+        if node_id in self.failed:
+            return
+        if node_id in self.removed:
+            raise ValueError(
+                f"node {node_id} was removed from the cluster (membership "
+                f"epoch {self.membership_epoch}) and cannot crash; removed "
+                "nodes hold no state"
+            )
+        if len(self.active_nodes) <= 1:
             raise ValueError(
                 "cannot fail the last surviving node: at least one node must "
                 "stay alive to take over the failed shard"
@@ -189,10 +213,21 @@ class Cluster:
     def restore_node(self, node_id: int, now: float | None = None) -> None:
         """Bring a crashed node back, advancing its clocks to ``now``.
 
-        A restarting node rejoins at the current simulated time (its clocks
-        never move backwards): ``advance_to`` leaves any clock that is
-        already past ``now`` untouched.
+        Restoring a node that is not failed is a no-op (in particular its
+        clocks do not move). A restarting node rejoins at the current
+        simulated time (its clocks never move backwards): ``advance_to``
+        leaves any clock that is already past ``now`` untouched.
         """
+        if not 0 <= node_id < self.num_nodes:
+            raise ValueError(f"node {node_id} out of range [0, {self.num_nodes})")
+        if node_id in self.removed:
+            raise ValueError(
+                f"node {node_id} was removed from the cluster (membership "
+                f"epoch {self.membership_epoch}); removed nodes never "
+                "rejoin — scale out with add_node instead"
+            )
+        if node_id not in self.failed:
+            return
         self.failed.discard(node_id)
         if now is not None:
             node = self.nodes[node_id]
@@ -207,9 +242,68 @@ class Cluster:
     @property
     def active_nodes(self) -> List[int]:
         """Ids of nodes whose shard is currently reachable, in order."""
-        if not self.failed:
+        if not self.failed and not self.removed:
             return list(range(self.num_nodes))
-        return [n for n in range(self.num_nodes) if n not in self.failed]
+        return [n for n in range(self.num_nodes)
+                if n not in self.failed and n not in self.removed]
+
+    # ------------------------------------------------------------ membership
+    def add_node(self, now: float | None = None) -> int:
+        """Join a fresh node to the cluster; returns its node id.
+
+        The new node starts with ``workers_per_node`` workers whose clocks
+        (and the background/server clocks) are advanced to ``now`` — a node
+        joining mid-run does not start at simulated time zero. Bumps the
+        membership epoch. State rebalancing is the parameter server's job
+        (see :meth:`~repro.ps.base.ParameterServer.on_node_added`); the
+        cluster only tracks membership.
+        """
+        node_id = len(self.nodes)
+        node = Node(node_id, self.config.workers_per_node)
+        if now is not None:
+            for clock in node.worker_clocks:
+                clock.advance_to(now)
+            node.background_clock.advance_to(now)
+            node.server_clock.advance_to(now)
+        self.nodes.append(node)
+        for worker_id, clock in enumerate(node.worker_clocks):
+            self._worker_contexts[(node_id, worker_id)] = WorkerContext(
+                node_id=node_id, worker_id=worker_id, clock=clock
+            )
+        self.membership_epoch += 1
+        self.metrics.increment("elastic.nodes_added", 1, node=node_id)
+        return node_id
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove ``node_id`` permanently (planned scale-in).
+
+        Idempotent. The caller must have drained the node's state first
+        (see :class:`~repro.elastic.controller.ElasticityController`); the
+        cluster only tracks membership. A crashed node cannot be removed —
+        restore it (or let the fault controller finish recovery) first, so
+        that drain semantics (zero lost updates) hold.
+        """
+        if not 0 <= node_id < self.num_nodes:
+            raise ValueError(f"node {node_id} out of range [0, {self.num_nodes})")
+        if node_id in self.removed:
+            return
+        if node_id in self.failed:
+            raise ValueError(
+                f"node {node_id} is crashed; a planned removal drains state "
+                "first, which a crashed node cannot do — restore it before "
+                "removing, or leave it to crash recovery"
+            )
+        if len(self.active_nodes) <= 1:
+            raise ValueError(
+                "cannot remove the last active node: at least one node must "
+                "stay alive to receive the drained state"
+            )
+        self.removed.add(node_id)
+        self.membership_epoch += 1
+        self.metrics.increment("elastic.nodes_removed", 1, node=node_id)
+
+    def is_removed(self, node_id: int) -> bool:
+        return node_id in self.removed
 
     # --------------------------------------------------------------- dynamics
     def set_network(self, network) -> None:

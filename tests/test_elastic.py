@@ -1,0 +1,371 @@
+"""Tests for elastic membership and partition tolerance (repro.elastic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.elastic import (
+    AutoscaleStorm,
+    ElasticConfig,
+    ElasticityController,
+    NetworkPartition,
+    PartitionState,
+    ScaleIn,
+    ScaleOut,
+)
+from repro.faults import (
+    FaultConfig,
+    FaultTolerantParameterServer,
+    PartitionedOwnerError,
+    RemovedOwnerError,
+)
+from repro.ps.classic import ClassicPS
+from repro.ps.relocation import RelocationPS
+from repro.ps.replication import ReplicationProtocol, ReplicationPS
+from repro.ps.storage import ParameterStore
+from repro.runner.config import ExperimentConfig
+from repro.runner.experiment import run_experiment
+from repro.runner.systems import make_ps_factory
+from repro.runner.workloads import make_task
+from repro.scenarios import SCENARIO_PRESETS, make_scenario
+from repro.simulation.cluster import Cluster, ClusterConfig
+from repro.simulation.network import NetworkModel
+
+NUM_KEYS = 60
+VALUE_LENGTH = 2
+
+
+def _network() -> NetworkModel:
+    return NetworkModel(latency=10e-6, bandwidth=1e9,
+                        message_handling_cost=1e-6, local_access_cost=1e-7,
+                        compute_per_step=20e-6)
+
+
+def _cluster(num_nodes=3, workers_per_node=2) -> Cluster:
+    return Cluster(ClusterConfig(num_nodes=num_nodes,
+                                 workers_per_node=workers_per_node,
+                                 network=_network()))
+
+
+def _build(kind="classic", num_nodes=3):
+    cluster = _cluster(num_nodes=num_nodes)
+    store = ParameterStore(NUM_KEYS, VALUE_LENGTH, seed=3, init_scale=0.1)
+    if kind == "classic":
+        ps = ClassicPS(store, cluster)
+    elif kind == "relocation":
+        ps = RelocationPS(store, cluster)
+    elif kind == "replication":
+        ps = ReplicationPS(store, cluster, protocol=ReplicationProtocol.ESSP,
+                           staleness=2)
+    else:  # pragma: no cover
+        raise ValueError(kind)
+    return ps, cluster, store
+
+
+def _ownership_covers_active(ps, cluster):
+    owned = [np.asarray(ps.keys_owned_by(n), dtype=np.int64)
+             for n in cluster.active_nodes]
+    np.testing.assert_array_equal(
+        np.sort(np.concatenate(owned)), np.arange(ps.store.num_keys)
+    )
+
+
+# ------------------------------------------------------------ ElasticConfig
+class TestElasticConfig:
+    def test_defaults_are_valid(self):
+        config = ElasticConfig()
+        assert config.join_delay > 0
+
+    def test_rejects_negative_join_delay(self):
+        with pytest.raises(ValueError):
+            ElasticConfig(join_delay=-1e-3)
+
+
+# ----------------------------------------------------- ElasticityController
+class TestScaleOut:
+    @pytest.mark.parametrize("kind", ["classic", "relocation", "replication"])
+    def test_new_node_takes_over_key_share(self, kind):
+        ps, cluster, store = _build(kind)
+        controller = ElasticityController(ps)
+        node_id = controller.scale_out(now=0.0)
+        assert node_id == 3
+        assert cluster.membership_epoch == 1
+        _ownership_covers_active(ps, cluster)
+        assert len(ps.keys_owned_by(node_id)) > 0
+        assert cluster.metrics.get("elastic.scale_outs") == 1
+        assert cluster.metrics.get("elastic.migrated_keys") > 0
+        # The migration transfer occupies the new node's background thread.
+        assert cluster.node(node_id).background_clock.now > 0.0
+
+    def test_relocation_arrival_gating(self):
+        ps, cluster, store = _build("relocation")
+        controller = ElasticityController(ps)
+        node_id = controller.scale_out(now=0.0)
+        moved = ps.local_keys(node_id)
+        assert len(moved) > 0
+        # The re-homed keys arrive only after the transfer.
+        assert np.all(ps.arrival_time[moved] > 0.0)
+        np.testing.assert_array_equal(ps.current_owner[moved], node_id)
+
+
+class TestScaleIn:
+    @pytest.mark.parametrize("kind", ["classic", "relocation", "replication"])
+    def test_planned_removal_rehomes_keys(self, kind):
+        ps, cluster, store = _build(kind)
+        controller = ElasticityController(ps)
+        summary = controller.scale_in(1, now=0.0)
+        assert summary["lost_updates"] == 0
+        assert summary["moved_keys"] > 0
+        assert cluster.is_removed(1)
+        _ownership_covers_active(ps, cluster)
+        assert len(ps.keys_owned_by(1)) == 0 or 1 not in cluster.active_nodes
+        assert cluster.metrics.get("elastic.scale_ins") == 1
+
+    def test_drain_flushes_buffered_updates(self):
+        """Replication buffers flush on drain: zero acknowledged loss."""
+        ps, cluster, store = _build("replication")
+        worker = cluster.worker(1, 0)
+        keys = np.array([0, 1, 2], dtype=np.int64)
+        before = store.get(keys).copy()
+        deltas = np.full((3, VALUE_LENGTH), 0.5, dtype=np.float32)
+        ps.push(worker, keys, deltas)
+        controller = ElasticityController(ps)
+        summary = controller.scale_in(1, now=0.0)
+        assert summary["drained_updates"] >= 3
+        np.testing.assert_allclose(store.get(keys), before + 0.5, rtol=1e-6)
+
+    def test_headline_planned_vs_crash(self):
+        """A planned scale-in drains what a crash would lose."""
+        from repro.faults import FaultController
+
+        # Crash path: push, crash before any checkpoint refresh, recover.
+        ps, cluster, store = _build("classic")
+        fc = FaultController(ps, FaultConfig(recovery="checkpoint",
+                                             checkpoint_interval=10.0))
+        worker = cluster.worker(1, 0)
+        keys = np.asarray(ps.keys_owned_by(1)[:3], dtype=np.int64)
+        ps.push(worker, keys, np.full((len(keys), VALUE_LENGTH), 0.5,
+                                      dtype=np.float32))
+        fc.crash_node(1, now=0.001)
+        lost = cluster.metrics.get("faults.lost_updates")
+        assert lost > 0
+
+        # Planned path, same write pattern: nothing lost.
+        ps2, cluster2, store2 = _build("classic")
+        worker2 = cluster2.worker(1, 0)
+        keys2 = np.asarray(ps2.keys_owned_by(1)[:3], dtype=np.int64)
+        before = store2.get(keys2).copy()
+        ps2.push(worker2, keys2, np.full((len(keys2), VALUE_LENGTH), 0.5,
+                                         dtype=np.float32))
+        controller = ElasticityController(ps2)
+        summary = controller.scale_in(1, now=0.001)
+        assert summary["lost_updates"] == 0
+        assert cluster2.metrics.get("elastic.lost_updates") == 0
+        np.testing.assert_allclose(store2.get(keys2), before + 0.5, rtol=1e-6)
+
+
+# ------------------------------------------------------------ PartitionState
+class TestPartitionState:
+    def test_rejects_empty_or_majority_minority(self):
+        ps, cluster, _ = _build("classic")
+        with pytest.raises(ValueError):
+            PartitionState(ps, [], now=0.0)
+        with pytest.raises(ValueError):
+            PartitionState(ps, [0, 1], now=0.0)  # 2 of 3 is not a minority
+
+    def test_minority_reads_are_bounded_stale(self):
+        ps, cluster, store = _build("classic")
+        state = PartitionState(ps, [2], now=0.0)
+        worker = cluster.worker(2, 0)
+        keys = np.array([0, 1], dtype=np.int64)
+        snapshot = store.get(keys).copy()
+        # The majority moves on; the minority still serves the snapshot.
+        store.add(keys, np.full((2, VALUE_LENGTH), 9.0, dtype=np.float32))
+        np.testing.assert_allclose(state.degraded_pull(worker, keys), snapshot)
+        # ... merged with the minority's own buffered writes.
+        state.degraded_push(worker, keys,
+                            np.full((2, VALUE_LENGTH), 0.25, dtype=np.float32))
+        np.testing.assert_allclose(state.degraded_pull(worker, keys),
+                                   snapshot + 0.25)
+        assert cluster.metrics.get("elastic.stale_reads") == 4
+        assert cluster.metrics.get("elastic.buffered_writes") == 2
+
+    def test_heal_replays_and_counts_divergence(self):
+        ps, cluster, store = _build("classic")
+        state = PartitionState(ps, [2], now=0.0)
+        worker = cluster.worker(2, 0)
+        keys = np.array([3, 4], dtype=np.int64)
+        before = store.get(keys).copy()
+        state.degraded_push(worker, keys,
+                            np.full((2, VALUE_LENGTH), 1.0, dtype=np.float32))
+        # Key 3 also written on the majority side: divergent.
+        state.record_majority_writes(np.array([3], dtype=np.int64))
+        summary = state.heal(now=0.01)
+        assert summary["replayed_keys"] == 2
+        assert summary["divergent_keys"] == 1
+        # Replay is additive: no update from either side is lost.
+        np.testing.assert_allclose(store.get(keys), before + 1.0, rtol=1e-6)
+        assert cluster.metrics.get("elastic.partition_heals") == 1
+
+
+# ------------------------------------------------------------ proxy guards
+class TestPartitionGuard:
+    def test_majority_access_to_minority_keys_defers(self):
+        ps, cluster, store = _build("classic")
+        proxy = FaultTolerantParameterServer(ps)
+        proxy.partition = PartitionState(ps, [2], now=0.0)
+        majority_worker = cluster.worker(0, 0)
+        minority_keys = np.asarray(ps.keys_owned_by(2)[:2], dtype=np.int64)
+        with pytest.raises(PartitionedOwnerError):
+            proxy.pull(majority_worker, minority_keys)
+        with pytest.raises(PartitionedOwnerError):
+            proxy.push(majority_worker, minority_keys,
+                       np.zeros((2, VALUE_LENGTH), dtype=np.float32))
+        # Majority keys stay accessible.
+        majority_keys = np.asarray(ps.keys_owned_by(0)[:2], dtype=np.int64)
+        values = proxy.pull(majority_worker, majority_keys)
+        assert values.shape == (2, VALUE_LENGTH)
+
+    def test_minority_worker_degrades_instead_of_failing(self):
+        ps, cluster, store = _build("classic")
+        proxy = FaultTolerantParameterServer(ps)
+        state = PartitionState(ps, [2], now=0.0)
+        proxy.partition = state
+        minority_worker = cluster.worker(2, 0)
+        keys = np.asarray(ps.keys_owned_by(0)[:2], dtype=np.int64)
+        values = proxy.pull(minority_worker, keys)  # stale, not an error
+        assert values.shape == (2, VALUE_LENGTH)
+        proxy.push(minority_worker, keys,
+                   np.ones((2, VALUE_LENGTH), dtype=np.float32))
+        assert state.buffered_writes == 2
+
+    def test_localize_drops_unreachable_hints(self):
+        ps, cluster, store = _build("relocation")
+        proxy = FaultTolerantParameterServer(ps)
+        proxy.partition = PartitionState(ps, [2], now=0.0)
+        majority_worker = cluster.worker(0, 0)
+        minority_keys = np.asarray(ps.keys_owned_by(2)[:2], dtype=np.int64)
+        proxy.localize(majority_worker, minority_keys)  # dropped, no raise
+        np.testing.assert_array_equal(ps.current_owner[minority_keys], 2)
+
+
+class TestRemovedOwnerFastFail:
+    def test_stale_routing_fails_fast_with_epochs(self):
+        """An access at a removed owner names the membership epochs."""
+        ps, cluster, store = _build("classic")
+        proxy = FaultTolerantParameterServer(ps)
+        victim_keys = np.asarray(ps.keys_owned_by(1)[:2], dtype=np.int64)
+        # Remove the node from membership *without* re-homing its keys:
+        # exactly the stale-routing state the gate must catch.
+        cluster.remove_node(1)
+        with pytest.raises(RemovedOwnerError, match="membership epoch 1"):
+            proxy.pull(cluster.worker(0, 0), victim_keys)
+        assert cluster.metrics.get("elastic.removed_owner_errors") == 1
+
+    def test_no_false_positive_after_proper_scale_in(self):
+        ps, cluster, store = _build("classic")
+        proxy = FaultTolerantParameterServer(ps)
+        victim_keys = np.asarray(ps.keys_owned_by(1)[:2], dtype=np.int64)
+        ElasticityController(ps).scale_in(1, now=0.0)
+        values = proxy.pull(cluster.worker(0, 0), victim_keys)
+        assert values.shape == (2, VALUE_LENGTH)
+
+
+class TestRetryJitter:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FaultConfig(retry_jitter=-0.1)
+        with pytest.raises(ValueError):
+            FaultConfig(retry_seed=-1)
+
+    def test_jitter_is_seeded_and_reproducible(self):
+        def factors(seed, jitter, count=5):
+            ps, cluster, _ = _build("classic")
+            from repro.faults import FaultController
+
+            proxy = FaultTolerantParameterServer(ps)
+            proxy.controller = FaultController(
+                ps, FaultConfig(retry_jitter=jitter, retry_seed=seed)
+            )
+            return [proxy._retry_delay_factor() for _ in range(count)]
+
+        assert factors(7, 0.5) == factors(7, 0.5)
+        assert factors(7, 0.5) != factors(8, 0.5)
+        assert all(1.0 <= f <= 1.5 for f in factors(7, 0.5))
+        # The default consumes no randomness at all.
+        assert factors(7, 0.0) == [1.0] * 5
+
+
+# ----------------------------------------------------------- perturbations
+def _run(system, scenario, nodes=3, epochs=2, seed=0):
+    task = make_task("kge", scale="test")
+    config = ExperimentConfig(
+        cluster=ClusterConfig(num_nodes=nodes, workers_per_node=2),
+        epochs=epochs, chunk_size=8, seed=seed, scenario=scenario,
+    )
+    return run_experiment(task, make_ps_factory(system), config)
+
+
+class TestElasticScenarios:
+    def test_presets_are_registered(self):
+        for name in ("scale-out", "scale-in", "autoscale-storm",
+                     "split-brain"):
+            assert name in SCENARIO_PRESETS
+
+    def test_perturbation_validation(self):
+        with pytest.raises(ValueError):
+            ScaleOut(count=0)
+        with pytest.raises(ValueError):
+            ScaleIn(count=0)
+        with pytest.raises(ValueError):
+            AutoscaleStorm(period_rounds=0)
+        with pytest.raises(ValueError):
+            NetworkPartition(heal_after_rounds=0)
+
+    @pytest.mark.parametrize("system", ["classic", "lapse", "essp", "nups"])
+    def test_scale_out_completes(self, system):
+        result = _run(system, make_scenario("scale-out"))
+        assert result.epochs_completed == 2
+        assert result.metrics.get("elastic.scale_outs") == 1
+
+    @pytest.mark.parametrize("system", ["classic", "lapse", "essp", "nups"])
+    def test_scale_in_loses_nothing(self, system):
+        result = _run(system, make_scenario("scale-in"))
+        assert result.epochs_completed == 2
+        assert result.metrics.get("elastic.scale_ins") == 1
+        assert result.metrics.get("elastic.lost_updates") == 0
+
+    @pytest.mark.parametrize("system", ["classic", "lapse", "essp", "nups"])
+    def test_autoscale_storm_survives(self, system):
+        result = _run(system, make_scenario("autoscale-storm"))
+        assert result.epochs_completed == 2
+        assert result.metrics.get("elastic.scale_outs") >= 1
+        assert result.metrics.get("elastic.scale_ins") >= 1
+        assert result.metrics.get("elastic.lost_updates") == 0
+
+    @pytest.mark.parametrize("system", ["classic", "lapse", "essp", "nups"])
+    def test_split_brain_heals(self, system):
+        result = _run(system, make_scenario("split-brain"))
+        assert result.epochs_completed == 2
+        metrics = result.metrics
+        assert metrics.get("elastic.partitions") == 1
+        assert metrics.get("elastic.partition_heals") == 1
+        # Minority writes were buffered and replayed, never dropped.
+        assert metrics.get("elastic.buffered_writes") > 0
+        assert metrics.get("elastic.replayed_writes") > 0
+
+    def test_elastic_runs_are_deterministic(self):
+        first = _run("nups", make_scenario("autoscale-storm"), seed=5)
+        second = _run("nups", make_scenario("autoscale-storm"), seed=5)
+        assert [r.sim_time for r in first.records] == \
+               [r.sim_time for r in second.records]
+        assert first.metrics == second.metrics
+
+    def test_elasticity_off_leaves_no_trace(self):
+        """Without an elastic perturbation nothing elastic ever moves."""
+        result = _run("nups", None)
+        assert result.epochs_completed == 2
+        elastic = {name: value for name, value in result.metrics.items()
+                   if name.startswith("elastic.")}
+        assert elastic == {}

@@ -432,3 +432,116 @@ def test_fault_schedules_small(architecture, seed):
 @pytest.mark.parametrize("seed", [13, 14, 15])
 def test_fault_schedules_large(architecture, seed):
     _run_fault_sequence(architecture, seed, num_ops=1000)
+
+
+# --------------------------------------------------- membership-change ops
+def _store_sum(store) -> float:
+    values = store.get(np.arange(store.num_keys, dtype=np.int64))
+    return float(np.asarray(values, dtype=np.float64).sum())
+
+
+def _run_membership_sequence(architecture: str, seed: int, num_ops: int):
+    """Random accesses interleaved with live joins, leaves, and partitions.
+
+    Drives the :class:`~repro.elastic.ElasticityController` and the
+    partition guard standalone against every architecture, checking after
+    every step that
+
+    * every key is owned by exactly one *active* node (single active owner
+      survives arbitrary add/remove/partition/heal interleavings),
+    * no simulated clock ever moves backwards, and
+    * no acknowledged update is lost: after quiescing (healing any open
+      partition, flushing epoch state), the store's total mass equals the
+      initial mass plus every successfully issued push delta. Planned
+      removals drain, partitions buffer-and-replay — nothing acknowledged
+      may disappear.
+    """
+    from repro.elastic import ElasticityController, PartitionState
+    from repro.faults import FaultTolerantParameterServer, PartitionedOwnerError
+
+    ps, cluster, store = _build(architecture)
+    controller = ElasticityController(ps)
+    access = FaultTolerantParameterServer(ps)
+    rng = np.random.default_rng(seed)
+    watcher = _ClockWatcher(cluster)
+    workers = list(cluster.workers())  # the launch-time worker pool is fixed
+    initial_mass = _store_sum(store)
+    pushed_mass = 0.0
+    deferred = 0
+    partition = None
+
+    for _ in range(num_ops):
+        roll = rng.random()
+        now = cluster.time
+        if partition is None and roll < 0.05 \
+                and len(cluster.active_nodes) < 6:
+            controller.scale_out(now)
+            _check_active_ownership(ps, cluster)
+        elif partition is None and roll < 0.10:
+            eligible = [n for n in cluster.active_nodes if n != 0]
+            if len(eligible) >= 2:
+                victim = int(eligible[int(rng.integers(len(eligible)))])
+                summary = controller.scale_in(victim, now)
+                assert summary["lost_updates"] == 0
+                _check_active_ownership(ps, cluster)
+        elif partition is None and roll < 0.14:
+            eligible = [n for n in cluster.active_nodes if n != 0]
+            if eligible and len(cluster.active_nodes) >= 3:
+                minority = [int(eligible[int(rng.integers(len(eligible)))])]
+                partition = PartitionState(ps, minority, now)
+                access.partition = partition
+        elif partition is not None and roll < 0.20:
+            access.partition = None
+            partition.heal(cluster.time)
+            partition = None
+            _check_active_ownership(ps, cluster)
+
+        worker = workers[int(rng.integers(len(workers)))]
+        if worker.node_id in cluster.failed \
+                or cluster.is_removed(worker.node_id):
+            continue  # paused: its shard would have been redistributed
+        keys = _random_keys(rng)
+        try:
+            if rng.random() < 0.5:
+                values = access.pull(worker, keys)
+                assert values.shape == (len(keys), VALUE_LENGTH)
+            else:
+                deltas = rng.normal(
+                    0, 0.01, size=(len(keys), VALUE_LENGTH)
+                ).astype(np.float32)
+                access.push(worker, keys, deltas)
+                # The push was acknowledged (buffered counts: a minority
+                # push is replayed at heal, never dropped).
+                pushed_mass += float(deltas.astype(np.float64).sum())
+        except PartitionedOwnerError:
+            deferred += 1  # admission control: the access never happened
+        watcher.check()
+        _check_active_ownership(ps, cluster)
+
+    # Quiesce: heal any open partition, flush all buffered state.
+    if partition is not None:
+        access.partition = None
+        partition.heal(cluster.time)
+    ps.finish_epoch()
+    _check_active_ownership(ps, cluster)
+    watcher.check()
+    final_mass = _store_sum(store)
+    assert final_mass == pytest.approx(initial_mass + pushed_mass, abs=0.05), \
+        "an acknowledged update was lost across membership changes"
+    metrics = cluster.metrics
+    assert metrics.get("elastic.lost_updates") == 0
+    assert metrics.get("elastic.nodes_removed") == controller.scale_ins
+    return deferred
+
+
+@pytest.mark.parametrize("architecture", FAULT_ARCHITECTURES)
+@pytest.mark.parametrize("seed", [21, 22])
+def test_membership_sequences_small(architecture, seed):
+    _run_membership_sequence(architecture, seed, num_ops=120)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("architecture", FAULT_ARCHITECTURES)
+@pytest.mark.parametrize("seed", [23, 24, 25])
+def test_membership_sequences_large(architecture, seed):
+    _run_membership_sequence(architecture, seed, num_ops=1000)

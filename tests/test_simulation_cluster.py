@@ -73,3 +73,93 @@ class TestCluster:
         cluster = Cluster(ClusterConfig(num_nodes=2, workers_per_node=1, network=network))
         assert cluster.network is network
         assert isinstance(cluster.network, NetworkModel)
+
+
+class TestFaultHooks:
+    def test_fail_node_is_idempotent(self, cluster):
+        """Regression: re-failing a failed node must not re-run the guards.
+
+        With 3 of 4 nodes down, failing one of the already-failed nodes
+        again used to trip the last-survivor check and raise — the
+        idempotency short-circuit must come before every guard.
+        """
+        for node_id in (1, 2, 3):
+            cluster.fail_node(node_id)
+        cluster.fail_node(2)  # no-op, must not raise
+        assert cluster.failed == {1, 2, 3}
+        assert cluster.active_nodes == [0]
+
+    def test_fail_node_rejects_out_of_range(self, cluster):
+        with pytest.raises(ValueError, match="out of range"):
+            cluster.fail_node(-1)
+        with pytest.raises(ValueError, match="out of range"):
+            cluster.fail_node(cluster.num_nodes)
+
+    def test_fail_node_keeps_last_survivor(self, cluster):
+        for node_id in (1, 2, 3):
+            cluster.fail_node(node_id)
+        with pytest.raises(ValueError, match="last surviving"):
+            cluster.fail_node(0)
+
+    def test_restore_node_rejects_out_of_range(self, cluster):
+        """Regression: restore_node(-1) used to silently advance the last
+        node's clocks (negative indexing into the node list)."""
+        with pytest.raises(ValueError, match="out of range"):
+            cluster.restore_node(-1, now=5.0)
+        assert cluster.node(cluster.num_nodes - 1).time == 0.0
+        with pytest.raises(ValueError, match="out of range"):
+            cluster.restore_node(cluster.num_nodes, now=5.0)
+
+    def test_restore_of_non_failed_node_is_a_noop(self, cluster):
+        """Restoring a healthy node must not move its clocks."""
+        cluster.restore_node(1, now=7.5)
+        node = cluster.node(1)
+        assert node.time == 0.0
+        assert all(clock.now == 0.0 for clock in node.worker_clocks)
+
+    def test_restore_advances_clocks_monotonically(self, cluster):
+        cluster.node(1).server_clock.advance(3.0)
+        cluster.fail_node(1)
+        cluster.restore_node(1, now=2.0)
+        # advance_to never rewinds: the server clock stays at 3.0.
+        assert cluster.node(1).server_clock.now == 3.0
+        assert cluster.node(1).worker_clocks[0].now == 2.0
+        assert not cluster.failed
+
+
+class TestMembership:
+    def test_add_node_grows_cluster_and_bumps_epoch(self, cluster):
+        epoch = cluster.membership_epoch
+        node_id = cluster.add_node(now=1.5)
+        assert node_id == 4
+        assert cluster.num_nodes == 5
+        assert cluster.membership_epoch == epoch + 1
+        assert cluster.node(node_id).time == 1.5
+        assert cluster.worker(node_id, 0).clock.now == 1.5
+        assert node_id in cluster.active_nodes
+
+    def test_remove_node_is_idempotent_and_bumps_epoch_once(self, cluster):
+        epoch = cluster.membership_epoch
+        cluster.remove_node(2)
+        cluster.remove_node(2)
+        assert cluster.membership_epoch == epoch + 1
+        assert cluster.is_removed(2)
+        assert 2 not in cluster.active_nodes
+
+    def test_remove_rejects_crashed_node(self, cluster):
+        cluster.fail_node(2)
+        with pytest.raises(ValueError, match="crashed"):
+            cluster.remove_node(2)
+
+    def test_removed_node_cannot_crash_or_rejoin(self, cluster):
+        cluster.remove_node(3)
+        with pytest.raises(ValueError, match="removed"):
+            cluster.fail_node(3)
+        with pytest.raises(ValueError, match="never"):
+            cluster.restore_node(3)
+
+    def test_keeps_last_active_node(self, cluster):
+        for node_id in (1, 2, 3):
+            cluster.remove_node(node_id)
+        with pytest.raises(ValueError, match="last active"):
+            cluster.remove_node(0)
