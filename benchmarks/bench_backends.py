@@ -1,0 +1,250 @@
+"""Execution-backend comparison: sequential vs fused vs parallel.
+
+The runner executes every experiment through one of three backends
+(``ExperimentConfig.execution_backend``): the per-worker ``sequential``
+reference loop, the in-process ``fused`` round engine (PR 3), and the
+``parallel`` backend (``src/repro/parallel/``) that ships each round's
+conflict-free remainder to a pool of shared-memory fork workers. All three
+are bit-identical by contract; this benchmark measures what the contract
+*costs*:
+
+* **per-backend comparison table** — wall-clock and training-point
+  throughput per MF architecture under each backend, with the parallel /
+  fused speedup per architecture (the differential suite's equality
+  assertions re-checked on every run, so a speedup can never come from
+  computing something cheaper);
+* **cores x architecture sweep** — parallel-backend throughput as the
+  worker count grows (1, 2, 4), per architecture, against the fused
+  baseline.
+
+The acceptance target — >= 1.8x fused throughput with 4 workers on at
+least one architecture — only makes sense with >= 4 physical cores, so the
+corresponding claim is gated on the host: ``checks.scaling_target_applicable``
+records whether this machine can meaningfully attempt it, and on smaller
+hosts the honest measured numbers are still recorded while the claim passes
+vacuously. Results go to ``BENCH_backends.json`` in the repository root.
+
+Run directly::
+
+    REPRO_BENCH_FAST=1 PYTHONPATH=src python benchmarks/bench_backends.py
+
+or through pytest::
+
+    REPRO_BENCH_FAST=1 PYTHONPATH=src python -m pytest benchmarks/bench_backends.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.parallel import ParallelConfig, parallel_disabled, shutdown_worker_pools
+from repro.runner.config import ExperimentConfig
+from repro.runner.experiment import resolve_execution_backend, run_experiment
+from repro.runner.systems import make_ps_factory
+from repro.runner.workloads import make_task
+from repro.simulation.cluster import ClusterConfig
+
+FAST = bool(int(os.environ.get("REPRO_BENCH_FAST", "0")))
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_backends.json"
+
+#: The five MF architectures of the differential suite. Only systems with a
+#: direct point charger (classic, lapse) dispatch rounds to the pool; the
+#: others exercise the backend's transparent fallback and must cost ~nothing.
+ARCHITECTURES = ["classic", "lapse", "ssp", "essp", "nups"]
+
+TASK_SCALE = "test" if FAST else "bench"
+EPOCHS = 2
+NUM_NODES = 2 if FAST else 4
+WORKERS_PER_NODE = 2
+CHUNK_SIZE = 8 if FAST else 16
+SEED = 0
+
+#: Parallel-backend pool sizes for the cores sweep. Four workers are always
+#: measured (the acceptance target is defined at 4), even on smaller hosts
+#: where the claim is then gated off.
+WORKER_SWEEP = [1, 2, 4]
+
+#: Wall-clock repetitions per cell; the minimum is reported.
+REPEATS = 1 if FAST else 2
+
+#: Acceptance target: parallel / fused throughput at 4 workers, best
+#: architecture, on hosts with >= 4 cores.
+SCALING_TARGET = 1.8
+SCALING_WORKERS = 4
+
+
+def _config(backend: str, num_workers: int = 2) -> ExperimentConfig:
+    parallel = ParallelConfig(num_workers=num_workers) \
+        if backend == "parallel" else None
+    return ExperimentConfig(
+        cluster=ClusterConfig(num_nodes=NUM_NODES,
+                              workers_per_node=WORKERS_PER_NODE),
+        epochs=EPOCHS, chunk_size=CHUNK_SIZE, seed=SEED,
+        execution_backend=backend, parallel=parallel,
+    )
+
+
+def _drive(system: str, backend: str, num_workers: int = 2):
+    """Best-of-``REPEATS`` wall-clock for one (system, backend) cell."""
+    best = None
+    result = None
+    for _ in range(REPEATS):
+        task = make_task("matrix_factorization", scale=TASK_SCALE)
+        config = _config(backend, num_workers)
+        start = time.perf_counter()
+        run = run_experiment(task, make_ps_factory(system), config)
+        elapsed = time.perf_counter() - start
+        points = task.num_data_points() * run.epochs_completed
+        if best is None or elapsed < best["seconds"]:
+            best = {
+                "seconds": round(elapsed, 6),
+                "points_per_sec": round(points / elapsed) if elapsed > 0 else None,
+                "effective_backend": resolve_execution_backend(config),
+            }
+            if backend == "parallel":
+                best["num_workers"] = num_workers
+            result = run
+    return best, result
+
+
+def _identical(a, b) -> bool:
+    """Bit-identity of two experiment results (times, quality, metrics)."""
+    if a.initial_quality != b.initial_quality:
+        return False
+    if a.epochs_completed != b.epochs_completed:
+        return False
+    for rec_a, rec_b in zip(a.records, b.records):
+        if (rec_a.sim_time != rec_b.sim_time
+                or rec_a.epoch_duration != rec_b.epoch_duration
+                or rec_a.quality != rec_b.quality
+                or rec_a.metrics != rec_b.metrics):
+            return False
+    return a.metrics == b.metrics
+
+
+def run_benchmark(output_path: Optional[Path] = OUTPUT_PATH) -> dict:
+    cpu_count = os.cpu_count() or 1
+    disabled = parallel_disabled()
+    architectures = {}
+    core_sweep = {}
+    all_identical = True
+    best_at_target = None
+
+    print(f"{'system':10s} {'sequential':>12s} {'fused':>12s} "
+          f"{'parallel':>12s} {'par/fused':>10s}  (points/s)")
+    for system in ARCHITECTURES:
+        sequential, seq_result = _drive(system, "sequential")
+        fused, fused_result = _drive(system, "fused")
+        parallel, par_result = _drive(system, "parallel")
+        identical = (_identical(par_result, seq_result)
+                     and _identical(fused_result, seq_result))
+        all_identical &= identical
+        speedup = round(parallel["points_per_sec"] / fused["points_per_sec"], 3)
+        architectures[system] = {
+            "sequential": sequential,
+            "fused": fused,
+            "parallel": parallel,
+            "speedup_parallel_vs_fused": speedup,
+            "bit_identical": identical,
+        }
+        print(f"{system:10s} {sequential['points_per_sec']:>12,d} "
+              f"{fused['points_per_sec']:>12,d} "
+              f"{parallel['points_per_sec']:>12,d} {speedup:>9.2f}x"
+              f"{'' if identical else '  << DIVERGED'}")
+
+        sweep = []
+        for workers in WORKER_SWEEP:
+            cell, cell_result = _drive(system, "parallel", num_workers=workers)
+            cell["speedup_vs_fused"] = round(
+                cell["points_per_sec"] / fused["points_per_sec"], 3)
+            identical = _identical(cell_result, seq_result)
+            all_identical &= identical
+            cell["bit_identical"] = identical
+            sweep.append(cell)
+            if workers == SCALING_WORKERS and identical:
+                if best_at_target is None \
+                        or cell["speedup_vs_fused"] > best_at_target:
+                    best_at_target = cell["speedup_vs_fused"]
+        core_sweep[system] = sweep
+        print(f"{'':10s} workers " + "  ".join(
+            f"{cell['num_workers']}: x{cell['speedup_vs_fused']:.2f}"
+            for cell in sweep))
+
+    applicable = cpu_count >= SCALING_WORKERS and not disabled
+    target_met = (not applicable) or (
+        best_at_target is not None and best_at_target >= SCALING_TARGET)
+    print(f"\nbit-identical across backends: {all_identical}; "
+          f"best parallel/fused speedup at {SCALING_WORKERS} workers: "
+          f"{best_at_target}; target >= {SCALING_TARGET}x "
+          f"{'applies' if applicable else 'gated off'} "
+          f"(cpu_count={cpu_count}, parallel_disabled={disabled})")
+
+    report = {
+        "benchmark": "execution_backends",
+        "fast_mode": FAST,
+        "host": {
+            "cpu_count": cpu_count,
+            "parallel_disabled": disabled,
+        },
+        "config": {
+            "task": "matrix_factorization",
+            "task_scale": TASK_SCALE,
+            "epochs": EPOCHS,
+            "num_nodes": NUM_NODES,
+            "workers_per_node": WORKERS_PER_NODE,
+            "chunk_size": CHUNK_SIZE,
+            "seed": SEED,
+            "worker_sweep": WORKER_SWEEP,
+            "repeats": REPEATS,
+        },
+        "architectures": architectures,
+        "core_sweep": core_sweep,
+        "checks": {
+            "all_bit_identical": all_identical,
+            "scaling_target": SCALING_TARGET,
+            "scaling_workers": SCALING_WORKERS,
+            "scaling_target_applicable": applicable,
+            "best_speedup_at_target_workers": best_at_target,
+            "scaling_target_met": target_met,
+        },
+    }
+    # Pools were sized for this benchmark's sweep; leave nothing warm behind.
+    shutdown_worker_pools()
+    if output_path is not None:
+        output_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {output_path}")
+    return report
+
+
+def run() -> dict:
+    """Structured backend report for the reproduction pipeline.
+
+    Does not write ``BENCH_backends.json``: the committed copy documents a
+    deliberate measurement, exactly like ``BENCH_throughput.json``.
+    """
+    return run_benchmark(output_path=None)
+
+
+def test_backends_benchmark(tmp_path):
+    """The harness runs, covers every architecture, and writes valid JSON."""
+    output = tmp_path / "BENCH_backends.json"
+    report = run_benchmark(output)
+    assert set(report["architectures"]) == set(ARCHITECTURES)
+    for system, entry in report["architectures"].items():
+        assert entry["bit_identical"], f"{system} diverged across backends"
+        for backend in ("sequential", "fused", "parallel"):
+            assert entry[backend]["points_per_sec"] > 0
+    assert report["checks"]["all_bit_identical"]
+    assert report["checks"]["scaling_target_met"] in (True, False)
+    assert json.loads(output.read_text())["benchmark"] == "execution_backends"
+
+
+if __name__ == "__main__":
+    import sys
+
+    run_benchmark(Path(sys.argv[1]) if len(sys.argv) > 1 else OUTPUT_PATH)

@@ -20,6 +20,12 @@ can never come from simulating something cheaper. Results go to
 tracked across PRs (the CI regression guard compares against the committed
 copy).
 
+This file measures the *PS-level* round engine in isolation; the
+*task-level* execution backends built on top of it — including the
+shared-memory multiprocess ``parallel`` backend — are measured end-to-end
+by ``benchmarks/bench_backends.py`` (``BENCH_backends.json``), which the
+same regression guard also covers.
+
 Run directly::
 
     REPRO_BENCH_FAST=1 PYTHONPATH=src python benchmarks/bench_throughput.py
@@ -196,6 +202,7 @@ def run_benchmark(output_path: Optional[Path] = OUTPUT_PATH) -> dict:
         "benchmark": "simulator_throughput",
         "fast_mode": FAST,
         "round_fusion": True,
+        "see_also": "BENCH_backends.json (task-level execution backends)",
         "config": {
             "num_keys": NUM_KEYS,
             "value_length": VALUE_LENGTH,

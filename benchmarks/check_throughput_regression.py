@@ -1,20 +1,31 @@
 """CI guard: simulator throughput must not regress against the baseline.
 
-Compares a freshly measured ``BENCH_throughput.json`` report against the
-committed baseline on ``accesses_per_sec``. CI runners and developer boxes
-differ by large constant factors, so absolute rates are not comparable
-across machines; the guard therefore normalizes them away: it computes each
-system's fresh/baseline ratio and fails only when one system falls more
-than ``TOLERANCE``x below the *median* ratio across systems. A uniformly
-slower machine shifts every ratio equally and passes; an accidentally
-disabled fast path in one architecture drags that system's ratio far below
-the median and fails. The committed baseline itself is refreshed
-deliberately (by committing a new ``BENCH_throughput.json``), not by CI.
+Compares a freshly measured throughput report against the committed
+baseline. Two report shapes are understood:
+
+* ``BENCH_throughput.json`` — per-system ``accesses_per_sec`` of the
+  PS-level microbenchmark;
+* ``BENCH_backends.json`` — per-(architecture, execution backend)
+  ``points_per_sec`` of the backend comparison, so a regression in the
+  parallel backend (or in the fused baseline it is measured against) fails
+  the guard exactly like a PS-level one.
+
+CI runners and developer boxes differ by large constant factors, so
+absolute rates are not comparable across machines; the guard therefore
+normalizes them away: it computes each entry's fresh/baseline ratio and
+fails only when one entry falls more than ``TOLERANCE``x below the *median*
+ratio across entries. A uniformly slower machine shifts every ratio equally
+and passes; an accidentally disabled fast path in one architecture drags
+that entry's ratio far below the median and fails. The committed baseline
+itself is refreshed deliberately (by committing a new baseline JSON), not
+by CI.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py FRESH.json
     python benchmarks/check_throughput_regression.py FRESH.json BASELINE.json
+    PYTHONPATH=src python benchmarks/bench_backends.py FRESH_BACKENDS.json
+    python benchmarks/check_throughput_regression.py FRESH_BACKENDS.json BENCH_backends.json
 """
 
 from __future__ import annotations
@@ -37,23 +48,42 @@ def _median(values):
     return 0.5 * (ordered[middle - 1] + ordered[middle])
 
 
+def _rates(report: dict) -> dict:
+    """Flatten either report shape into ``{entry_name: rate}``.
+
+    ``BENCH_throughput.json`` carries ``systems.<name>.accesses_per_sec``;
+    ``BENCH_backends.json`` carries
+    ``architectures.<system>.<backend>.points_per_sec``.
+    """
+    if "architectures" in report:
+        return {
+            f"{system}.{backend}": stats["points_per_sec"]
+            for system, entry in report["architectures"].items()
+            for backend, stats in entry.items()
+            if isinstance(stats, dict) and stats.get("points_per_sec")
+        }
+    return {name: stats["accesses_per_sec"]
+            for name, stats in report["systems"].items()
+            if stats.get("accesses_per_sec")}
+
+
 def check(fresh_path: Path, baseline_path: Path) -> int:
-    fresh = json.loads(fresh_path.read_text())["systems"]
-    baseline = json.loads(baseline_path.read_text())["systems"]
+    fresh = _rates(json.loads(fresh_path.read_text()))
+    baseline = _rates(json.loads(baseline_path.read_text()))
     failures = []
     ratios = {}
     for name in sorted(baseline):
-        fresh_rate = fresh.get(name, {}).get("accesses_per_sec")
+        fresh_rate = fresh.get(name)
         if not fresh_rate:
             failures.append(f"{name}: missing from the fresh report")
             continue
-        ratios[name] = fresh_rate / baseline[name]["accesses_per_sec"]
+        ratios[name] = fresh_rate / baseline[name]
     if not ratios:
         print("no comparable systems between the two reports")
         return 1
 
     median_ratio = _median(ratios.values())
-    print(f"{'system':14s} {'baseline/s':>12s} {'fresh/s':>12s} "
+    print(f"{'entry':24s} {'baseline/s':>12s} {'fresh/s':>12s} "
           f"{'ratio':>7s} {'vs median':>10s}")
     for name, ratio in sorted(ratios.items()):
         relative = ratio / median_ratio
@@ -65,8 +95,8 @@ def check(fresh_path: Path, baseline_path: Path) -> int:
                 "— this system regressed relative to the others"
             )
             marker = "  << REGRESSION"
-        print(f"{name:14s} {baseline[name]['accesses_per_sec']:>12,d} "
-              f"{fresh[name]['accesses_per_sec']:>12,d} {ratio:>6.2f}x "
+        print(f"{name:24s} {baseline[name]:>12,d} "
+              f"{fresh[name]:>12,d} {ratio:>6.2f}x "
               f"{relative:>9.2f}x{marker}")
     if failures:
         print("\nthroughput regression guard FAILED:")
@@ -118,6 +148,30 @@ def test_guard_fails_when_one_system_collapses(tmp_path):
 def test_guard_fails_on_missing_system(tmp_path):
     baseline = _report(tmp_path, "baseline", classic=10_000, nups=5_000)
     fresh = _report(tmp_path, "fresh", classic=10_000)
+    assert check(fresh, baseline) == 1
+
+
+def _backends_report(tmp_path, name, **rates):
+    """``BENCH_backends.json``-shaped report: keys are ``system_backend``."""
+    architectures: dict = {}
+    for key, rate in rates.items():
+        system, backend = key.rsplit("_", 1)
+        architectures.setdefault(system, {})[backend] = {
+            "points_per_sec": rate, "seconds": 1.0,
+        }
+    path = tmp_path / f"{name}.json"
+    path.write_text(json.dumps({"architectures": architectures}))
+    return path
+
+
+def test_guard_covers_backend_reports(tmp_path):
+    baseline = _backends_report(tmp_path, "baseline", classic_fused=10_000,
+                                classic_parallel=20_000, lapse_fused=8_000,
+                                lapse_parallel=16_000)
+    assert check(baseline, baseline) == 0
+    fresh = _backends_report(tmp_path, "fresh", classic_fused=10_000,
+                             classic_parallel=2_000, lapse_fused=8_000,
+                             lapse_parallel=16_000)  # parallel path collapsed
     assert check(fresh, baseline) == 1
 
 

@@ -115,6 +115,18 @@ class UpdateNormClipper:
         # sqrt(x . x) is what np.linalg.norm computes for 1-D inputs, minus
         # several layers of dispatch overhead (this runs once per update row).
         norm = float(np.sqrt(update.dot(update)))
+        return self.clip_given_norm(update, norm)
+
+    def clip_given_norm(self, update: np.ndarray, norm: float) -> np.ndarray:
+        """:meth:`clip` for a row whose pre-clip norm is already known.
+
+        The parallel backend computes raw update norms in its worker
+        processes (``float(np.sqrt(update.dot(update)))``, the exact
+        expression :meth:`clip` uses) and replays the order-dependent
+        running-mean fold here, on the coordinator, in point order — the
+        state transition and the returned row are bit-identical to
+        :meth:`clip` observing the same update.
+        """
         if (self._count >= self.warmup and self._mean_norm > 0
                 and norm > self.factor * self._mean_norm):
             update = update * (self.factor * self._mean_norm / max(norm, 1e-12))

@@ -1,0 +1,38 @@
+"""True-parallel shared-memory execution backend.
+
+Executes the conflict-free remainder of each fused scheduling round across
+fork-based worker processes over ``multiprocessing.shared_memory`` views of
+the parameter store, while the conflict set and all clock/metric accounting
+stay serialized on the coordinator — results are bit-identical to the
+sequential reference (enforced end to end by the cross-backend differential
+suite, ``tests/test_parallel_backend.py``).
+
+Select it with ``ExperimentConfig(execution_backend="parallel")``; tune it
+with :class:`ParallelConfig`. See ``DESIGN.md`` ("Execution backends") for
+the tier diagram and the bit-identity argument.
+"""
+
+from repro.parallel.backend import (
+    ParallelExecutionError,
+    ParallelExecutor,
+    shutdown_worker_pools,
+)
+from repro.parallel.config import (
+    PARALLEL_DISABLE_ENV,
+    ParallelConfig,
+    default_num_workers,
+    parallel_disabled,
+)
+from repro.parallel.shm import SEGMENT_PREFIX, SharedArray
+
+__all__ = [
+    "PARALLEL_DISABLE_ENV",
+    "SEGMENT_PREFIX",
+    "ParallelConfig",
+    "ParallelExecutionError",
+    "ParallelExecutor",
+    "SharedArray",
+    "default_num_workers",
+    "parallel_disabled",
+    "shutdown_worker_pools",
+]

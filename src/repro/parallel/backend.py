@@ -1,0 +1,205 @@
+"""The coordinator-side executor of the parallel execution backend.
+
+One :class:`ParallelExecutor` serves one experiment. At creation it
+
+* exports the parameter store's value matrix into shared memory
+  (:meth:`repro.ps.storage.ParameterStore.share_values` — on the sparse
+  backend this densifies into the segment and pins every chunk as a view),
+* allocates shared scratch for the per-round fused plan (keys, training
+  values, output deltas, per-point statistics), and
+* borrows a persistent fork :class:`~repro.parallel.pool.WorkerPool` from a
+  process-wide cache, so back-to-back experiments (sweeps, pytest sessions)
+  reuse warm workers instead of re-forking.
+
+Per round the task dispatches the conflict-free remainder
+(:meth:`dispatch_mf_round`), runs the serialized charging replay while the
+workers compute, then joins (:meth:`wait_mf_round`) and merges in point
+order. :meth:`close` releases the worker mappings, unlinks every scratch
+segment, and copies the store back to private memory — leaving ``/dev/shm``
+exactly as it was found.
+"""
+
+from __future__ import annotations
+
+import atexit
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.parallel.config import ParallelConfig
+from repro.parallel.pool import ParallelExecutionError, WorkerPool
+from repro.parallel.shm import SharedArray
+
+__all__ = ["ParallelExecutor", "ParallelExecutionError", "shutdown_worker_pools"]
+
+
+_pool_cache: dict = {}
+
+
+def _borrow_pool(num_workers: int) -> WorkerPool:
+    pool = _pool_cache.get(num_workers)
+    if pool is not None and pool.alive:
+        return pool
+    if pool is not None:
+        pool.close()
+    pool = WorkerPool(num_workers)
+    _pool_cache[num_workers] = pool
+    return pool
+
+
+def _discard_pool(pool: WorkerPool) -> None:
+    for key, cached in list(_pool_cache.items()):
+        if cached is pool:
+            del _pool_cache[key]
+    pool.close()
+
+
+def shutdown_worker_pools() -> None:
+    """Close every cached worker pool (atexit hook; also used by tests)."""
+    for pool in list(_pool_cache.values()):
+        pool.close()
+    _pool_cache.clear()
+
+
+atexit.register(shutdown_worker_pools)
+
+
+class ParallelExecutor:
+    """Shared-memory state and worker-pool handle of one experiment."""
+
+    def __init__(self, store, config: Optional[ParallelConfig] = None) -> None:
+        self.config = config or ParallelConfig()
+        self.num_workers = self.config.resolved_num_workers()
+        self.timeout = float(self.config.worker_timeout)
+        self._store = store
+        # Export the store before borrowing the pool: fork-based workers may
+        # be forked now, and must be able to attach the segment by name.
+        self._store_spec = store.share_values()
+        self._pool = _borrow_pool(self.num_workers)
+        self._scratch: List[SharedArray] = []
+        self._keys = None
+        self._cells = None
+        self._deltas = None
+        self._stats = None
+        self._capacity = 0
+        self._inflight = 0
+        self._closed = False
+
+    # ----------------------------------------------------------------- sizing
+    def accepts(self, num_fused: int) -> bool:
+        """Whether a round's fused remainder is worth dispatching."""
+        return (not self._closed and num_fused >= self.config.min_fused_points
+                and num_fused > 0)
+
+    def _ensure_capacity(self, num_points: int) -> None:
+        if num_points <= self._capacity:
+            return
+        capacity = max(num_points, 2 * self._capacity, 256)
+        rank = self._store.value_length
+        retired = [sa for sa in (self._keys, self._cells, self._deltas,
+                                 self._stats) if sa is not None]
+        self._keys = SharedArray.create((2 * capacity,), np.int64)
+        self._cells = SharedArray.create((capacity,), np.float64)
+        self._deltas = SharedArray.create((2 * capacity, rank), np.float32)
+        self._stats = SharedArray.create((capacity, 3), np.float64)
+        self._scratch = [self._keys, self._cells, self._deltas, self._stats]
+        self._capacity = capacity
+        for sa in retired:
+            # Workers may still hold the old mappings (evicted at close);
+            # unlinking now frees the names, the memory goes when unmapped.
+            sa.close()
+            sa.unlink()
+
+    # --------------------------------------------------------------- dispatch
+    def dispatch_mf_round(self, fused_keys: np.ndarray,
+                          fused_values: np.ndarray, learning_rate: float,
+                          regularization: float, want_norms: bool) -> None:
+        """Ship one round's conflict-free remainder to the pool (non-blocking)."""
+        num_fused = len(fused_values)
+        self._ensure_capacity(num_fused)
+        self._keys.array[:2 * num_fused] = fused_keys
+        self._cells.array[:num_fused] = fused_values
+        bounds = _even_bounds(num_fused, self.num_workers)
+        jobs = []
+        for lo, hi in bounds:
+            if lo == hi:
+                jobs.append(None)
+                continue
+            jobs.append({
+                "op": "mf",
+                "values": self._store_spec,
+                "keys": self._keys.spec(),
+                "cells": self._cells.spec(),
+                "deltas": self._deltas.spec(),
+                "stats": self._stats.spec(),
+                "lo": lo, "hi": hi,
+                "learning_rate": float(learning_rate),
+                "regularization": float(regularization),
+                "want_norms": bool(want_norms),
+            })
+        try:
+            self._pool.submit(jobs)
+        except ParallelExecutionError:
+            _discard_pool(self._pool)
+            raise
+        self._inflight = num_fused
+
+    def wait_mf_round(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Join the round; returns ``(deltas, stats)`` views over the results."""
+        num_fused = self._inflight
+        self._inflight = 0
+        try:
+            self._pool.wait(self.timeout)
+        except ParallelExecutionError:
+            _discard_pool(self._pool)
+            raise
+        return (self._deltas.array[:2 * num_fused],
+                self._stats.array[:num_fused])
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Tear down: worker mappings released, segments unlinked, store private."""
+        if self._closed:
+            return
+        self._closed = True
+        names = [sa.spec()["name"] for sa in self._scratch]
+        names.append(self._store_spec["name"])
+        if self._pool.alive:
+            try:
+                self._pool.broadcast({"op": "release", "names": names},
+                                     self.timeout)
+            except ParallelExecutionError:
+                _discard_pool(self._pool)
+        elif self._pool.broken:
+            _discard_pool(self._pool)
+        for sa in self._scratch:
+            sa.close()
+            sa.unlink()
+        self._scratch = []
+        self._keys = self._cells = self._deltas = self._stats = None
+        self._capacity = 0
+        self._store.unshare_values()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelExecutor(num_workers={self.num_workers}, "
+            f"capacity={self._capacity}, closed={self._closed})"
+        )
+
+
+def _even_bounds(n: int, parts: int) -> List[Tuple[int, int]]:
+    """Deterministic contiguous partition of ``range(n)`` into ``parts``.
+
+    ``np.array_split`` semantics: the first ``n % parts`` slices get one
+    extra element. The merge walk consumes results in global point order, so
+    any fixed partition yields the same output; contiguous slices keep each
+    worker's reads and writes cache-local.
+    """
+    base, extra = divmod(n, parts)
+    bounds = []
+    lo = 0
+    for part in range(parts):
+        hi = lo + base + (1 if part < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds

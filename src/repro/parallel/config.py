@@ -1,0 +1,85 @@
+"""Configuration and environment gating of the parallel execution backend."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "PARALLEL_DISABLE_ENV",
+    "ParallelConfig",
+    "parallel_disabled",
+    "default_num_workers",
+]
+
+#: Environment flag that forces ``execution_backend="parallel"`` down to the
+#: in-process fused path. The report pipeline sets it before forking its
+#: benchmark workers so sweeps running inside those workers never nest a
+#: process pool inside a process pool (fork-bomb/oversubscription guard);
+#: operators can set it manually to pin an experiment to one core.
+PARALLEL_DISABLE_ENV = "REPRO_PARALLEL_DISABLE"
+
+
+def parallel_disabled() -> bool:
+    """Whether the environment vetoes spawning parallel-backend workers."""
+    value = os.environ.get(PARALLEL_DISABLE_ENV, "")
+    return value not in ("", "0")
+
+
+def default_num_workers() -> int:
+    """Pool size when :attr:`ParallelConfig.num_workers` is ``None``.
+
+    One process per core, capped at 8 — the fused remainder of a round is a
+    few hundred points, so wider pools only add dispatch latency.
+    """
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Tuning knobs of ``ExperimentConfig.execution_backend = "parallel"``.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker processes in the pool. ``None`` (default) uses
+        :func:`default_num_workers`.
+    worker_timeout:
+        Seconds the coordinator waits for a worker's per-round
+        acknowledgement before raising an actionable
+        :class:`~repro.parallel.pool.ParallelExecutionError`. Generous by
+        default: a round job is milliseconds of work, so hitting this means
+        a worker is stuck or dead, not slow.
+    min_fused_points:
+        Rounds whose conflict-free remainder has fewer points than this run
+        through the in-process fused path instead of being dispatched (the
+        two paths are bit-identical; this only skips IPC that could not pay
+        for itself). The default of 1 dispatches every non-empty remainder.
+    """
+
+    num_workers: Optional[int] = None
+    worker_timeout: float = 60.0
+    min_fused_points: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1 when set (got {self.num_workers}); "
+                "use None to size the pool from the machine's core count"
+            )
+        if self.worker_timeout <= 0:
+            raise ValueError(
+                f"worker_timeout must be positive (got {self.worker_timeout}); "
+                "it bounds how long the coordinator waits for a worker before "
+                "reporting it dead or stuck"
+            )
+        if self.min_fused_points < 1:
+            raise ValueError(
+                f"min_fused_points must be >= 1 (got {self.min_fused_points}); "
+                "rounds below the threshold take the in-process fused path"
+            )
+
+    def resolved_num_workers(self) -> int:
+        return self.num_workers if self.num_workers is not None \
+            else default_num_workers()

@@ -1,0 +1,239 @@
+"""A persistent fork-based worker pool with actionable failure reporting.
+
+The pool forks ``num_workers`` long-lived processes, each connected to the
+coordinator by one duplex pipe. A *round job* is a small picklable dict (an
+opcode plus shared-memory specs and scalars — never bulk data); workers map
+the referenced segments on first use and cache the mappings, so steady-state
+dispatch cost is one tiny pickle each way per worker per round.
+
+Failure modes surface as :class:`ParallelExecutionError` instead of hangs:
+
+* a worker that dies (killed, OOM, segfault) is detected by polling
+  ``Process.is_alive`` while waiting for its reply;
+* a worker that stalls past the configured timeout raises with the knob to
+  turn (``ParallelConfig.worker_timeout``);
+* a worker that raises ships its traceback back over the pipe.
+
+Any of these marks the pool *broken*; the owning executor discards it and the
+next experiment forks a fresh one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from multiprocessing import get_context
+from typing import Dict, List, Optional
+
+__all__ = ["ParallelExecutionError", "WorkerPool"]
+
+
+class ParallelExecutionError(RuntimeError):
+    """A parallel-backend worker failed, stalled, or died."""
+
+
+def _worker_main(conn, worker_index: int) -> None:
+    """Worker loop: receive a job dict, execute, acknowledge.
+
+    Imports the kernel lazily so the forked child re-resolves it (keeps the
+    module importable under coverage/pytest reloads), and keeps a per-process
+    cache of attached shared-memory segments keyed by name.
+    """
+    from repro.parallel import mf_kernel
+    from repro.parallel.shm import SharedArray
+
+    segments: Dict[str, SharedArray] = {}
+
+    def attach(spec) -> "SharedArray":
+        sa = segments.get(spec["name"])
+        if sa is None:
+            sa = SharedArray.attach(spec)
+            segments[spec["name"]] = sa
+        return sa
+
+    try:
+        while True:
+            try:
+                job = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = job["op"]
+            try:
+                if op == "mf":
+                    mf_kernel.run_fused_slice(
+                        values=attach(job["values"]).array,
+                        keys=attach(job["keys"]).array,
+                        cell_values=attach(job["cells"]).array,
+                        deltas=attach(job["deltas"]).array,
+                        stats=attach(job["stats"]).array,
+                        lo=job["lo"], hi=job["hi"],
+                        learning_rate=job["learning_rate"],
+                        regularization=job["regularization"],
+                        want_norms=job["want_norms"],
+                    )
+                    conn.send(("ok", None))
+                elif op == "release":
+                    for name in job["names"]:
+                        sa = segments.pop(name, None)
+                        if sa is not None:
+                            sa.close()
+                    conn.send(("ok", None))
+                elif op == "ping":
+                    conn.send(("ok", worker_index))
+                elif op == "exit":
+                    conn.send(("ok", None))
+                    break
+                else:
+                    conn.send(("error", f"unknown op {op!r}"))
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+    except KeyboardInterrupt:  # pragma: no cover - interactive interrupt
+        pass
+    finally:
+        for sa in segments.values():
+            sa.close()
+        conn.close()
+
+
+class WorkerPool:
+    """``num_workers`` forked processes executing one job each per round."""
+
+    def __init__(self, num_workers: int, label: str = "parallel backend") -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX guard
+            raise ParallelExecutionError(
+                "the parallel execution backend needs fork-based worker "
+                "processes, which this platform does not support; use "
+                "execution_backend='fused' instead"
+            )
+        self.num_workers = int(num_workers)
+        self.label = label
+        self.broken = False
+        ctx = get_context("fork")
+        self._conns = []
+        self._procs = []
+        for index in range(self.num_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main, args=(child_conn, index),
+                name=f"repro-parallel-worker-{index}", daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._pending: List[int] = []
+
+    # ---------------------------------------------------------------- dispatch
+    def submit(self, jobs: List[Optional[dict]]) -> None:
+        """Send ``jobs[i]`` to worker ``i`` (``None`` skips the worker)."""
+        if self.broken:
+            raise ParallelExecutionError(
+                f"the {self.label} worker pool is broken (a worker died or "
+                "stalled earlier); it should have been discarded and rebuilt"
+            )
+        if len(jobs) > self.num_workers:
+            raise ValueError(
+                f"{len(jobs)} jobs submitted to a pool of {self.num_workers} "
+                "workers"
+            )
+        if self._pending:
+            raise ParallelExecutionError(
+                "submit() called while a previous round is still in flight; "
+                "call wait() first"
+            )
+        for index, job in enumerate(jobs):
+            if job is None:
+                continue
+            try:
+                self._conns[index].send(job)
+            except (BrokenPipeError, OSError) as exc:
+                self.broken = True
+                raise self._death_error(index) from exc
+            self._pending.append(index)
+
+    def wait(self, timeout: float) -> None:
+        """Block until every dispatched worker acknowledged its job.
+
+        Raises :class:`ParallelExecutionError` (and marks the pool broken)
+        when a worker dies, stalls past ``timeout`` seconds, or reports an
+        exception.
+        """
+        deadline = time.monotonic() + timeout
+        try:
+            for index in self._pending:
+                conn = self._conns[index]
+                proc = self._procs[index]
+                while not conn.poll(0.02):
+                    if not proc.is_alive():
+                        self.broken = True
+                        raise self._death_error(index)
+                    if time.monotonic() > deadline:
+                        self.broken = True
+                        raise ParallelExecutionError(
+                            f"{self.label}: worker {index} (pid {proc.pid}) "
+                            f"did not finish its round job within {timeout:g}s. "
+                            "If the machine is heavily loaded, raise "
+                            "ParallelConfig.worker_timeout; otherwise the "
+                            "worker is stuck and the pool will be rebuilt"
+                        )
+                try:
+                    status, payload = conn.recv()
+                except (EOFError, OSError) as exc:
+                    self.broken = True
+                    raise self._death_error(index) from exc
+                if status != "ok":
+                    self.broken = True
+                    raise ParallelExecutionError(
+                        f"{self.label}: worker {index} raised while executing "
+                        f"its round job:\n{payload}"
+                    )
+        finally:
+            self._pending = []
+
+    def broadcast(self, job: dict, timeout: float) -> None:
+        """Send ``job`` to every worker and wait for all acknowledgements."""
+        self.submit([dict(job) for _ in range(self.num_workers)])
+        self.wait(timeout)
+
+    def _death_error(self, index: int) -> ParallelExecutionError:
+        proc = self._procs[index]
+        code = proc.exitcode
+        detail = f"exit code {code}" if code is not None else "pipe closed"
+        return ParallelExecutionError(
+            f"{self.label}: worker {index} (pid {proc.pid}) died mid-round "
+            f"({detail}). The round cannot be completed; the pool will be "
+            "rebuilt. If the worker was killed by the OOM killer, lower "
+            "ParallelConfig.num_workers or use execution_backend='fused'"
+        )
+
+    # --------------------------------------------------------------- lifecycle
+    @property
+    def alive(self) -> bool:
+        return not self.broken and all(p.is_alive() for p in self._procs)
+
+    def close(self, timeout: float = 2.0) -> None:
+        """Shut every worker down; terminate those that do not exit in time."""
+        for conn, proc in zip(self._conns, self._procs):
+            if proc.is_alive() and not self.broken:
+                try:
+                    conn.send({"op": "exit"})
+                except (BrokenPipeError, OSError):
+                    pass
+        for conn, proc in zip(self._conns, self._procs):
+            proc.join(timeout)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self._pending = []
+        self.broken = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "broken" if self.broken else "alive"
+        return f"WorkerPool(num_workers={self.num_workers}, {state})"

@@ -1,0 +1,92 @@
+"""Shared-memory ndarrays with explicit ownership and leak hygiene.
+
+:class:`SharedArray` wraps one :class:`multiprocessing.shared_memory.SharedMemory`
+segment holding one C-contiguous ndarray. The *coordinator* creates segments
+(:meth:`SharedArray.create`) and is the only process that ever unlinks them;
+*workers* attach by spec (:meth:`SharedArray.attach`) and only close their
+mapping. On Python 3.11 an attach also registers the segment with the
+``multiprocessing.resource_tracker``; because the worker pool is fork-based,
+creator and attachers share one tracker process and its per-type cache is a
+set, so the duplicate registrations are idempotent and the coordinator's
+single :meth:`unlink` leaves the tracker clean — no ``leaked shared_memory``
+warnings at interpreter shutdown.
+
+Segment names carry the :data:`SEGMENT_PREFIX` so tests (and humans poking at
+``/dev/shm``) can attribute leftovers to this backend.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from multiprocessing import shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["SEGMENT_PREFIX", "SharedArray"]
+
+#: Prefix of every segment name this backend creates (visible in /dev/shm).
+SEGMENT_PREFIX = "repro_par"
+
+_counter = itertools.count()
+
+
+class SharedArray:
+    """One ndarray backed by a named shared-memory segment."""
+
+    __slots__ = ("shm", "array", "owner", "_spec")
+
+    def __init__(self, shm: shared_memory.SharedMemory, array: np.ndarray,
+                 owner: bool, spec: Dict[str, object]) -> None:
+        self.shm = shm
+        self.array = array
+        self.owner = owner
+        self._spec = spec
+
+    # ----------------------------------------------------------- construction
+    @classmethod
+    def create(cls, shape: Tuple[int, ...], dtype) -> "SharedArray":
+        """Allocate a zero-filled segment sized for ``shape`` x ``dtype``."""
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        name = f"{SEGMENT_PREFIX}_{os.getpid()}_{next(_counter)}"
+        shm = shared_memory.SharedMemory(name=name, create=True,
+                                         size=max(nbytes, 1))
+        spec = {"name": shm.name, "shape": tuple(int(s) for s in shape),
+                "dtype": dtype.str}
+        array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        array.fill(0)
+        return cls(shm, array, owner=True, spec=spec)
+
+    @classmethod
+    def attach(cls, spec: Dict[str, object]) -> "SharedArray":
+        """Map an existing segment created elsewhere from its spec dict."""
+        shm = shared_memory.SharedMemory(name=spec["name"])
+        array = np.ndarray(tuple(spec["shape"]), dtype=np.dtype(spec["dtype"]),
+                           buffer=shm.buf)
+        return cls(shm, array, owner=False, spec=dict(spec))
+
+    # -------------------------------------------------------------- lifecycle
+    def spec(self) -> Dict[str, object]:
+        """The picklable description workers use to attach."""
+        return dict(self._spec)
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        # The ndarray holds a memoryview into shm.buf; break the reference
+        # first or SharedMemory.close() raises BufferError on the export.
+        self.array = None
+        self.shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment (owner only; also unregisters the tracker)."""
+        if self.owner:
+            self.shm.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedArray(name={self._spec['name']!r}, "
+            f"shape={self._spec['shape']}, dtype={self._spec['dtype']}, "
+            f"owner={self.owner})"
+        )

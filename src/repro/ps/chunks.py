@@ -549,6 +549,32 @@ class ChunkedMatrix(_ChunkedBase):
         self._rebind_dense(dense)
         return dense
 
+    def densify_to(self, dense: np.ndarray) -> np.ndarray:
+        """Materialize into a caller-provided backing array (chunk pinning).
+
+        Like :meth:`densify`, but the full matrix lands in ``dense`` — e.g.
+        a shared-memory segment — and every chunk becomes a view into it, so
+        chunked writes stay coherent with readers of the backing array. The
+        parallel execution backend uses this to pin a chunked store into
+        shared memory without changing its chunked API; pinning back out
+        (``dense`` = a private array) is the same call. Materialization is
+        charged against the budget exactly as :meth:`densify` charges it.
+        """
+        if dense.shape != self.shape or dense.dtype != self.dtype:
+            raise ValueError(
+                f"densify_to target must have shape {self.shape} and dtype "
+                f"{self.dtype}, got shape {dense.shape} dtype {dense.dtype}"
+            )
+        if self._dense is not None:
+            dense[...] = self._dense
+        else:
+            dense.fill(0)
+            for cid, chunk in self._chunks.items():
+                lo, hi = self._chunk_bounds(cid)
+                dense[lo:hi] = chunk
+        self._rebind_dense(dense)
+        return dense
+
     @classmethod
     def from_dense(cls, dense: np.ndarray,
                    chunk_rows: int = DEFAULT_CHUNK_ROWS,

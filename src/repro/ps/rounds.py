@@ -43,6 +43,7 @@ from repro.simulation.cluster import WorkerContext
 __all__ = [
     "WorkerRound",
     "RoundAccounting",
+    "FusedRoundPlan",
     "duplicate_key_positions",
 ]
 
@@ -137,6 +138,59 @@ class RoundAccounting:
         for node_id, counters in self.network.items():
             for name, amount in counters.items():
                 ps.metrics.increment(name, amount, node=node_id)
+
+
+class FusedRoundPlan:
+    """The conflict-group plan of one task-level round, in exportable form.
+
+    Built once per round from the per-item ``(num_points, keys_per_point)``
+    key matrices, the plan splits the round's data points into the *conflict
+    set* (a point any of whose keys some other point also touches) and the
+    *conflict-free remainder*. The remainder's physical keys are exported as
+    one flat array in global point order — the layout both the in-process
+    fused path (hoisted gather + deferred scatter-add) and the parallel
+    backend's shared scratch consume directly.
+
+    The deterministic-merge contract: however the remainder is partitioned
+    across executors (see ``repro.parallel.backend._even_bounds``), results
+    are merged by walking points in the same global order the plan was built
+    in, so every stateful fold (clipper running mean, epoch loss) and every
+    store write happens in exactly the sequential path's order.
+    """
+
+    __slots__ = ("conflicted", "num_points", "num_fused", "fused_keys")
+
+    def __init__(self, conflicted: list, num_fused: int,
+                 fused_keys: np.ndarray) -> None:
+        self.conflicted = conflicted
+        self.num_points = len(conflicted)
+        self.num_fused = num_fused
+        self.fused_keys = fused_keys
+
+    @classmethod
+    def plan(cls, keys_per_item: list) -> "FusedRoundPlan":
+        """Plan a round given each item's ``(points, keys_per_point)`` keys.
+
+        A point is conflicted when any of its keys occurs more than once
+        across the whole round (within-point duplicates count too, though
+        tasks whose key spaces cannot collide never produce them).
+        """
+        all_keys = np.concatenate([keys2d.ravel() for keys2d in keys_per_item])
+        keys_per_point = keys_per_item[0].shape[1] if keys_per_item else 1
+        conflicted = duplicate_key_positions(all_keys) \
+            .reshape(-1, keys_per_point).any(axis=1).tolist()
+        num_fused = len(conflicted) - sum(conflicted)
+        fused_keys = np.empty(keys_per_point * num_fused, dtype=np.int64)
+        cursor = 0
+        point = 0
+        for keys2d in keys_per_item:
+            for local_point in range(len(keys2d)):
+                if not conflicted[point]:
+                    fused_keys[cursor:cursor + keys_per_point] = \
+                        keys2d[local_point]
+                    cursor += keys_per_point
+                point += 1
+        return cls(conflicted, num_fused, fused_keys)
 
 
 def duplicate_key_positions(keys: np.ndarray) -> np.ndarray:

@@ -816,6 +816,39 @@ CLAIMS += [
            op="<=", factor=1.5),
 ]
 
+# --- Execution backends (engineering appendix) ----------------------------
+_REF_BACKENDS = "Simulator engineering (BENCH_backends.json)"
+CLAIMS += [
+    _claim("backends", "parallel.all_measured",
+           "every MF architecture sustains a positive measured throughput "
+           "under all three execution backends",
+           "all_true", _REF_BACKENDS,
+           paths=[f"architectures.{system}.{backend}.points_per_sec"
+                  for system in ("classic", "lapse", "ssp", "essp", "nups")
+                  for backend in ("sequential", "fused", "parallel")]),
+    _claim("backends", "parallel.bit_identical",
+           "the parallel and fused backends are bit-identical to the "
+           "sequential reference on every architecture and worker count "
+           "(clocks, quality, metrics; re-checked on every run)",
+           "all_true", _REF_BACKENDS,
+           paths=["checks.all_bit_identical"]),
+    _claim("backends", "parallel.scaling_target",
+           "the parallel backend reaches >= 1.8x fused throughput with 4 "
+           "workers on at least one architecture (gated on hosts with >= 4 "
+           "cores; smaller hosts record their honest numbers and pass "
+           "vacuously via checks.scaling_target_applicable)",
+           "all_true", _REF_BACKENDS,
+           paths=["checks.scaling_target_met"]),
+    _claim("backends", "parallel.fallback_cheap",
+           "architectures without a direct point charger (NuPS) fall back "
+           "transparently: selecting the parallel backend costs them at "
+           "most 1.5x fused wall-clock",
+           "ordering", _REF_BACKENDS,
+           left="architectures.nups.parallel.seconds",
+           right="architectures.nups.fused.seconds",
+           op="<=", factor=1.5),
+]
+
 # --- Profile harness (engineering appendix) -------------------------------
 CLAIMS += [
     _claim("profile", "hot_spots_reported",

@@ -15,17 +15,38 @@ paper's figures report.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.ml.task import RoundWorkItem, TrainingTask, sequential_process_round
+from repro.parallel.config import parallel_disabled
 from repro.ps.base import ParameterServer
 from repro.runner.config import ExperimentConfig
 from repro.simulation.cluster import Cluster
 
 PSFactory = Callable[..., ParameterServer]
+
+
+def resolve_execution_backend(config: ExperimentConfig) -> str:
+    """The backend an experiment with ``config`` will actually execute on.
+
+    ``execution_backend=None`` derives the backend from the legacy
+    ``round_fusion`` flag. ``"parallel"`` downgrades to ``"fused"`` (which is
+    bit-identical) when the environment vetoes worker processes: inside the
+    report pipeline's fork workers (``REPRO_PARALLEL_DISABLE``, the
+    no-pools-inside-pools guard) or on platforms without ``os.fork``. The
+    resolution is a pure function of config + environment — benchmarks call
+    it to report which backend a run really used.
+    """
+    backend = config.execution_backend
+    if backend is None:
+        backend = "fused" if config.round_fusion else "sequential"
+    if backend == "parallel" and (parallel_disabled() or not hasattr(os, "fork")):
+        backend = "fused"
+    return backend
 
 
 @dataclass
@@ -160,6 +181,32 @@ def run_experiment(
     train_ps = runtime.training_ps if runtime is not None else ps
     task.register_sampling(train_ps)
 
+    backend = resolve_execution_backend(config)
+    executor = None
+    if backend == "parallel":
+        # Export the store to shared memory and borrow the worker pool. The
+        # executor attaches to the raw PS: tasks find it through attribute
+        # delegation from whatever wrapper they train against, but only the
+        # PSs whose charging supports the fused fast path ever dispatch.
+        from repro.parallel import ParallelExecutor
+
+        executor = ParallelExecutor(ps.store, config.parallel)
+        ps.parallel_executor = executor
+    try:
+        return _run_training(
+            task, ps, train_ps, store, cluster, config, runtime,
+            system_name, backend,
+        )
+    finally:
+        if executor is not None:
+            ps.parallel_executor = None
+            executor.close()
+
+
+def _run_training(task, ps, train_ps, store, cluster, config, runtime,
+                  system_name, backend):
+    """The epoch loop of :func:`run_experiment` (split out for pool cleanup)."""
+
     shards = task.create_shards(
         cluster.num_nodes, cluster.workers_per_node, seed=config.seed
     )
@@ -197,7 +244,7 @@ def run_experiment(
         if runtime is not None:
             runtime.begin_epoch(epoch)
         _run_epoch(task, train_ps, cluster, shards, workers, worker_rngs,
-                   config, runtime)
+                   config, runtime, fused=backend != "sequential")
         train_ps.finish_epoch()
         task.on_epoch_end(epoch)
         if runtime is not None:
@@ -428,15 +475,17 @@ def _degraded_process_round(task, ps, cluster, items, state=None) -> None:
 
 
 def _run_epoch(task, ps, cluster, shards, workers, worker_rngs, config,
-               runtime=None) -> None:
+               runtime=None, fused=True) -> None:
     """One epoch: every worker processes its full shard, chunk by chunk.
 
     Per scheduling round the driver collects every active worker's next
     chunk into :class:`~repro.ml.task.RoundWorkItem`\\ s and hands the whole
-    round to the task. With ``config.round_fusion`` (the default) the task's
-    ``process_round`` hook runs — tasks and PSs with round-fused fast paths
-    batch the round's traffic there — otherwise the sequential per-worker
-    reference loop runs. Both are bit-identical; assembling the round first
+    round to the task. With ``fused`` (the resolved backend is ``"fused"``
+    or ``"parallel"``) the task's ``process_round`` hook runs — tasks and
+    PSs with round-fused fast paths batch the round's traffic there, and
+    dispatch the conflict-free remainder to the worker pool when a parallel
+    executor is attached — otherwise the sequential per-worker reference
+    loop runs. All backends are bit-identical; assembling the round first
     only reorders per-worker queue bookkeeping, which has no simulation
     state.
     """
@@ -476,7 +525,7 @@ def _run_epoch(task, ps, cluster, shards, workers, worker_rngs, config,
                 runtime.fault_degraded() or runtime.elastic_degraded()
             ):
                 _degraded_process_round(task, ps, cluster, items, state)
-            elif config.round_fusion:
+            elif fused:
                 task.process_round(ps, items)
             else:
                 sequential_process_round(task, ps, items)

@@ -17,6 +17,7 @@ import pytest
 
 from repro.core.management import ManagementPlan
 from repro.core.nups import NuPS
+from repro.parallel import ParallelConfig
 from repro.ps.classic import ClassicPS
 from repro.ps.local import SingleNodePS
 from repro.ps.relocation import RelocationPS
@@ -256,14 +257,20 @@ def test_run_round_single_node_fallback():
 
 
 # ------------------------------------------------------- runner-level fusion
-def _experiment(task_name, system, round_fusion, scenario_name=None,
+def _experiment(task_name, system, backend, scenario_name=None,
                 chunk_size=8, seed=5, epochs=2):
+    """Run the test-scale experiment under one execution backend.
+
+    ``backend`` is an ``ExperimentConfig.execution_backend`` value:
+    ``"sequential"``, ``"fused"`` or ``"parallel"``.
+    """
     task = make_task(task_name, scale="test")
     scenario = make_scenario(scenario_name) if scenario_name else None
+    parallel = ParallelConfig(num_workers=2) if backend == "parallel" else None
     config = ExperimentConfig(
         cluster=ClusterConfig(num_nodes=2, workers_per_node=2),
         epochs=epochs, chunk_size=chunk_size, seed=seed, scenario=scenario,
-        round_fusion=round_fusion,
+        execution_backend=backend, parallel=parallel,
     )
     return run_experiment(task, make_ps_factory(system), config)
 
@@ -282,13 +289,14 @@ def _assert_results_identical(a, b) -> None:
 MF_SYSTEMS = ["classic", "lapse", "ssp", "essp", "nups"]
 
 
+@pytest.mark.parametrize("backend", ["fused", "parallel"])
 @pytest.mark.parametrize("system", MF_SYSTEMS)
 @pytest.mark.parametrize("chunk_size", [4, 32])
-def test_round_fusion_bit_identical_mf(system, chunk_size):
+def test_round_fusion_bit_identical_mf(system, chunk_size, backend):
     _assert_results_identical(
-        _experiment("matrix_factorization", system, True,
+        _experiment("matrix_factorization", system, backend,
                     chunk_size=chunk_size),
-        _experiment("matrix_factorization", system, False,
+        _experiment("matrix_factorization", system, "sequential",
                     chunk_size=chunk_size),
     )
 
@@ -296,16 +304,16 @@ def test_round_fusion_bit_identical_mf(system, chunk_size):
 @pytest.mark.parametrize("system", ["classic", "lapse", "nups"])
 def test_round_fusion_bit_identical_kge(system):
     _assert_results_identical(
-        _experiment("kge", system, True),
-        _experiment("kge", system, False),
+        _experiment("kge", system, "fused"),
+        _experiment("kge", system, "sequential"),
     )
 
 
 @pytest.mark.parametrize("system", ["lapse", "nups"])
 def test_round_fusion_bit_identical_word_vectors(system):
     _assert_results_identical(
-        _experiment("word_vectors", system, True),
-        _experiment("word_vectors", system, False),
+        _experiment("word_vectors", system, "fused"),
+        _experiment("word_vectors", system, "sequential"),
     )
 
 
@@ -318,9 +326,9 @@ def test_round_fusion_composes_with_scenarios(system, scenario_name):
     # logical-to-physical mapping: post-drift epochs are where a fused path
     # that bypassed the remapping proxy would diverge.
     _assert_results_identical(
-        _experiment("matrix_factorization", system, True,
+        _experiment("matrix_factorization", system, "fused",
                     scenario_name=scenario_name, epochs=4),
-        _experiment("matrix_factorization", system, False,
+        _experiment("matrix_factorization", system, "sequential",
                     scenario_name=scenario_name, epochs=4),
     )
 
@@ -334,9 +342,9 @@ def test_round_fusion_respects_remapped_ps():
     identity. The fused drift run must keep relocating effectively after the
     drift, exactly like the sequential one.
     """
-    fused = _experiment("matrix_factorization", "lapse", True,
+    fused = _experiment("matrix_factorization", "lapse", "fused",
                         scenario_name="drift", epochs=4)
-    sequential = _experiment("matrix_factorization", "lapse", False,
+    sequential = _experiment("matrix_factorization", "lapse", "sequential",
                              scenario_name="drift", epochs=4)
     _assert_results_identical(fused, sequential)
     last = fused.records[-1].metrics
