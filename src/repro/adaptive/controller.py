@@ -171,6 +171,14 @@ class AdaptiveController:
         metrics.increment("adaptive.adaptations", 1)
         metrics.increment("adaptive.keys_added", len(added))
         metrics.increment("adaptive.keys_removed", len(removed))
+        tracer = self.ps.tracer
+        if tracer is not None:
+            tracer.event(
+                "adapt", "adaptive", now,
+                keys_added=int(len(added)), keys_removed=int(len(removed)),
+                replicated=int(plan.num_replicated),
+                evaluations=self.evaluations,
+            )
 
     def _cap_transition(self, added: np.ndarray, removed: np.ndarray):
         """Limit one step to ``max_changes_per_step`` keys (hottest first).

@@ -65,6 +65,20 @@ def build_parser() -> argparse.ArgumentParser:
             "--scenario", choices=SCENARIO_NAMES, default=None,
             help="dynamic-workload scenario preset (drift, stragglers, "
                  "crash-storm, ...; default: static workload)")
+        subparser.add_argument(
+            "--execution-backend",
+            choices=["sequential", "fused", "parallel"], default=None,
+            help="execution backend (default: derived from round fusion; "
+                 "all backends produce bit-identical results)")
+        subparser.add_argument(
+            "--storage-backend", choices=["dense", "sparse"], default=None,
+            help="parameter-store storage backend (default: keep the "
+                 "task's store as created, i.e. dense)")
+        subparser.add_argument(
+            "--trace", type=Path, default=None, metavar="PATH",
+            help="record a telemetry trace and write it as JSONL to PATH "
+                 "(render with `repro trace PATH`); `compare` inserts the "
+                 "system name before the suffix")
 
     run_parser = subparsers.add_parser("run", help="train one task on one system")
     add_experiment_arguments(run_parser)
@@ -87,6 +101,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("systems", help="list available parameter-server systems")
     subparsers.add_parser("tasks", help="list available workloads")
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="summarize a JSONL telemetry trace (from --trace)"
+    )
+    trace_parser.add_argument("file", type=Path,
+                              help="JSONL trace written by run/compare --trace")
+    trace_parser.add_argument(
+        "--chrome", type=Path, default=None, metavar="OUT",
+        help="also export Chrome trace-event JSON (open in Perfetto / "
+             "chrome://tracing)")
+    trace_parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="span names to show in the by-simulated-time table (default: 10)")
 
     reproduce_parser = subparsers.add_parser(
         "reproduce",
@@ -123,15 +150,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_one(task_name: str, scale: str, system: str, nodes: int, workers: int,
-             epochs: int, seed: int,
-             scenario: Optional[str] = None) -> ExperimentResult:
+             epochs: int, seed: int, scenario: Optional[str] = None,
+             execution_backend: Optional[str] = None,
+             storage_backend: Optional[str] = None,
+             trace: Optional[Path] = None) -> ExperimentResult:
     task = make_task(task_name, scale=scale)
     num_nodes = 1 if system == "single-node" else nodes
     overrides = dict(NUPS_BENCH_OVERRIDES) if system.startswith(("nups", "relocation")) else {}
+    telemetry = None
+    if trace is not None:
+        from repro.obs import TelemetryConfig
+
+        telemetry = TelemetryConfig(path=str(trace))
+    storage = None
+    if storage_backend is not None:
+        from repro.ps.chunks import StorageConfig
+
+        storage = StorageConfig(backend=storage_backend)
     config = ExperimentConfig(
         cluster=ClusterConfig(num_nodes=num_nodes, workers_per_node=workers),
         epochs=epochs, chunk_size=8, seed=seed,
         scenario=make_scenario(scenario) if scenario else None,
+        execution_backend=execution_backend, storage=storage,
+        telemetry=telemetry,
     )
     return run_experiment(task, make_ps_factory(system, **overrides), config,
                           system_name=system)
@@ -139,20 +180,36 @@ def _run_one(task_name: str, scale: str, system: str, nodes: int, workers: int,
 
 def command_run(args: argparse.Namespace) -> int:
     result = _run_one(args.task, args.scale, args.system, args.nodes,
-                      args.workers, args.epochs, args.seed, args.scenario)
+                      args.workers, args.epochs, args.seed, args.scenario,
+                      execution_backend=args.execution_backend,
+                      storage_backend=args.storage_backend, trace=args.trace)
     print(quality_over_time_table([result]))
     print()
     print(summary_table([result]))
+    if args.trace is not None:
+        print(f"\nwrote trace to {args.trace} "
+              f"(render with `repro trace {args.trace}`)", file=sys.stderr)
     return 0
+
+
+def _system_trace_path(trace: Path, system: str) -> Path:
+    """Per-system trace path for `compare`: run.jsonl -> run.nups.jsonl."""
+    return trace.with_name(f"{trace.stem}.{system}{trace.suffix}")
 
 
 def command_compare(args: argparse.Namespace) -> int:
     results: List[ExperimentResult] = []
     for system in args.systems:
         print(f"running {args.task} on {system} ...", file=sys.stderr)
+        trace = None
+        if args.trace is not None:
+            trace = _system_trace_path(args.trace, system)
         results.append(_run_one(args.task, args.scale, system, args.nodes,
                                 args.workers, args.epochs, args.seed,
-                                args.scenario))
+                                args.scenario,
+                                execution_backend=args.execution_backend,
+                                storage_backend=args.storage_backend,
+                                trace=trace))
     print(summary_table(results))
     if any(r.system == "single-node" for r in results) and len(results) > 1:
         print()
@@ -245,6 +302,23 @@ def command_reproduce(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def command_trace(args: argparse.Namespace) -> int:
+    from repro.obs import load_jsonl, summarize, write_chrome_trace
+
+    try:
+        trace = load_jsonl(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.file}: {exc}", file=sys.stderr)
+        return 2
+    print(summarize(trace, top=args.top))
+    if args.chrome is not None:
+        write_chrome_trace(trace, args.chrome)
+        print(f"\nwrote Chrome trace-event JSON to {args.chrome} "
+              "(load in https://ui.perfetto.dev or chrome://tracing)",
+              file=sys.stderr)
+    return 0
+
+
 def command_systems(_: argparse.Namespace) -> int:
     for name in SYSTEM_NAMES:
         print(name)
@@ -261,6 +335,7 @@ COMMANDS = {
     "run": command_run,
     "compare": command_compare,
     "skew": command_skew,
+    "trace": command_trace,
     "systems": command_systems,
     "tasks": command_tasks,
     "reproduce": command_reproduce,

@@ -139,11 +139,22 @@ class NuPS(RelocationPS, SamplingHost):
         super().localize(worker, relocated)
 
     def pull(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray) -> np.ndarray:
-        return self._pull(worker, np.asarray(keys, dtype=np.int64), sampling=False)
+        keys = np.asarray(keys, dtype=np.int64)
+        tracer = self.tracer
+        if tracer is not None and tracer.access_events:
+            tracer.event("pull", "access", worker.clock.now,
+                         node=worker.node_id, worker=worker.worker_id,
+                         keys=len(keys))
+        return self._pull(worker, keys, sampling=False)
 
     def push(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray,
              deltas: np.ndarray) -> None:
         keys, deltas = self._validate_push(keys, deltas)
+        tracer = self.tracer
+        if tracer is not None and tracer.access_events:
+            tracer.event("push", "access", worker.clock.now,
+                         node=worker.node_id, worker=worker.worker_id,
+                         keys=len(keys))
         self._push(worker, keys, deltas, sampling=False)
 
     def remanage(self, plan: ManagementPlan, now: Optional[float] = None) -> None:
@@ -172,9 +183,15 @@ class NuPS(RelocationPS, SamplingHost):
                 f"{plan.num_keys} != {self.store.num_keys}"
             )
         if np.array_equal(plan.replicated_keys, self.plan.replicated_keys):
+            if self.tracer is not None:
+                self.tracer.event(
+                    "remanage", "management", now, noop=True,
+                    num_replicated=int(plan.num_replicated),
+                )
             self.plan = plan
             return
         now = self.cluster.time if now is None else float(now)
+        replicated_before = int(self.plan.num_replicated)
         self.replica_manager.force_sync(now)
         self.plan = plan
         self.replica_manager = ReplicaManager(
@@ -183,6 +200,12 @@ class NuPS(RelocationPS, SamplingHost):
             start_time=now,
         )
         self.metrics.increment("management.replans", 1)
+        if self.tracer is not None:
+            self.tracer.event(
+                "remanage", "management", now, noop=False,
+                replicated_before=replicated_before,
+                replicated_after=int(plan.num_replicated),
+            )
 
     def attach_adaptive(self, controller) -> None:
         """Wire an adaptive controller and its statistics tap into this PS.

@@ -310,6 +310,13 @@ class ReplicaManager:
         self.total_sync_payload_bytes += payload
         self.metrics.increment("replica.syncs", 1)
         self.metrics.increment("replica.sync_bytes", payload)
+        tracer = getattr(self.cluster, "tracer", None)
+        if tracer is not None:
+            tracer.event(
+                "replica_sync", "replica", now,
+                dirty_slots=int(len(dirty_slots)), payload_bytes=int(payload),
+                participants=participants,
+            )
         if participants > 1:
             self.metrics.increment(
                 "network.messages", rounds * participants

@@ -99,6 +99,13 @@ class ElasticityController:
         self.metrics.increment("elastic.scale_outs", 1)
         self.metrics.increment("elastic.migrated_keys", len(moved))
         self.metrics.increment("elastic.migration_time", available_at - now)
+        tracer = getattr(self.cluster, "tracer", None)
+        if tracer is not None:
+            tracer.complete_span(
+                "scale_out", "elastic", now, available_at, node=node_id,
+                migrated_keys=int(len(moved)), payload_bytes=int(payload),
+                membership_epoch=self.cluster.membership_epoch,
+            )
         return node_id
 
     # --------------------------------------------------------------- scale-in
@@ -142,6 +149,14 @@ class ElasticityController:
         # no acknowledged updates" reads from the same metric family as the
         # crash path's faults.lost_updates.
         self.metrics.increment("elastic.lost_updates", 0)
+        tracer = getattr(self.cluster, "tracer", None)
+        if tracer is not None:
+            tracer.complete_span(
+                "scale_in", "elastic", now, available_at, node=node_id,
+                migrated_keys=int(len(moved)), drained_updates=drained,
+                payload_bytes=int(payload),
+                membership_epoch=self.cluster.membership_epoch,
+            )
         return {
             "node_id": int(node_id),
             "moved_keys": int(len(moved)),

@@ -91,6 +91,13 @@ class CheckpointManager:
                 background = self.cluster.node(node_id).background_clock
                 background.advance_to(max(now, background.now) + cost)
         self.cluster.metrics.increment("faults.checkpoints", 1)
+        tracer = getattr(self.cluster, "tracer", None)
+        if tracer is not None:
+            tracer.event(
+                "checkpoint", "faults", float(now),
+                total_bytes=int(self.store.total_bytes()),
+                checkpoints_taken=self.checkpoints_taken,
+            )
 
     # --------------------------------------------------------------- restoring
     def restore(self, keys: np.ndarray) -> int:

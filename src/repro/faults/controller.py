@@ -177,6 +177,14 @@ class FaultController:
         metrics.increment(
             "faults.keys_recovered_from_checkpoint", len(lost) - recovered
         )
+        tracer = getattr(self.cluster, "tracer", None)
+        if tracer is not None:
+            tracer.event(
+                "crash", "faults", float(now), node=node_id,
+                keys_lost=int(len(lost)), recovered_from_replicas=recovered,
+                lost_updates=int(lost_updates),
+                recovery_time=round(t_recovered - float(now), 9),
+            )
         return t_recovered
 
     # ----------------------------------------------------------------- restore
@@ -189,6 +197,9 @@ class FaultController:
         self.cluster.restore_node(node_id, t)
         self.ps.on_node_restored(node_id, t)
         self.metrics.increment("faults.restores", 1)
+        tracer = getattr(self.cluster, "tracer", None)
+        if tracer is not None:
+            tracer.event("restore", "faults", t, node=node_id)
 
     # ------------------------------------------------------------ housekeeping
     def on_round(self, now: float) -> None:

@@ -1,0 +1,31 @@
+"""Observability layer: simulation-native tracing and telemetry.
+
+Spans, structured events and periodic time-series samples — each stamped
+with both the simulated clock and the wall clock — recorded from every
+subsystem of the simulated parameter-server cluster. Off by default
+(``ExperimentConfig.telemetry=None``); see :mod:`repro.obs.tracer` for the
+bit-identity contract and :mod:`repro.obs.export` for the output formats.
+"""
+
+from repro.obs.export import (
+    load_jsonl,
+    summarize,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.sampler import TelemetrySampler, make_sampler
+from repro.obs.tracer import SCHEMA_VERSION, TelemetryConfig, Tracer
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TelemetryConfig",
+    "TelemetrySampler",
+    "Tracer",
+    "load_jsonl",
+    "make_sampler",
+    "summarize",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -84,6 +84,10 @@ class ParallelExecutor:
         self._capacity = 0
         self._inflight = 0
         self._closed = False
+        #: Installed by the runner when telemetry is on; dispatch/join events
+        #: are wall-clock-only (sim_time=None): pool activity has no
+        #: simulated-time footprint by design.
+        self.tracer = None
 
     # ----------------------------------------------------------------- sizing
     def accepts(self, num_fused: int) -> bool:
@@ -143,6 +147,10 @@ class ParallelExecutor:
             _discard_pool(self._pool)
             raise
         self._inflight = num_fused
+        if self.tracer is not None:
+            self.tracer.event("pool_dispatch", "parallel", None,
+                              points=int(num_fused),
+                              jobs=sum(1 for job in jobs if job is not None))
 
     def wait_mf_round(self) -> Tuple[np.ndarray, np.ndarray]:
         """Join the round; returns ``(deltas, stats)`` views over the results."""
@@ -153,6 +161,9 @@ class ParallelExecutor:
         except ParallelExecutionError:
             _discard_pool(self._pool)
             raise
+        if self.tracer is not None:
+            self.tracer.event("pool_join", "parallel", None,
+                              points=int(num_fused))
         return (self._deltas.array[:2 * num_fused],
                 self._stats.array[:num_fused])
 

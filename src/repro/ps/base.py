@@ -164,6 +164,11 @@ class ParameterServer(ABC):
                 f"{self.partitioner.num_keys} != {store.num_keys}"
             )
         self.metrics = cluster.metrics
+        #: Optional telemetry tracer, installed on the cluster by the runner
+        #: before the PS is built (None = telemetry off). Hot paths guard
+        #: every record with ``tracer is not None and tracer.access_events``
+        #: so the off path costs one attribute read and a None check.
+        self.tracer = getattr(cluster, "tracer", None)
         self.rng = np.random.default_rng(seed)
         self._distributions: Dict[int, object] = {}
         self._next_distribution_id = 0

@@ -139,6 +139,11 @@ class RelocationPS(ParameterServer):
         keys = np.asarray(keys, dtype=np.int64)
         if len(keys) == 0:
             return
+        tracer = self.tracer
+        if tracer is not None and tracer.access_events:
+            tracer.event("localize", "access", worker.clock.now,
+                         node=worker.node_id, worker=worker.worker_id,
+                         keys=len(keys))
         if not self.batch_charging:
             self._localize_scalar(worker, keys)
             return
@@ -251,12 +256,22 @@ class RelocationPS(ParameterServer):
 
     def pull(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray) -> np.ndarray:
         keys = np.asarray(keys, dtype=np.int64)
+        tracer = self.tracer
+        if tracer is not None and tracer.access_events:
+            tracer.event("pull", "access", worker.clock.now,
+                         node=worker.node_id, worker=worker.worker_id,
+                         keys=len(keys))
         self._charge_access(worker, keys, "pull")
         return self.store.get(keys)
 
     def push(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray,
              deltas: np.ndarray) -> None:
         keys, deltas = self._validate_push(keys, deltas)
+        tracer = self.tracer
+        if tracer is not None and tracer.access_events:
+            tracer.event("push", "access", worker.clock.now,
+                         node=worker.node_id, worker=worker.worker_id,
+                         keys=len(keys))
         self._charge_access(worker, keys, "push")
         self.store.add(keys, deltas)
 

@@ -182,6 +182,11 @@ class ReplicationPS(ParameterServer):
     # -------------------------------------------------------------- direct API
     def pull(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray) -> np.ndarray:
         keys = np.asarray(keys, dtype=np.int64)
+        tracer = self.tracer
+        if tracer is not None and tracer.access_events:
+            tracer.event("pull", "access", worker.clock.now,
+                         node=worker.node_id, worker=worker.worker_id,
+                         keys=len(keys))
         state = self._nodes[worker.node_id]
         worker_clock = state.worker_clocks.get(worker.worker_id, 0)
         if not self.batch_charging:
@@ -229,6 +234,11 @@ class ReplicationPS(ParameterServer):
     def push(self, worker: WorkerContext, keys: Sequence[int] | np.ndarray,
              deltas: np.ndarray) -> None:
         keys, deltas = self._validate_push(keys, deltas)
+        tracer = self.tracer
+        if tracer is not None and tracer.access_events:
+            tracer.event("push", "access", worker.clock.now,
+                         node=worker.node_id, worker=worker.worker_id,
+                         keys=len(keys))
         state = self._nodes[worker.node_id]
         worker_clock = state.worker_clocks.get(worker.worker_id, 0)
         if not self.batch_charging:
@@ -818,6 +828,11 @@ class ReplicationPS(ParameterServer):
             )
         state.update_values[keys] = 0.0
         state.update_mask[keys] = False
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event("replica_flush", "replica", background.now,
+                         node=node_id, keys=int(len(keys)),
+                         remote_bytes=int(remote_bytes))
 
     def _eager_refresh(self, node_id: int, state: _NodeReplicaState) -> None:
         """ESSP: refresh every replica the node holds from the servers."""
@@ -851,6 +866,10 @@ class ReplicationPS(ParameterServer):
         self.metrics.increment(
             "replication.refreshed_keys", len(keys), node=node_id
         )
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event("replica_refresh", "replica", background.now,
+                         node=node_id, keys=int(len(keys)))
 
     def finish_epoch(self) -> None:
         """Flush all outstanding updates (end of training epoch)."""

@@ -849,6 +849,31 @@ CLAIMS += [
            op="<=", factor=1.5),
 ]
 
+# --- Observability layer (engineering appendix) ---------------------------
+_REF_OBS = "Observability layer (beyond the paper; see BENCH_obs.json)"
+CLAIMS += [
+    _claim("obs", "all_architectures_traced",
+           "every PS architecture produces a non-empty trace (spans and "
+           "periodic samples) when telemetry is on",
+           "all_true", _REF_OBS,
+           paths=[f"architectures.{system}.{field}"
+                  for system in ("single-node", "classic", "lapse",
+                                 "essp", "nups")
+                  for field in ("trace_spans", "trace_samples")]),
+    _claim("obs", "telemetry_bit_identical",
+           "telemetry is a pure observer: clocks, per-epoch metric deltas "
+           "and quality trajectories are bit-identical with telemetry off, "
+           "on, and at detail level (re-checked on every run)",
+           "all_true", _REF_OBS,
+           paths=["checks.telemetry_bit_identical"]),
+    _claim("obs", "overhead_within_ceiling",
+           "default-level telemetry (spans, subsystem events, samples; no "
+           "per-access events) costs <= 5% wall clock, geomean across "
+           "architectures",
+           "threshold", _REF_OBS,
+           path="overhead.geomean_on", op="<=", value=1.05),
+]
+
 # --- Profile harness (engineering appendix) -------------------------------
 CLAIMS += [
     _claim("profile", "hot_spots_reported",

@@ -104,6 +104,9 @@ REGISTRY: List[BenchmarkSpec] = [
     BenchmarkSpec("backends", "bench_backends",
                   "Appendix: execution-backend comparison "
                   "(sequential / fused / parallel)", "appendix"),
+    BenchmarkSpec("obs", "bench_obs",
+                  "Appendix: telemetry overhead of the observability layer",
+                  "appendix"),
     BenchmarkSpec("profile", "bench_profile",
                   "Appendix: hot-loop profile", "appendix"),
 ]

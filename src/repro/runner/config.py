@@ -17,6 +17,7 @@ from repro.simulation.cluster import ClusterConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.adaptive.controller import AdaptiveConfig
+    from repro.obs import TelemetryConfig
     from repro.parallel import ParallelConfig
     from repro.scenarios.base import Scenario
 
@@ -99,6 +100,16 @@ class ExperimentConfig:
         converts the store to chunked sparse storage after task
         initialization — bit-identical training results, bounded resident
         memory (see :mod:`repro.ps.chunks`).
+    telemetry:
+        Optional :class:`~repro.obs.TelemetryConfig` enabling the
+        observability layer (see :mod:`repro.obs`): a span/event tracer
+        plus a periodic time-series sampler attached to the cluster, with
+        the trace exposed on ``ExperimentResult.trace`` and optionally
+        written as a JSONL log. ``None`` (the default) records nothing and
+        is bit-identical to a runner without telemetry support; telemetry
+        *on* is also bit-identical in simulated state (the tracer only
+        reads clocks and counters) and costs bounded wall-clock overhead
+        (``benchmarks/bench_obs.py``).
     """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
@@ -114,6 +125,7 @@ class ExperimentConfig:
     storage: Optional[StorageConfig] = None
     execution_backend: Optional[str] = None
     parallel: Optional["ParallelConfig"] = None
+    telemetry: Optional["TelemetryConfig"] = None
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -201,4 +213,19 @@ class ExperimentConfig:
                 raise TypeError(
                     "parallel must be a repro.parallel.ParallelConfig, "
                     f"got {type(self.parallel).__name__}"
+                )
+        if isinstance(self.telemetry, (str, bool)):
+            raise TypeError(
+                f"telemetry must be a TelemetryConfig object, not "
+                f"{self.telemetry!r}; build it with "
+                "repro.obs.TelemetryConfig(path=...) — or leave it None "
+                "to disable telemetry"
+            )
+        if self.telemetry is not None:
+            from repro.obs import TelemetryConfig
+
+            if not isinstance(self.telemetry, TelemetryConfig):
+                raise TypeError(
+                    "telemetry must be a repro.obs.TelemetryConfig, "
+                    f"got {type(self.telemetry).__name__}"
                 )

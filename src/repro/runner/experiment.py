@@ -78,6 +78,9 @@ class ExperimentResult:
     metrics: Dict[str, float] = field(default_factory=dict)
     quality_metric: str = "quality"
     higher_is_better: bool = True
+    #: In-memory telemetry trace (``Tracer.to_trace()``), set only when the
+    #: experiment ran with ``config.telemetry``; ``None`` otherwise.
+    trace: Optional[dict] = None
 
     # --------------------------------------------------------------- accessors
     @property
@@ -151,6 +154,16 @@ def run_experiment(
     """
     config = config or ExperimentConfig()
     cluster = Cluster(config.cluster)
+    tracer = None
+    if config.telemetry is not None:
+        # Install the tracer before the PS is built: architectures cache
+        # the reference in __init__, and every subsystem reads it from the
+        # cluster. With telemetry off, cluster.tracer stays None and no
+        # instrumentation site records anything.
+        from repro.obs import Tracer
+
+        tracer = Tracer(config.telemetry)
+        cluster.tracer = tracer
     store = task.create_store(seed=config.seed)
     if config.storage is not None:
         # Convert the task's store to the configured backend before the PS
@@ -182,6 +195,16 @@ def run_experiment(
     task.register_sampling(train_ps)
 
     backend = resolve_execution_backend(config)
+    if tracer is not None:
+        tracer.meta.update({
+            "system": system_name or ps.name,
+            "task": task.name,
+            "num_nodes": cluster.num_nodes,
+            "workers_per_node": cluster.workers_per_node,
+            "backend": backend,
+            "seed": config.seed,
+            "epochs": config.epochs,
+        })
     executor = None
     if backend == "parallel":
         # Export the store to shared memory and borrow the worker pool. The
@@ -191,9 +214,10 @@ def run_experiment(
         from repro.parallel import ParallelExecutor
 
         executor = ParallelExecutor(ps.store, config.parallel)
+        executor.tracer = tracer
         ps.parallel_executor = executor
     try:
-        return _run_training(
+        result = _run_training(
             task, ps, train_ps, store, cluster, config, runtime,
             system_name, backend,
         )
@@ -201,6 +225,14 @@ def run_experiment(
         if executor is not None:
             ps.parallel_executor = None
             executor.close()
+    if tracer is not None:
+        tracer.meta["final_metrics"] = cluster.metrics.counters()
+        result.trace = tracer.to_trace()
+        if config.telemetry.path is not None:
+            from repro.obs import write_jsonl
+
+            write_jsonl(result.trace, config.telemetry.path)
+    return result
 
 
 def _run_training(task, ps, train_ps, store, cluster, config, runtime,
@@ -219,6 +251,17 @@ def _run_training(task, ps, train_ps, store, cluster, config, runtime,
     }
     if runtime is not None:
         runtime.on_experiment_start()
+
+    tracer = cluster.tracer
+    sampler = None
+    experiment_span = None
+    if tracer is not None:
+        from repro.obs import make_sampler
+
+        sampler = make_sampler(tracer, cluster, ps)
+        experiment_span = tracer.begin_span(
+            "experiment", "run", cluster.time, backend=backend
+        )
 
     def evaluate() -> Dict[str, float]:
         eval_store = runtime.logical_store(store) if runtime is not None else store
@@ -241,10 +284,15 @@ def _run_training(task, ps, train_ps, store, cluster, config, runtime,
         epoch_start = cluster.time
         counters_before = cluster.metrics.counters()
         cluster.metrics.drain_dirty()  # open this epoch's dirty scope
+        epoch_span = None
+        if tracer is not None:
+            epoch_span = tracer.begin_span("epoch", "run", epoch_start,
+                                           epoch=epoch + 1)
         if runtime is not None:
             runtime.begin_epoch(epoch)
         _run_epoch(task, train_ps, cluster, shards, workers, worker_rngs,
-                   config, runtime, fused=backend != "sequential")
+                   config, runtime, fused=backend != "sequential",
+                   tracer=tracer, sampler=sampler)
         train_ps.finish_epoch()
         task.on_epoch_end(epoch)
         if runtime is not None:
@@ -270,9 +318,14 @@ def _run_training(task, ps, train_ps, store, cluster, config, runtime,
             quality=quality,
             metrics=epoch_metrics,
         ))
+        if tracer is not None:
+            tracer.end_span(epoch_span, cluster.time)
         if config.time_budget is not None and cluster.time >= config.time_budget:
             break
 
+    if tracer is not None:
+        tracer.end_span(experiment_span, cluster.time,
+                        epochs_completed=result.epochs_completed)
     result.metrics = cluster.metrics.counters()
     return result
 
@@ -475,7 +528,7 @@ def _degraded_process_round(task, ps, cluster, items, state=None) -> None:
 
 
 def _run_epoch(task, ps, cluster, shards, workers, worker_rngs, config,
-               runtime=None, fused=True) -> None:
+               runtime=None, fused=True, tracer=None, sampler=None) -> None:
     """One epoch: every worker processes its full shard, chunk by chunk.
 
     Per scheduling round the driver collects every active worker's next
@@ -521,6 +574,8 @@ def _run_epoch(task, ps, cluster, shards, workers, worker_rngs, config,
                 worker_rngs[key],
             ))
         if items:
+            if tracer is not None:
+                starts = [item.worker.clock.now for item in items]
             if runtime is not None and (
                 runtime.fault_degraded() or runtime.elastic_degraded()
             ):
@@ -529,17 +584,35 @@ def _run_epoch(task, ps, cluster, shards, workers, worker_rngs, config,
                 task.process_round(ps, items)
             else:
                 sequential_process_round(task, ps, items)
+            if tracer is not None:
+                # One retrospective span per worker: the simulated interval
+                # its clock advanced over while processing this round's
+                # chunk. Exported as one Perfetto lane per (node, worker).
+                for item, sim_start in zip(items, starts):
+                    worker = item.worker
+                    tracer.complete_span(
+                        "round", "round", sim_start, worker.clock.now,
+                        node=worker.node_id, worker=worker.worker_id,
+                        round=round_index, points=len(item.chunk),
+                    )
         rounds_since_housekeeping += 1
         if rounds_since_housekeeping >= config.housekeeping_every_chunks:
-            ps.housekeeping(cluster.time)
+            now = cluster.time
+            ps.housekeeping(now)
+            if tracer is not None:
+                tracer.event("housekeeping", "round", now, round=round_index)
             rounds_since_housekeeping = 0
         if runtime is not None:
             runtime.on_round(round_index)
+        if sampler is not None:
+            sampler.maybe_sample(round_index, state)
         round_index += 1
         if not items:
             # Every pending queue belongs to a paused worker and nothing was
             # redistributed this round; bail out rather than spin forever.
             break
     ps.housekeeping(cluster.time)
+    if sampler is not None:
+        sampler.take_sample(state)  # close the epoch's time series
     if runtime is not None:
         runtime.detach_epoch_state()

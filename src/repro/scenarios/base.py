@@ -281,6 +281,10 @@ class ScenarioRuntime:
             self.ps, minority, self.cluster.time
         )
         self.metrics.increment("elastic.partitions", 1)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event("partition_begin", "scenario", self.cluster.time,
+                         minority=sorted(int(n) for n in minority))
 
     def heal_partition(self) -> None:
         """Heal the active partition: replay buffered minority writes."""
@@ -289,6 +293,9 @@ class ScenarioRuntime:
         state = self.fault_proxy.partition
         self.fault_proxy.partition = None
         state.heal(self.cluster.time)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event("partition_heal", "scenario", self.cluster.time)
 
     def elastic_degraded(self) -> bool:
         """Whether the epoch loop must expect ``PartitionedOwnerError``."""
@@ -308,16 +315,30 @@ class ScenarioRuntime:
     def _active_keys(self) -> List[Tuple[int, int]]:
         return [key for key in self.worker_keys() if key not in self.paused]
 
+    @property
+    def tracer(self):
+        """The run's tracer, or None (perturbation activations are traced)."""
+        return getattr(self.cluster, "tracer", None)
+
     # ------------------------------------------------------------- operations
     def set_compute_scale(self, node_id: int, worker_id: int, scale: float) -> None:
         """Set one worker's compute-speed multiplier (stragglers)."""
         self.cluster.set_compute_scale(node_id, worker_id, scale)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event("compute_scale", "scenario", self.cluster.time,
+                         node=int(node_id), worker=int(worker_id),
+                         scale=float(scale))
 
     def set_network(self, model) -> None:
         """Swap the cluster's network cost model and refresh the PS caches."""
         self.cluster.set_network(model)
         self.ps.refresh_network()
         self.metrics.increment("scenario.network_changes", 1)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event("network_change", "scenario", self.cluster.time,
+                         model=type(model).__name__)
 
     def pause_worker(self, node_id: int, worker_id: int) -> None:
         """Take a worker down; its remaining shard is redistributed.
@@ -334,6 +355,10 @@ class ScenarioRuntime:
         if self._epoch_state is not None:
             self._epoch_state.redistribute(key, self._active_keys())
         self.metrics.increment("scenario.worker_pauses", 1, node=key[0])
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event("worker_pause", "scenario", self.cluster.time,
+                         node=key[0], worker=key[1])
 
     def resume_worker(self, node_id: int, worker_id: int) -> None:
         """Bring a paused worker back (it rejoins from the next redistribution
@@ -343,6 +368,10 @@ class ScenarioRuntime:
             return
         self.paused.discard(key)
         self.metrics.increment("scenario.worker_resumes", 1, node=key[0])
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event("worker_resume", "scenario", self.cluster.time,
+                         node=key[0], worker=key[1])
 
     def apply_drift(self, shift: float, oracle_remanage: bool = True) -> None:
         """Rotate the workload-to-key mapping by ``shift`` (hot-set drift).
@@ -385,6 +414,11 @@ class ScenarioRuntime:
             )
             self.ps.remanage(plan, now=self.cluster.time)
         self.metrics.increment("scenario.drifts", 1)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event("drift", "scenario", self.cluster.time,
+                         shift=float(shift),
+                         oracle_remanage=bool(oracle_remanage))
 
     def logical_store(self, store):
         """A logical-key view of ``store`` for evaluation.

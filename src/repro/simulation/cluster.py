@@ -136,6 +136,12 @@ class Cluster:
         #: :meth:`remove_node`. Partitioners and proxies record the epoch
         #: they were built against so stale ownership can be diagnosed.
         self.membership_epoch: int = 0
+        #: Optional :class:`~repro.obs.Tracer`. ``None`` — the default —
+        #: means telemetry is off; the runner installs a tracer here before
+        #: building the parameter server, and every subsystem reads it from
+        #: the cluster (guarding each record with ``if tracer is not None``
+        #: so the off path stays bit-identical to an uninstrumented build).
+        self.tracer = None
 
     # ------------------------------------------------------------- accessors
     @property
@@ -272,6 +278,11 @@ class Cluster:
             )
         self.membership_epoch += 1
         self.metrics.increment("elastic.nodes_added", 1, node=node_id)
+        if self.tracer is not None:
+            self.tracer.event(
+                "node_added", "membership", now, node=node_id,
+                membership_epoch=self.membership_epoch,
+            )
         return node_id
 
     def remove_node(self, node_id: int) -> None:
@@ -301,6 +312,11 @@ class Cluster:
         self.removed.add(node_id)
         self.membership_epoch += 1
         self.metrics.increment("elastic.nodes_removed", 1, node=node_id)
+        if self.tracer is not None:
+            self.tracer.event(
+                "node_removed", "membership", self.nodes[node_id].time,
+                node=node_id, membership_epoch=self.membership_epoch,
+            )
 
     def is_removed(self, node_id: int) -> bool:
         return node_id in self.removed

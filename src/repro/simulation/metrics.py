@@ -90,10 +90,26 @@ class MetricsRegistry:
         The experiment runner drains at epoch boundaries to attribute counter
         activity to epochs: a counter that was written during the epoch shows
         up in the epoch's delta even when its value ended where it started.
+
+        The set is global-name keyed by design: per-node counters are only
+        ever written together with their global counterpart (``increment``
+        with a node, ``record_access``, ``record_access_batch``), so the
+        global name set covers node-labelled activity too — audited by
+        ``tests/test_metrics_dirty.py``.
         """
         dirty = self._dirty
         self._dirty = set()
         return dirty
+
+    def mark_dirty(self, names: Iterable[str]) -> None:
+        """Re-add ``names`` to the dirty set.
+
+        Lets a reader *peek* the dirty set non-destructively —
+        ``mark_dirty(drain_dirty())`` — so e.g. the telemetry sampler can
+        observe mid-epoch activity without eating the runner's epoch-scoped
+        drain (which would change ``EpochRecord.metrics``).
+        """
+        self._dirty.update(names)
 
     # ---------------------------------------------------------------- reading
     def get(self, name: str, node: int | None = None) -> float:
@@ -145,6 +161,19 @@ class MetricsRegistry:
     def snapshot(self) -> Mapping[str, float]:
         """Immutable-ish view of the global counters (for reporting)."""
         return dict(self._global)
+
+    def diff(self, baseline: Mapping[str, float]) -> Dict[str, float]:
+        """Global-counter deltas against an earlier :meth:`snapshot`.
+
+        Counters whose value did not change are omitted (callers that need
+        touched-but-net-zero names join this with the dirty set). Counters
+        are monotone in practice, but the diff is signed regardless.
+        """
+        return {
+            name: value - baseline.get(name, 0.0)
+            for name, value in self._global.items()
+            if value != baseline.get(name, 0.0)
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         top = sorted(self._global.items())[:8]

@@ -24,6 +24,40 @@ class TestParser:
         assert args.task == "kge"
         assert args.system == "nups"
         assert args.scale == "test"
+        assert args.execution_backend is None
+        assert args.storage_backend is None
+        assert args.trace is None
+
+    def test_backend_flags_round_trip(self):
+        args = build_parser().parse_args([
+            "run", "--execution-backend", "parallel",
+            "--storage-backend", "sparse",
+        ])
+        assert args.execution_backend == "parallel"
+        assert args.storage_backend == "sparse"
+        args = build_parser().parse_args([
+            "compare", "--execution-backend", "sequential",
+            "--storage-backend", "dense",
+        ])
+        assert args.execution_backend == "sequential"
+        assert args.storage_backend == "dense"
+
+    def test_rejects_unknown_backends(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--execution-backend", "gpu"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--storage-backend", "mmap"])
+
+    def test_trace_flag_round_trip(self):
+        from pathlib import Path
+
+        args = build_parser().parse_args(["run", "--trace", "out.jsonl"])
+        assert args.trace == Path("out.jsonl")
+        args = build_parser().parse_args(["trace", "out.jsonl",
+                                          "--chrome", "c.json", "--top", "3"])
+        assert args.file == Path("out.jsonl")
+        assert args.chrome == Path("c.json")
+        assert args.top == 3
 
 
 class TestCommands:
@@ -52,6 +86,28 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "nups" in output
         assert "epoch_time_s" in output
+
+    def test_run_with_explicit_backends(self, capsys):
+        exit_code = main([
+            "run", "--task", "matrix_factorization", "--system", "nups",
+            "--nodes", "2", "--workers", "2", "--epochs", "1",
+            "--execution-backend", "sequential",
+            "--storage-backend", "sparse",
+        ])
+        assert exit_code == 0
+        assert "epoch_time_s" in capsys.readouterr().out
+
+    def test_backend_flags_do_not_change_results(self, capsys):
+        """CLI backend selection is bit-transparent (same seed, same table)."""
+        def table(backend):
+            assert main([
+                "run", "--task", "matrix_factorization", "--system", "lapse",
+                "--nodes", "2", "--workers", "2", "--epochs", "1",
+                "--execution-backend", backend,
+            ]) == 0
+            return capsys.readouterr().out
+
+        assert table("sequential") == table("fused")
 
     def test_compare_reports_speedups(self, capsys):
         exit_code = main([

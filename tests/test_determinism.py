@@ -19,28 +19,34 @@ from repro.simulation.cluster import ClusterConfig
 
 
 def _config(seed=5, scenario=None, epochs=2, round_fusion=True,
-            execution_backend=None):
+            execution_backend=None, telemetry=False):
     parallel = None
     if execution_backend == "parallel":
         from repro.parallel import ParallelConfig
 
         parallel = ParallelConfig(num_workers=2)
+    telemetry_config = None
+    if telemetry:
+        from repro.obs import TelemetryConfig
+
+        telemetry_config = TelemetryConfig(access_events=True)
     return ExperimentConfig(
         cluster=ClusterConfig(num_nodes=2, workers_per_node=2),
         epochs=epochs, chunk_size=8, seed=seed, scenario=scenario,
         round_fusion=round_fusion, execution_backend=execution_backend,
-        parallel=parallel,
+        parallel=parallel, telemetry=telemetry_config,
     )
 
 
 def _run(task_name: str, system: str, scenario_name=None,
-         round_fusion=True, execution_backend=None) -> ExperimentResult:
+         round_fusion=True, execution_backend=None,
+         telemetry=False) -> ExperimentResult:
     scenario = make_scenario(scenario_name) if scenario_name else None
     task = make_task(task_name, scale="test")
     return run_experiment(
         task, make_ps_factory(system),
         _config(scenario=scenario, round_fusion=round_fusion,
-                execution_backend=execution_backend)
+                execution_backend=execution_backend, telemetry=telemetry)
     )
 
 
@@ -149,4 +155,34 @@ def test_same_seed_is_bit_identical_parallel_backend(system):
     _assert_identical(
         _run("matrix_factorization", system, execution_backend="parallel"),
         _run("matrix_factorization", system, execution_backend="parallel"),
+    )
+
+
+@pytest.mark.parametrize("system", SYSTEMS_FULL)
+def test_telemetry_is_bit_transparent(system):
+    """Telemetry on vs off: identical clocks, metrics and quality."""
+    _assert_identical(
+        _run("matrix_factorization", system, telemetry=True),
+        _run("matrix_factorization", system, telemetry=False),
+    )
+
+
+@pytest.mark.parametrize("scenario_name",
+                         ["drift", "churn", "crash-storm", "scale-out"])
+def test_telemetry_transparent_under_scenarios(scenario_name):
+    _assert_identical(
+        _run("matrix_factorization", "nups", scenario_name, telemetry=True),
+        _run("matrix_factorization", "nups", scenario_name, telemetry=False),
+    )
+
+
+@pytest.mark.parametrize("telemetry", [False, True])
+@pytest.mark.parametrize("system", SYSTEMS_REDUCED)
+def test_round_fusion_transparent_with_telemetry(system, telemetry):
+    """Fusion equivalence holds with the tracer attached, too."""
+    _assert_identical(
+        _run("matrix_factorization", system, round_fusion=True,
+             telemetry=telemetry),
+        _run("matrix_factorization", system, round_fusion=False,
+             telemetry=telemetry),
     )

@@ -258,19 +258,26 @@ def test_run_round_single_node_fallback():
 
 # ------------------------------------------------------- runner-level fusion
 def _experiment(task_name, system, backend, scenario_name=None,
-                chunk_size=8, seed=5, epochs=2):
+                chunk_size=8, seed=5, epochs=2, telemetry=False):
     """Run the test-scale experiment under one execution backend.
 
     ``backend`` is an ``ExperimentConfig.execution_backend`` value:
-    ``"sequential"``, ``"fused"`` or ``"parallel"``.
+    ``"sequential"``, ``"fused"`` or ``"parallel"``. With ``telemetry`` the
+    observability tracer rides along (it must not change a single bit).
     """
     task = make_task(task_name, scale="test")
     scenario = make_scenario(scenario_name) if scenario_name else None
     parallel = ParallelConfig(num_workers=2) if backend == "parallel" else None
+    telemetry_config = None
+    if telemetry:
+        from repro.obs import TelemetryConfig
+
+        telemetry_config = TelemetryConfig(access_events=True)
     config = ExperimentConfig(
         cluster=ClusterConfig(num_nodes=2, workers_per_node=2),
         epochs=epochs, chunk_size=chunk_size, seed=seed, scenario=scenario,
         execution_backend=backend, parallel=parallel,
+        telemetry=telemetry_config,
     )
     return run_experiment(task, make_ps_factory(system), config)
 
@@ -301,11 +308,23 @@ def test_round_fusion_bit_identical_mf(system, chunk_size, backend):
     )
 
 
+@pytest.mark.parametrize("telemetry", [False, True])
 @pytest.mark.parametrize("system", ["classic", "lapse", "nups"])
-def test_round_fusion_bit_identical_kge(system):
+def test_round_fusion_bit_identical_kge(system, telemetry):
     _assert_results_identical(
-        _experiment("kge", system, "fused"),
-        _experiment("kge", system, "sequential"),
+        _experiment("kge", system, "fused", telemetry=telemetry),
+        _experiment("kge", system, "sequential", telemetry=telemetry),
+    )
+
+
+@pytest.mark.parametrize("backend", ["fused", "parallel"])
+@pytest.mark.parametrize("system", ["lapse", "nups"])
+def test_round_fusion_bit_identical_mf_with_telemetry(system, backend):
+    """The tracer rides along on every backend without perturbing a bit."""
+    _assert_results_identical(
+        _experiment("matrix_factorization", system, backend, telemetry=True),
+        _experiment("matrix_factorization", system, "sequential",
+                    telemetry=True),
     )
 
 
